@@ -1,0 +1,55 @@
+// Ablation: congestion-window validation (RFC 2861). Sec 3.2.1 explains
+// the paper's slow-start losses as a banked-window effect: cwnd keeps
+// growing while the Poisson application under-uses it, then a backlog
+// burst releases the whole window at once. If growth is gated on actual
+// window usage, the banked capacity never builds and the bursts shrink.
+#include <iostream>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace burst;
+  using namespace burst::bench;
+
+  banner("Ablation — congestion-window validation (RFC 2861)",
+         "gating cwnd growth on actual usage removes the banked-window "
+         "bursts behind the paper's slow-start losses");
+
+  std::vector<std::vector<std::string>> rows;
+  double loss_plain_35 = 0, loss_valid_35 = 0;
+  std::uint64_t to_plain_35 = 0, to_valid_35 = 0;
+  std::uint64_t thr_plain_50 = 0, thr_valid_50 = 0;
+  for (int n : {20, 35, 50}) {
+    for (bool validation : {false, true}) {
+      Scenario sc = paper_base();
+      sc.num_clients = n;
+      sc.transport = Transport::kReno;
+      sc.cwnd_validation = validation;
+      const auto r = run_experiment(sc);
+      rows.push_back({std::to_string(n), validation ? "on" : "off",
+                      fmt(r.cov, 4), std::to_string(r.delivered),
+                      fmt(r.loss_pct, 2), std::to_string(r.timeouts)});
+      if (n == 35) {
+        (validation ? loss_valid_35 : loss_plain_35) = r.loss_pct;
+        (validation ? to_valid_35 : to_plain_35) = r.timeouts;
+      }
+      if (n == 50) (validation ? thr_valid_50 : thr_plain_50) = r.delivered;
+    }
+  }
+  print_table(std::cout,
+              {"clients", "validation", "cov", "delivered", "loss%",
+               "timeouts"},
+              rows);
+
+  std::cout
+      << "\nNote: the N=20 start-transient is unchanged — during slow-start\n"
+      << "catch-up the flows *are* window-limited, so validation cannot\n"
+      << "gate those bursts. The banked-window effect shows at moderate\n"
+      << "congestion, where steady-state flows idle below their windows.\n\n";
+  verdict(loss_valid_35 <= loss_plain_35 && to_valid_35 <= to_plain_35,
+          "validation trims losses and timeouts at moderate congestion "
+          "(the banked-window component of Sec 3.2.1's mechanism)");
+  verdict(thr_valid_50 >= thr_plain_50 * 9 / 10,
+          "validation costs little goodput under saturation");
+  return 0;
+}

@@ -1,0 +1,74 @@
+#include "bench/common.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+namespace burst::bench {
+
+Scenario paper_base() {
+  Scenario s = Scenario::paper_default();
+  if (const char* d = std::getenv("BURST_DURATION")) {
+    s.duration = std::atof(d);
+  }
+  if (const char* seed = std::getenv("BURST_SEED")) {
+    s.seed = static_cast<std::uint64_t>(std::atoll(seed));
+  }
+  return s;
+}
+
+void banner(const std::string& figure, const std::string& paper_claim) {
+  std::cout << "==============================================================\n"
+            << figure << "\n"
+            << "Paper: " << paper_claim << "\n"
+            << "==============================================================\n";
+}
+
+void verdict(bool ok, const std::string& what) {
+  std::cout << (ok ? "[REPRODUCED] " : "[DEVIATION]  ") << what << "\n";
+}
+
+std::vector<int> fig2_clients() {
+  std::vector<int> ns = range(4, 36, 4);
+  for (int n : {38, 39, 40, 44, 48, 52, 56, 60}) ns.push_back(n);
+  return ns;
+}
+
+std::vector<int> fig34_clients() { return range(30, 60, 3); }
+
+void maybe_write_sweep_csv(const std::string& name,
+                           const std::vector<SweepSeries>& series,
+                           double (*metric)(const ExperimentResult&)) {
+  const char* dir = std::getenv("BURST_CSV_DIR");
+  if (!dir) return;
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  write_sweep_csv(path, series, metric);
+  std::cout << "wrote " << path << "\n";
+}
+
+ExperimentResult run_cwnd_figure(const std::string& figure,
+                                 const std::string& claim, Transport transport,
+                                 int num_clients) {
+  banner(figure, claim);
+  Scenario sc = paper_base();
+  sc.transport = transport;
+  sc.num_clients = num_clients;
+
+  ExperimentOptions opts;
+  // The paper traces three spread-out clients (e.g. 1, 10, 20 of 20).
+  opts.trace_clients = {0, num_clients / 2, num_clients - 1};
+  opts.cwnd_sample_period = 0.1;  // the paper's x-axis unit
+
+  const ExperimentResult r = run_experiment(sc, opts);
+
+  std::cout << "scenario: " << sc.label() << ", duration " << sc.duration
+            << " s\n\n";
+  print_cwnd_traces(std::cout, r.cwnd_traces, sc.duration, 0.1, 50);
+  std::cout << "\ntimeouts=" << r.timeouts
+            << " fast_retransmits=" << r.fast_retransmits
+            << " loss%=" << fmt(r.loss_pct, 2) << " cov=" << fmt(r.cov, 4)
+            << " (poisson " << fmt(r.poisson_cov, 4) << ")\n";
+  return r;
+}
+
+}  // namespace burst::bench

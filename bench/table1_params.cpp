@@ -1,0 +1,49 @@
+// Table 1: simulation parameters. Prints the reconstructed configuration
+// and the derived quantities the reproduction depends on.
+#include <iostream>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace burst;
+  using namespace burst::bench;
+
+  banner("Table 1 — Simulation Parameters",
+         "client/bottleneck link rates & delays, windows, buffers, traffic");
+  const Scenario s = paper_base();
+
+  print_table(
+      std::cout, {"parameter", "value"},
+      {
+          {"client link bandwidth (mu_c)", fmt(s.client_bw_bps / 1e6, 0) + " Mbps"},
+          {"client link delay (tau_c)", fmt(s.client_delay * 1e3, 0) + " ms"},
+          {"bottleneck link bandwidth (mu_s)", fmt(s.bottleneck_bw_bps / 1e6, 0) + " Mbps"},
+          {"bottleneck link delay (tau_s)", fmt(s.bottleneck_delay * 1e3, 0) + " ms"},
+          {"TCP max advertised window", fmt(s.advertised_window, 0) + " packets"},
+          {"gateway buffer size (B)", std::to_string(s.gateway_buffer) + " packets"},
+          {"packet size", std::to_string(s.payload_bytes) + " bytes"},
+          {"avg packet intergeneration time", fmt(s.mean_interarrival, 2) + " s"},
+          {"total test time", fmt(s.duration, 0) + " s"},
+          {"TCP Vegas alpha", fmt(s.vegas.alpha, 0)},
+          {"TCP Vegas beta", fmt(s.vegas.beta, 0)},
+          {"TCP Vegas gamma", fmt(s.vegas.gamma, 0)},
+          {"RED min threshold", fmt(s.red_min_th, 0) + " packets"},
+          {"RED max threshold", fmt(s.red_max_th, 0) + " packets"},
+      });
+
+  std::cout << "\nDerived:\n";
+  print_table(
+      std::cout, {"quantity", "value"},
+      {
+          {"data packet wire size", std::to_string(s.wire_bytes()) + " bytes"},
+          {"round-trip propagation delay", fmt(s.rtt_prop() * 1e3, 0) + " ms"},
+          {"bottleneck capacity", fmt(s.bottleneck_pps(), 1) + " pkt/s"},
+          {"per-client offered load", fmt(1.0 / s.mean_interarrival, 0) + " pkt/s"},
+          {"saturation client count", fmt(s.saturation_clients(), 2)},
+      });
+
+  verdict(s.saturation_clients() > 38.0 && s.saturation_clients() < 39.0,
+          "saturation falls between 38 and 39 clients (the paper's "
+          "stabilization crossover, Figs 7-8)");
+  return 0;
+}

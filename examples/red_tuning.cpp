@@ -1,0 +1,51 @@
+// RED tuning walkthrough: how a gateway operator would use this library
+// to pick queue parameters. Sweeps RED thresholds under the paper's
+// workload and prints the throughput/burstiness/loss trade-off against
+// the plain FIFO baseline.
+#include <iostream>
+
+#include "src/core/experiment.hpp"
+#include "src/core/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace burst;
+
+  Scenario base = Scenario::paper_default();
+  base.num_clients = argc > 1 ? std::atoi(argv[1]) : 45;
+  base.transport = Transport::kReno;
+  base.duration = 30.0;
+
+  std::cout << "RED tuning at N=" << base.num_clients
+            << " Reno clients (B=" << base.gateway_buffer << "):\n\n";
+
+  std::vector<std::vector<std::string>> rows;
+  const auto fifo = run_experiment(base);
+  rows.push_back({"FIFO", "-", fmt(fifo.cov, 4), std::to_string(fifo.delivered),
+                  fmt(fifo.loss_pct, 2), std::to_string(fifo.timeouts)});
+
+  struct Cfg {
+    double min_th, max_th, max_p;
+  };
+  for (const auto& c : {Cfg{5, 15, 0.10}, Cfg{10, 40, 0.10}, Cfg{10, 40, 0.02},
+                        Cfg{20, 45, 0.10}, Cfg{40, 50, 0.10}}) {
+    Scenario sc = base;
+    sc.gateway = GatewayQueue::kRed;
+    sc.red_min_th = c.min_th;
+    sc.red_max_th = c.max_th;
+    sc.red_max_p = c.max_p;
+    const auto r = run_experiment(sc);
+    rows.push_back({"RED " + fmt(c.min_th, 0) + "/" + fmt(c.max_th, 0),
+                    fmt(c.max_p, 2), fmt(r.cov, 4), std::to_string(r.delivered),
+                    fmt(r.loss_pct, 2), std::to_string(r.timeouts)});
+  }
+  print_table(std::cout,
+              {"gateway", "max_p", "cov", "delivered", "loss%", "timeouts"},
+              rows);
+
+  std::cout << "\nWith this workload every RED setting that meaningfully\n"
+            << "shrinks the apparent buffer costs throughput and adds\n"
+            << "burstiness versus FIFO — the paper's Sec 3.2.3 conclusion.\n"
+            << "Only max_th pushed against the physical buffer approaches\n"
+            << "the FIFO baseline again.\n";
+  return 0;
+}

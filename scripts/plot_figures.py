@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Plot the paper's figures from bench CSV exports.
+
+Usage:
+    BURST_CSV_DIR=out mkdir -p out && ./build/bench/fig02_cov \
+        && ./build/bench/fig03_throughput && ./build/bench/fig04_loss \
+        && ./build/bench/fig13_timeout_dupack
+    python3 scripts/plot_figures.py out
+
+Each fig*.csv written by the benches is rendered to fig*.png. Requires
+matplotlib; everything else in the repository is dependency-free C++.
+"""
+import csv
+import pathlib
+import sys
+
+
+def plot_file(path: pathlib.Path, out: pathlib.Path) -> None:
+    try:
+        import matplotlib
+    except ModuleNotFoundError:
+        raise SystemExit(
+            "matplotlib is required for plotting: pip install matplotlib")
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    with path.open() as f:
+        rows = list(csv.reader(f))
+    header, data = rows[0], rows[1:]
+    xs = [float(r[0]) for r in data]
+    fig, ax = plt.subplots(figsize=(7, 4.5))
+    for col in range(1, len(header)):
+        ax.plot(xs, [float(r[col]) for r in data], marker="o", ms=3,
+                label=header[col])
+    ax.set_xlabel("number of clients")
+    ax.set_ylabel(path.stem.replace("_", " "))
+    ax.legend(fontsize=8)
+    ax.grid(True, alpha=0.3)
+    fig.tight_layout()
+    fig.savefig(out)
+    print(f"wrote {out}")
+
+
+def main() -> int:
+    directory = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".")
+    csvs = sorted(directory.glob("*.csv"))
+    if not csvs:
+        print(f"no CSV files in {directory}; run the benches with "
+              "BURST_CSV_DIR set first", file=sys.stderr)
+        return 1
+    for path in csvs:
+        plot_file(path, path.with_suffix(".png"))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,20 @@
+#include "src/app/bulk_source.hpp"
+
+namespace burst {
+
+namespace {
+// "Greedy" stands in for an unbounded transfer; large enough that no run
+// can drain it, small enough to avoid sequence-arithmetic overflow.
+constexpr std::int64_t kGreedyPackets = 1'000'000'000;
+}  // namespace
+
+BulkSource::BulkSource(Simulator& sim, Agent& agent, std::int64_t packets)
+    : sim_(sim), agent_(agent),
+      packets_(packets <= 0 ? kGreedyPackets : packets) {}
+
+void BulkSource::start() {
+  generated_ = static_cast<std::uint64_t>(packets_);
+  agent_.app_send(static_cast<int>(packets_));
+}
+
+}  // namespace burst

@@ -1,0 +1,27 @@
+// Bulk-transfer source: submits a fixed number of packets at start (a file
+// transfer) or an effectively infinite backlog (a greedy flow). Used by
+// the Earth-System-Grid-style example and fairness experiments.
+#pragma once
+
+#include "src/app/traffic_generator.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace burst {
+
+class BulkSource : public TrafficGenerator {
+ public:
+  /// @p packets <= 0 means "greedy": keep the transport saturated.
+  BulkSource(Simulator& sim, Agent& agent, std::int64_t packets);
+
+  void start() override;
+  void stop() override {}
+  std::uint64_t generated() const override { return generated_; }
+
+ private:
+  Simulator& sim_;
+  Agent& agent_;
+  std::int64_t packets_;
+  std::uint64_t generated_ = 0;
+};
+
+}  // namespace burst

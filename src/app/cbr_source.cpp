@@ -1,0 +1,30 @@
+#include "src/app/cbr_source.hpp"
+
+namespace burst {
+
+CbrSource::CbrSource(Simulator& sim, Agent& agent, double interval)
+    : sim_(sim), agent_(agent), interval_(interval) {}
+
+void CbrSource::start() {
+  running_ = true;
+  schedule_next();
+}
+
+void CbrSource::stop() {
+  running_ = false;
+  if (next_event_ != kInvalidEventId) {
+    sim_.cancel(next_event_);
+    next_event_ = kInvalidEventId;
+  }
+}
+
+void CbrSource::schedule_next() {
+  next_event_ = sim_.schedule(interval_, [this] {
+    if (!running_) return;
+    ++generated_;
+    agent_.app_send(1);
+    schedule_next();
+  });
+}
+
+}  // namespace burst

@@ -1,0 +1,30 @@
+// Constant-bit-rate source: one packet every fixed interval. A degenerate
+// (zero-variance) arrival process, useful in tests and as a smoothness
+// extreme in the characterization examples.
+#pragma once
+
+#include "src/app/traffic_generator.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace burst {
+
+class CbrSource : public TrafficGenerator {
+ public:
+  CbrSource(Simulator& sim, Agent& agent, double interval);
+
+  void start() override;
+  void stop() override;
+  std::uint64_t generated() const override { return generated_; }
+
+ private:
+  void schedule_next();
+
+  Simulator& sim_;
+  Agent& agent_;
+  double interval_;
+  bool running_ = false;
+  EventId next_event_ = kInvalidEventId;
+  std::uint64_t generated_ = 0;
+};
+
+}  // namespace burst

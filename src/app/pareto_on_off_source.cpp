@@ -1,0 +1,42 @@
+#include "src/app/pareto_on_off_source.hpp"
+
+namespace burst {
+
+ParetoOnOffSource::ParetoOnOffSource(Simulator& sim, Agent& agent,
+                                     ParetoOnOffConfig cfg, Random rng)
+    : sim_(sim), agent_(agent), cfg_(cfg), rng_(rng) {}
+
+void ParetoOnOffSource::start() {
+  running_ = true;
+  begin_on_period();
+}
+
+void ParetoOnOffSource::stop() {
+  running_ = false;
+  if (next_event_ != kInvalidEventId) {
+    sim_.cancel(next_event_);
+    next_event_ = kInvalidEventId;
+  }
+}
+
+void ParetoOnOffSource::begin_on_period() {
+  on_ = true;
+  on_ends_ = sim_.now() + rng_.pareto(cfg_.shape, cfg_.mean_on);
+  tick();
+}
+
+void ParetoOnOffSource::tick() {
+  if (!running_) return;
+  if (on_ && sim_.now() >= on_ends_) {
+    on_ = false;
+    const Time off = rng_.pareto(cfg_.shape, cfg_.mean_off);
+    next_event_ = sim_.schedule(off, [this] { begin_on_period(); });
+    return;
+  }
+  ++generated_;
+  agent_.app_send(1);
+  next_event_ =
+      sim_.schedule(1.0 / cfg_.on_rate_pps, [this] { tick(); });
+}
+
+}  // namespace burst

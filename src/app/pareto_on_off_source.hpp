@@ -1,0 +1,47 @@
+// Pareto on/off source: heavy-tailed burst and idle durations.
+//
+// The self-similarity literature the paper responds to ([14],[19]) shows
+// that aggregating many such sources yields long-range-dependent traffic.
+// We include it so the ablation benches can contrast "burstiness from
+// heavy tails" (this source) with "burstiness from TCP modulation of
+// smooth sources" (PoissonSource + TCP), which is the paper's point.
+#pragma once
+
+#include "src/app/traffic_generator.hpp"
+#include "src/sim/random.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace burst {
+
+struct ParetoOnOffConfig {
+  double shape = 1.5;           // alpha in (1,2): infinite variance
+  double mean_on = 0.5;         // seconds
+  double mean_off = 0.5;        // seconds
+  double on_rate_pps = 20.0;    // packet rate during bursts
+};
+
+class ParetoOnOffSource : public TrafficGenerator {
+ public:
+  ParetoOnOffSource(Simulator& sim, Agent& agent, ParetoOnOffConfig cfg,
+                    Random rng);
+
+  void start() override;
+  void stop() override;
+  std::uint64_t generated() const override { return generated_; }
+
+ private:
+  void begin_on_period();
+  void tick();
+
+  Simulator& sim_;
+  Agent& agent_;
+  ParetoOnOffConfig cfg_;
+  Random rng_;
+  bool running_ = false;
+  bool on_ = false;
+  Time on_ends_ = 0.0;
+  EventId next_event_ = kInvalidEventId;
+  std::uint64_t generated_ = 0;
+};
+
+}  // namespace burst

@@ -1,0 +1,31 @@
+#include "src/app/poisson_source.hpp"
+
+namespace burst {
+
+PoissonSource::PoissonSource(Simulator& sim, Agent& agent,
+                             double mean_interarrival, Random rng)
+    : sim_(sim), agent_(agent), mean_(mean_interarrival), rng_(rng) {}
+
+void PoissonSource::start() {
+  running_ = true;
+  schedule_next();
+}
+
+void PoissonSource::stop() {
+  running_ = false;
+  if (next_event_ != kInvalidEventId) {
+    sim_.cancel(next_event_);
+    next_event_ = kInvalidEventId;
+  }
+}
+
+void PoissonSource::schedule_next() {
+  next_event_ = sim_.schedule(rng_.exponential(mean_), [this] {
+    if (!running_) return;
+    ++generated_;
+    agent_.app_send(1);
+    schedule_next();
+  });
+}
+
+}  // namespace burst

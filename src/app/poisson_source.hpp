@@ -1,0 +1,35 @@
+// Poisson packet source: single packets with exponentially distributed
+// inter-generation times (Table 1: mean 0.1 s). This is the paper's
+// application workload; its aggregate is provably smooth, so any residual
+// burstiness at the gateway is the transport's doing.
+#pragma once
+
+#include "src/app/traffic_generator.hpp"
+#include "src/sim/random.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace burst {
+
+class PoissonSource : public TrafficGenerator {
+ public:
+  /// @p mean_interarrival is 1/lambda in seconds.
+  PoissonSource(Simulator& sim, Agent& agent, double mean_interarrival,
+                Random rng);
+
+  void start() override;
+  void stop() override;
+  std::uint64_t generated() const override { return generated_; }
+
+ private:
+  void schedule_next();
+
+  Simulator& sim_;
+  Agent& agent_;
+  double mean_;
+  Random rng_;
+  bool running_ = false;
+  EventId next_event_ = kInvalidEventId;
+  std::uint64_t generated_ = 0;
+};
+
+}  // namespace burst

@@ -1,0 +1,59 @@
+#include "src/app/trace_source.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+namespace burst {
+
+ArrivalTraceRecorder::ArrivalTraceRecorder(Queue& queue) {
+  queue.taps().add_arrival_listener([this](const Packet& p, Time now) {
+    if (p.type == PacketType::kData) times_.push_back(now);
+  });
+}
+
+void ArrivalTraceRecorder::save(const std::string& path) const {
+  std::ofstream f(path);
+  for (Time t : times_) f << t << '\n';
+}
+
+std::vector<Time> ArrivalTraceRecorder::load(const std::string& path) {
+  std::vector<Time> out;
+  std::ifstream f(path);
+  double t = 0.0;
+  while (f >> t) out.push_back(t);
+  return out;
+}
+
+TraceSource::TraceSource(Simulator& sim, Agent& agent, std::vector<Time> times)
+    : sim_(sim), agent_(agent), times_(std::move(times)) {
+  std::sort(times_.begin(), times_.end());
+}
+
+void TraceSource::start() {
+  running_ = true;
+  next_ = 0;
+  schedule_next();
+}
+
+void TraceSource::stop() {
+  running_ = false;
+  if (next_event_ != kInvalidEventId) {
+    sim_.cancel(next_event_);
+    next_event_ = kInvalidEventId;
+  }
+}
+
+void TraceSource::schedule_next() {
+  // Skip any entries already in the past (e.g. replays started late).
+  while (next_ < times_.size() && times_[next_] < sim_.now()) ++next_;
+  if (next_ >= times_.size()) return;
+  next_event_ = sim_.schedule_at(times_[next_], [this] {
+    if (!running_) return;
+    ++generated_;
+    ++next_;
+    agent_.app_send(1);
+    schedule_next();
+  });
+}
+
+}  // namespace burst

@@ -1,0 +1,54 @@
+// Trace-driven traffic: record an arrival process from a live simulation
+// (or load one from disk) and replay it through any transport. This is
+// the workhorse of empirical traffic characterization — the paper's
+// methodology applied to measured rather than synthetic traffic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/app/traffic_generator.hpp"
+#include "src/net/queue.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace burst {
+
+/// Captures data-packet arrival times at a queue via its taps.
+class ArrivalTraceRecorder {
+ public:
+  explicit ArrivalTraceRecorder(Queue& queue);
+
+  const std::vector<Time>& times() const { return times_; }
+
+  /// Writes one arrival time per line.
+  void save(const std::string& path) const;
+  /// Reads a trace written by save() (or any one-number-per-line file).
+  static std::vector<Time> load(const std::string& path);
+
+ private:
+  std::vector<Time> times_;
+};
+
+/// Replays a list of absolute arrival times into an agent: at each time,
+/// one application packet is submitted.
+class TraceSource : public TrafficGenerator {
+ public:
+  TraceSource(Simulator& sim, Agent& agent, std::vector<Time> times);
+
+  void start() override;
+  void stop() override;
+  std::uint64_t generated() const override { return generated_; }
+
+ private:
+  void schedule_next();
+
+  Simulator& sim_;
+  Agent& agent_;
+  std::vector<Time> times_;
+  std::size_t next_ = 0;
+  bool running_ = false;
+  EventId next_event_ = kInvalidEventId;
+  std::uint64_t generated_ = 0;
+};
+
+}  // namespace burst

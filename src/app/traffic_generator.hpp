@@ -1,0 +1,27 @@
+// Application-level traffic generators. Each drives a transport agent's
+// app_send() according to a stochastic arrival process; the transport
+// below then modulates (or, for UDP, does not modulate) that process —
+// precisely the separation the paper's methodology depends on.
+#pragma once
+
+#include <cstdint>
+
+#include "src/transport/agent.hpp"
+
+namespace burst {
+
+class TrafficGenerator {
+ public:
+  virtual ~TrafficGenerator() = default;
+
+  /// Begins generating at the current simulation time.
+  virtual void start() = 0;
+
+  /// Stops generating (pending transport backlogs still drain).
+  virtual void stop() = 0;
+
+  /// Application packets generated so far.
+  virtual std::uint64_t generated() const = 0;
+};
+
+}  // namespace burst

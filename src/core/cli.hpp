@@ -1,0 +1,40 @@
+// Command-line front end for running one experiment: parses `--key=value`
+// options into a Scenario + ExperimentOptions. Lives in the library (not
+// the tool) so the parsing rules are unit-testable.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/experiment.hpp"
+#include "src/core/scenario.hpp"
+
+namespace burst {
+
+struct CliRequest {
+  Scenario scenario;
+  ExperimentOptions options;
+  std::string csv_path;  // if non-empty, write cwnd traces as CSV here
+  bool show_help = false;
+};
+
+struct CliError {
+  std::string message;
+};
+
+/// Parses argv (excluding argv[0]). Recognized options:
+///   --transport=udp|tahoe|reno|newreno|vegas|sack
+///   --queue=fifo|red|drr       --clients=N       --duration=SECONDS
+///   --seed=N                   --delack          --ecn
+///   --adaptive-red             --buffer=PKTS     --bottleneck-mbps=X
+///   --mean-interarrival=SECS   --trace=i,j,...   --csv=PATH
+///   --red-min=X --red-max=X --red-maxp=X         --help
+/// Returns the parsed request, or an error describing the bad option.
+std::optional<CliRequest> parse_cli(const std::vector<std::string>& args,
+                                    CliError* error);
+
+/// The --help text.
+std::string cli_usage();
+
+}  // namespace burst

@@ -1,0 +1,74 @@
+// The paper's Figure 1 topology: N clients, each on its own full-duplex
+// link to a common gateway, which connects to the server over a full-
+// duplex bottleneck link. All data-direction queueing of interest happens
+// in the gateway's bottleneck queue (DropTail or RED).
+//
+//   clients 0..N-1  --(mu_c, tau_c)-->  gateway  --(mu_s, tau_s)-->  server
+//
+// Node ids: client i = i, gateway = N, server = N+1. Flow id = client idx.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/app/poisson_source.hpp"
+#include "src/core/scenario.hpp"
+#include "src/net/node.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/transport/tcp_sender.hpp"
+#include "src/transport/tcp_sink.hpp"
+#include "src/transport/udp.hpp"
+
+namespace burst {
+
+class Dumbbell {
+ public:
+  Dumbbell(Simulator& sim, const Scenario& scenario);
+
+  /// Starts every client's Poisson source.
+  void start_sources();
+
+  /// The gateway->server queue under study (tap this for c.o.v.).
+  Queue& bottleneck_queue() { return bottleneck_->queue(); }
+  const SimplexLink& bottleneck_link() const { return *bottleneck_; }
+
+  int num_clients() const { return scenario_.num_clients; }
+
+  /// Sender agent of client @p i; null-safe typed accessors below.
+  Agent& sender(int i) { return *senders_.at(static_cast<std::size_t>(i)); }
+  /// TCP sender of client @p i, or nullptr when transport is UDP.
+  TcpSender* tcp_sender(int i);
+  /// TCP sink of client @p i's flow, or nullptr when transport is UDP.
+  TcpSink* tcp_sink(int i);
+  UdpSink* udp_sink(int i);
+  PoissonSource& source(int i) {
+    return *sources_.at(static_cast<std::size_t>(i));
+  }
+
+  Node& gateway() { return *nodes_.at(static_cast<std::size_t>(num_clients())); }
+  Node& server() { return *nodes_.at(static_cast<std::size_t>(num_clients()) + 1); }
+  Node& client(int i) { return *nodes_.at(static_cast<std::size_t>(i)); }
+
+  /// Application packets generated across all clients.
+  std::uint64_t total_generated() const;
+  /// Unique packets delivered in order to the server across all flows.
+  std::uint64_t total_delivered() const;
+  /// Per-flow delivered counts (fairness analysis).
+  std::vector<double> per_flow_delivered() const;
+  /// One-way data-path delay pooled across all sinks.
+  RunningStats pooled_delay() const;
+  /// Sum of routing errors across all nodes (must stay 0; tests assert).
+  std::uint64_t routing_errors() const;
+
+ private:
+  Simulator& sim_;
+  Scenario scenario_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<SimplexLink>> links_;
+  SimplexLink* bottleneck_ = nullptr;
+  std::vector<std::unique_ptr<Agent>> senders_;
+  std::vector<std::unique_ptr<Agent>> sinks_;
+  std::vector<std::unique_ptr<PoissonSource>> sources_;
+};
+
+}  // namespace burst

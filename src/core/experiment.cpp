@@ -1,0 +1,92 @@
+#include "src/core/experiment.hpp"
+
+#include <string>
+
+#include "src/core/dumbbell.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/stats/binned_counter.hpp"
+#include "src/stats/fairness.hpp"
+
+namespace burst {
+
+ExperimentResult run_experiment(const Scenario& scenario,
+                                const ExperimentOptions& options) {
+  Simulator sim(scenario.seed);
+  Dumbbell net(sim, scenario);
+
+  // Tap data-packet arrivals at the bottleneck queue into RTT-wide bins.
+  BinnedCounter arrivals(scenario.rtt_prop(), scenario.warmup);
+  net.bottleneck_queue().taps().add_arrival_listener([&](const Packet& p, Time) {
+    if (p.type == PacketType::kData) arrivals.record(sim.now());
+  });
+
+  // Congestion-window tracing.
+  ExperimentResult result;
+  result.scenario = scenario;
+  result.cwnd_traces.reserve(options.trace_clients.size());
+  for (int c : options.trace_clients) {
+    result.cwnd_traces.emplace_back("client " + std::to_string(c + 1));
+  }
+  std::size_t ti = 0;
+  for (int c : options.trace_clients) {
+    if (TcpSender* s = net.tcp_sender(c)) {
+      s->set_cwnd_trace(&result.cwnd_traces[ti]);
+      if (options.cwnd_sample_period > 0.0) {
+        // Periodic samples in addition to change-driven ones, so plots have
+        // a regular grid like the paper's 0.1 s x-axis.
+        struct Sampler {
+          static void arm(Simulator& sim, TcpSender* s, TraceSeries* t,
+                          Time period, Time until) {
+            if (sim.now() + period > until) return;
+            sim.schedule(period, [&sim, s, t, period, until] {
+              t->record(sim.now(), s->cwnd());
+              arm(sim, s, t, period, until);
+            });
+          }
+        };
+        Sampler::arm(sim, s, &result.cwnd_traces[ti], options.cwnd_sample_period,
+                     scenario.duration);
+      }
+    }
+    ++ti;
+  }
+
+  net.start_sources();
+  sim.run(scenario.duration);
+
+  // --- Collect ----------------------------------------------------------
+  const RunningStats bin_stats = arrivals.stats_until(scenario.duration);
+  result.cov = bin_stats.cov();
+  result.mean_per_bin = bin_stats.mean();
+  result.poisson_cov = poisson_aggregate_cov(
+      scenario.num_clients, 1.0 / scenario.mean_interarrival,
+      scenario.rtt_prop());
+
+  result.app_generated = net.total_generated();
+  result.delivered = net.total_delivered();
+  const QueueStats& qs = net.bottleneck_queue().stats();
+  result.gw_arrivals = qs.arrivals;
+  result.gw_drops = qs.drops;
+  result.loss_pct = 100.0 * qs.loss_fraction();
+
+  for (int i = 0; i < net.num_clients(); ++i) {
+    if (const TcpSender* s = net.tcp_sender(i)) {
+      const TcpSenderStats& st = s->stats();
+      result.timeouts += st.timeouts;
+      result.fast_retransmits += st.fast_retransmits;
+      result.dupacks += st.dupacks;
+      result.retransmits += st.retransmits;
+      result.data_pkts_sent += st.data_pkts_sent;
+    }
+  }
+  if (result.dupacks > 0) {
+    result.timeout_dupack_ratio = static_cast<double>(result.timeouts) /
+                                  static_cast<double>(result.dupacks);
+  }
+  result.fairness = jain_fairness(net.per_flow_delivered());
+  result.delay = net.pooled_delay();
+  result.routing_errors = net.routing_errors();
+  return result;
+}
+
+}  // namespace burst

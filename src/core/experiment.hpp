@@ -1,0 +1,65 @@
+// Runs one scenario end to end and gathers every metric the paper reports:
+// c.o.v. of per-RTT gateway arrivals (Fig 2), delivered packets (Fig 3),
+// loss percentage (Fig 4), congestion-window traces (Figs 5-12) and
+// timeout / duplicate-ACK counters (Fig 13), plus fairness (Sec 3.2.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/scenario.hpp"
+#include "src/sim/trace.hpp"
+#include "src/stats/running_stats.hpp"
+
+namespace burst {
+
+struct ExperimentOptions {
+  /// Client indices whose congestion windows should be traced.
+  std::vector<int> trace_clients;
+  /// Sampling period for additional periodic cwnd samples (0 = only on
+  /// change). The figures sample in units of 0.1 s like the paper's x-axis.
+  Time cwnd_sample_period = 0.0;
+};
+
+struct ExperimentResult {
+  Scenario scenario;
+
+  // Burstiness (Fig 2).
+  double cov = 0.0;           // measured c.o.v. of per-RTT gateway arrivals
+  double poisson_cov = 0.0;   // analytic c.o.v. of the aggregate Poisson
+  double mean_per_bin = 0.0;  // mean arrivals per RTT bin
+
+  // Volume (Figs 3, 4).
+  std::uint64_t app_generated = 0;
+  std::uint64_t delivered = 0;      // unique in-order packets at the server
+  std::uint64_t gw_arrivals = 0;    // offered to the bottleneck queue
+  std::uint64_t gw_drops = 0;
+  double loss_pct = 0.0;            // 100 * drops / arrivals
+
+  // Loss-recovery behavior (Fig 13).
+  std::uint64_t timeouts = 0;
+  std::uint64_t fast_retransmits = 0;
+  std::uint64_t dupacks = 0;        // duplicate ACKs received by senders
+  std::uint64_t retransmits = 0;
+  std::uint64_t data_pkts_sent = 0;
+  /// The paper's Fig 13 metric. 0 when no duplicate ACKs were seen.
+  double timeout_dupack_ratio = 0.0;
+
+  // Sharing (Sec 3.2.2).
+  double fairness = 1.0;            // Jain index over per-flow delivered
+
+  // One-way data-path delay across all flows (propagation + queueing).
+  RunningStats delay;
+
+  // Congestion-window traces for the requested clients (Figs 5-12).
+  std::vector<TraceSeries> cwnd_traces;
+
+  /// Sanity: must be zero in a correctly wired run.
+  std::uint64_t routing_errors = 0;
+};
+
+/// Builds the dumbbell, runs for scenario.duration and collects metrics.
+ExperimentResult run_experiment(const Scenario& scenario,
+                                const ExperimentOptions& options = {});
+
+}  // namespace burst

@@ -1,0 +1,86 @@
+#include "src/core/scenario.hpp"
+
+#include <sstream>
+
+#include "src/net/packet.hpp"
+
+namespace burst {
+
+std::string to_string(Transport t) {
+  switch (t) {
+    case Transport::kUdp: return "UDP";
+    case Transport::kTahoe: return "Tahoe";
+    case Transport::kReno: return "Reno";
+    case Transport::kNewReno: return "NewReno";
+    case Transport::kVegas: return "Vegas";
+    case Transport::kSack: return "Sack";
+  }
+  return "?";
+}
+
+std::string to_string(GatewayQueue q) {
+  switch (q) {
+    case GatewayQueue::kDropTail: return "FIFO";
+    case GatewayQueue::kRed: return "RED";
+    case GatewayQueue::kDrr: return "DRR";
+  }
+  return "?";
+}
+
+int Scenario::wire_bytes() const { return payload_bytes + kHeaderBytes; }
+
+double Scenario::bottleneck_pps() const {
+  return bottleneck_bw_bps / (8.0 * wire_bytes());
+}
+
+double Scenario::offered_pps() const {
+  return static_cast<double>(num_clients) / mean_interarrival;
+}
+
+double Scenario::saturation_clients() const {
+  return bottleneck_pps() * mean_interarrival;
+}
+
+Time Scenario::client_delay_for(int i) const {
+  if (client_delay_spread <= 0.0 || num_clients < 2) return client_delay;
+  const double position =
+      2.0 * static_cast<double>(i) / static_cast<double>(num_clients - 1) -
+      1.0;  // -1 .. +1 across the client population
+  return client_delay * (1.0 + client_delay_spread * position);
+}
+
+RedConfig Scenario::red_config() const {
+  RedConfig cfg;
+  cfg.min_th = red_min_th;
+  cfg.max_th = red_max_th;
+  cfg.max_p = red_max_p;
+  cfg.weight = red_weight;
+  cfg.capacity = gateway_buffer;
+  cfg.mean_pkt_tx_time = transmission_time(wire_bytes(), bottleneck_bw_bps);
+  cfg.ecn = ecn;
+  cfg.adaptive = adaptive_red;
+  return cfg;
+}
+
+DrrConfig Scenario::drr_config() const {
+  DrrConfig cfg;
+  cfg.capacity = gateway_buffer;
+  cfg.quantum_bytes = wire_bytes();
+  return cfg;
+}
+
+std::string Scenario::label() const {
+  std::ostringstream os;
+  os << to_string(transport);
+  if (delayed_ack) os << "/DelAck";
+  if (gateway == GatewayQueue::kRed) {
+    os << (adaptive_red ? "/ARED" : "/RED");
+    if (ecn) os << "+ECN";
+  } else if (gateway == GatewayQueue::kDrr) {
+    os << "/DRR";
+  }
+  os << " N=" << num_clients;
+  return os.str();
+}
+
+}  // namespace burst

@@ -1,0 +1,79 @@
+#include "src/core/sweep.hpp"
+
+#include <atomic>
+#include <thread>
+
+namespace burst {
+
+std::vector<SweepConfig> paper_protocol_set(bool include_udp) {
+  std::vector<SweepConfig> configs;
+  if (include_udp) {
+    configs.push_back({"UDP", [](Scenario& s) { s.transport = Transport::kUdp; }});
+  }
+  configs.push_back({"Reno", [](Scenario& s) { s.transport = Transport::kReno; }});
+  configs.push_back({"Reno/RED", [](Scenario& s) {
+                       s.transport = Transport::kReno;
+                       s.gateway = GatewayQueue::kRed;
+                     }});
+  configs.push_back({"Vegas", [](Scenario& s) { s.transport = Transport::kVegas; }});
+  configs.push_back({"Vegas/RED", [](Scenario& s) {
+                       s.transport = Transport::kVegas;
+                       s.gateway = GatewayQueue::kRed;
+                     }});
+  configs.push_back({"Reno/DelayAck", [](Scenario& s) {
+                       s.transport = Transport::kReno;
+                       s.delayed_ack = true;
+                     }});
+  return configs;
+}
+
+std::vector<SweepSeries> sweep_clients(
+    const Scenario& base, const std::vector<int>& client_counts,
+    const std::vector<SweepConfig>& configs) {
+  // Materialize the full task list, then run it on a small thread pool.
+  struct Task {
+    std::size_t series;
+    std::size_t point;
+    Scenario scenario;
+  };
+  std::vector<SweepSeries> out(configs.size());
+  std::vector<Task> tasks;
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    out[c].name = configs[c].name;
+    out[c].points.resize(client_counts.size());
+    for (std::size_t p = 0; p < client_counts.size(); ++p) {
+      Scenario sc = base;
+      sc.num_clients = client_counts[p];
+      configs[c].apply(sc);
+      // Decorrelate seeds across points while keeping determinism.
+      sc.seed = base.seed + 1000003ULL * c + 17ULL * p;
+      out[c].points[p].num_clients = client_counts[p];
+      tasks.push_back(Task{c, p, sc});
+    }
+  }
+
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= tasks.size()) return;
+      const Task& t = tasks[i];
+      out[t.series].points[t.point].result = run_experiment(t.scenario);
+    }
+  };
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t n_threads = std::min<std::size_t>(hw, tasks.size());
+  std::vector<std::thread> pool;
+  pool.reserve(n_threads);
+  for (std::size_t i = 0; i < n_threads; ++i) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+  return out;
+}
+
+std::vector<int> range(int lo, int hi, int step) {
+  std::vector<int> out;
+  for (int v = lo; v <= hi; v += step) out.push_back(v);
+  return out;
+}
+
+}  // namespace burst

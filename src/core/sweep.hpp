@@ -1,0 +1,44 @@
+// Client-count sweeps over protocol/queue configurations: the engine
+// behind Figures 2, 3, 4 and 13, which all plot a metric against the
+// number of clients for each transport variant.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/experiment.hpp"
+#include "src/core/scenario.hpp"
+
+namespace burst {
+
+/// A named configuration: how to derive a scenario from the paper default.
+struct SweepConfig {
+  std::string name;
+  std::function<void(Scenario&)> apply;
+};
+
+/// The paper's Fig 2 protocol set, in plot order: UDP, Reno, Reno/RED,
+/// Vegas, Vegas/RED, Reno/DelayAck.
+std::vector<SweepConfig> paper_protocol_set(bool include_udp = true);
+
+struct SweepPoint {
+  int num_clients = 0;
+  ExperimentResult result;
+};
+
+struct SweepSeries {
+  std::string name;
+  std::vector<SweepPoint> points;
+};
+
+/// Runs @p base over every n in @p client_counts for every config. Runs
+/// are independent and executed in parallel across hardware threads.
+std::vector<SweepSeries> sweep_clients(const Scenario& base,
+                                       const std::vector<int>& client_counts,
+                                       const std::vector<SweepConfig>& configs);
+
+/// Convenience: inclusive integer range with stride.
+std::vector<int> range(int lo, int hi, int step = 1);
+
+}  // namespace burst

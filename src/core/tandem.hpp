@@ -1,0 +1,56 @@
+// Tandem ("parking-lot") topology: the multi-gateway extension of the
+// paper's Figure 1. All clients traverse two bottlenecks in series:
+//
+//   clients --(mu_c)--> gateway1 --(mu_s)--> gateway2 --(r*mu_s)--> server
+//
+// with the second hop narrowed by `second_hop_ratio` so both queues are
+// exercised. Used by the multihop ablation: how does TCP-modulated
+// traffic look after it has been shaped by an upstream bottleneck?
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/app/poisson_source.hpp"
+#include "src/core/scenario.hpp"
+#include "src/net/node.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/transport/tcp_sender.hpp"
+#include "src/transport/tcp_sink.hpp"
+#include "src/transport/udp.hpp"
+
+namespace burst {
+
+struct TandemConfig {
+  Scenario base;                 // client/bottleneck parameters, transport
+  double second_hop_ratio = 0.9; // second bottleneck = ratio * mu_s
+};
+
+class Tandem {
+ public:
+  Tandem(Simulator& sim, const TandemConfig& cfg);
+
+  void start_sources();
+
+  Queue& first_queue() { return hop1_->queue(); }
+  Queue& second_queue() { return hop2_->queue(); }
+
+  int num_clients() const { return cfg_.base.num_clients; }
+  Agent& sender(int i) { return *senders_.at(static_cast<std::size_t>(i)); }
+  TcpSender* tcp_sender(int i);
+  std::uint64_t total_delivered() const;
+  std::uint64_t routing_errors() const;
+
+ private:
+  Simulator& sim_;
+  TandemConfig cfg_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<SimplexLink>> links_;
+  SimplexLink* hop1_ = nullptr;
+  SimplexLink* hop2_ = nullptr;
+  std::vector<std::unique_ptr<Agent>> senders_;
+  std::vector<std::unique_ptr<Agent>> sinks_;
+  std::vector<std::unique_ptr<PoissonSource>> sources_;
+};
+
+}  // namespace burst

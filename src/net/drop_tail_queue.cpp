@@ -1,0 +1,22 @@
+#include "src/net/drop_tail_queue.hpp"
+
+namespace burst {
+
+bool DropTailQueue::do_enqueue(Packet& p, Time /*now*/) {
+  if (q_.size() >= capacity_) {
+    ++stats_.forced_drops;
+    return false;
+  }
+  q_.push_back(p);
+  return true;
+}
+
+std::optional<Packet> DropTailQueue::dequeue(Time /*now*/) {
+  if (q_.empty()) return std::nullopt;
+  Packet p = q_.front();
+  q_.pop_front();
+  count_departure();
+  return p;
+}
+
+}  // namespace burst

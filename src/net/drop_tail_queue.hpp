@@ -1,0 +1,28 @@
+// FIFO drop-tail queue: the paper's baseline gateway discipline.
+#pragma once
+
+#include <deque>
+
+#include "src/net/queue.hpp"
+
+namespace burst {
+
+class DropTailQueue : public Queue {
+ public:
+  /// @p capacity_packets is the hard buffer limit B (Table 1: 50 packets).
+  explicit DropTailQueue(std::size_t capacity_packets)
+      : capacity_(capacity_packets) {}
+
+  std::optional<Packet> dequeue(Time now) override;
+  std::size_t len() const override { return q_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+ protected:
+  bool do_enqueue(Packet& p, Time now) override;
+
+ private:
+  std::size_t capacity_;
+  std::deque<Packet> q_;
+};
+
+}  // namespace burst

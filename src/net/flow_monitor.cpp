@@ -1,0 +1,78 @@
+#include "src/net/flow_monitor.hpp"
+
+#include <algorithm>
+
+namespace burst {
+
+FlowMonitor::FlowMonitor(Queue& queue, Time event_gap)
+    : queue_(queue), event_gap_(event_gap) {
+  queue_.taps().add_arrival_listener(
+      [this](const Packet& p, Time now) { on_arrival(p, now); });
+  queue_.taps().add_drop_listener(
+      [this](const Packet& p, Time now) { on_drop(p, now); });
+}
+
+void FlowMonitor::on_arrival(const Packet& p, Time /*now*/) {
+  if (p.type != PacketType::kData) return;
+  ++flows_[p.flow].arrivals;
+  queue_at_arrival_.add(static_cast<double>(queue_.len()));
+}
+
+void FlowMonitor::on_drop(const Packet& p, Time now) {
+  if (p.type != PacketType::kData) return;
+  ++flows_[p.flow].drops;
+  if (last_drop_ >= 0.0 && now - last_drop_ > event_gap_) close_event();
+  last_drop_ = now;
+  if (std::find(open_event_flows_.begin(), open_event_flows_.end(), p.flow) ==
+      open_event_flows_.end()) {
+    open_event_flows_.push_back(p.flow);
+  }
+}
+
+void FlowMonitor::close_event() const {
+  if (!open_event_flows_.empty()) {
+    flows_hit_.push_back(static_cast<int>(open_event_flows_.size()));
+    open_event_flows_.clear();
+  }
+}
+
+std::size_t FlowMonitor::drop_events() const {
+  close_event();
+  return flows_hit_.size();
+}
+
+const std::vector<int>& FlowMonitor::flows_hit_per_event() const {
+  close_event();
+  return flows_hit_;
+}
+
+double FlowMonitor::mean_flows_hit() const {
+  close_event();
+  if (flows_hit_.empty()) return 0.0;
+  double sum = 0.0;
+  for (int f : flows_hit_) sum += f;
+  return sum / static_cast<double>(flows_hit_.size());
+}
+
+int FlowMonitor::max_flows_hit() const {
+  close_event();
+  int best = 0;
+  for (int f : flows_hit_) best = std::max(best, f);
+  return best;
+}
+
+double FlowMonitor::loss_fraction_spread(std::uint64_t min_arrivals) const {
+  double lo = 1.0, hi = 0.0;
+  int counted = 0;
+  for (const auto& [flow, c] : flows_) {
+    if (c.arrivals < min_arrivals) continue;
+    const double frac = static_cast<double>(c.drops) /
+                        static_cast<double>(c.arrivals);
+    lo = std::min(lo, frac);
+    hi = std::max(hi, frac);
+    ++counted;
+  }
+  return counted < 2 ? 0.0 : hi - lo;
+}
+
+}  // namespace burst

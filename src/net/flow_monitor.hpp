@@ -1,0 +1,71 @@
+// Per-flow gateway instrumentation, attached to a queue's taps:
+//
+//  * per-flow arrival and drop counts (loss fairness);
+//  * queue length observed at data-packet arrivals (by PASTA this equals
+//    the time-average queue length under Poisson arrivals, which lets the
+//    validation tests compare the simulator against M/D/1 theory);
+//  * drop-event clustering: consecutive drops separated by less than a
+//    gap threshold form one congestion event, and the number of distinct
+//    flows hit per event quantifies the loss synchronization the paper
+//    blames for Reno's aggregate burstiness (Sec 3.2.1, Fig 9).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/queue.hpp"
+#include "src/stats/running_stats.hpp"
+
+namespace burst {
+
+class FlowMonitor {
+ public:
+  struct FlowCounters {
+    std::uint64_t arrivals = 0;
+    std::uint64_t drops = 0;
+  };
+
+  /// Attaches to @p queue; @p event_gap is the silence that closes a
+  /// drop event (default: one bottleneck RTT's worth of drops cluster).
+  explicit FlowMonitor(Queue& queue, Time event_gap = 0.01);
+
+  const std::unordered_map<FlowId, FlowCounters>& flows() const {
+    return flows_;
+  }
+
+  /// Queue occupancy seen by arriving data packets (PASTA sampler).
+  const RunningStats& queue_at_arrival() const { return queue_at_arrival_; }
+
+  /// Number of distinct congestion (drop-burst) events observed.
+  std::size_t drop_events() const;
+
+  /// Distinct flows losing packets in each event, in event order.
+  const std::vector<int>& flows_hit_per_event() const;
+
+  /// Mean of flows_hit_per_event (0 when lossless).
+  double mean_flows_hit() const;
+  /// Max of flows_hit_per_event (0 when lossless).
+  int max_flows_hit() const;
+
+  /// Per-flow drop fraction spread: max loss fraction - min loss fraction
+  /// over flows with >= min_arrivals (loss fairness; 0 if < 2 such flows).
+  double loss_fraction_spread(std::uint64_t min_arrivals = 100) const;
+
+ private:
+  void on_arrival(const Packet& p, Time now);
+  void on_drop(const Packet& p, Time now);
+  void close_event() const;
+
+  Queue& queue_;
+  Time event_gap_;
+  std::unordered_map<FlowId, FlowCounters> flows_;
+  RunningStats queue_at_arrival_;
+
+  // Current (possibly open) drop event. Mutable: readers close it lazily.
+  mutable std::vector<int> flows_hit_;
+  mutable std::vector<FlowId> open_event_flows_;
+  Time last_drop_ = -1.0;
+};
+
+}  // namespace burst

@@ -1,0 +1,44 @@
+#include "src/net/link.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "src/sim/time.hpp"
+
+namespace burst {
+
+SimplexLink::SimplexLink(Simulator& sim, std::unique_ptr<Queue> queue,
+                         double bandwidth_bps, Time prop_delay)
+    : sim_(sim),
+      queue_(std::move(queue)),
+      bandwidth_bps_(bandwidth_bps),
+      prop_delay_(prop_delay) {
+  assert(queue_ && bandwidth_bps_ > 0.0 && prop_delay_ >= 0.0);
+}
+
+void SimplexLink::send(const Packet& p) {
+  queue_->enqueue(p, sim_.now());
+  try_transmit();
+}
+
+void SimplexLink::try_transmit() {
+  if (busy_) return;
+  auto next = queue_->dequeue(sim_.now());
+  if (!next) return;
+  busy_ = true;
+  const Packet pkt = *next;
+  const Time tx = transmission_time(pkt.size_bytes, bandwidth_bps_);
+  // Last bit leaves at now+tx; it arrives prop_delay later.
+  sim_.schedule(tx, [this, pkt] {
+    busy_ = false;
+    sim_.schedule(prop_delay_, [this, pkt] {
+      ++delivered_;
+      bytes_delivered_ += static_cast<std::uint64_t>(pkt.size_bytes);
+      assert(receiver_ && "SimplexLink has no receiver attached");
+      receiver_(pkt);
+    });
+    try_transmit();
+  });
+}
+
+}  // namespace burst

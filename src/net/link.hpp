@@ -1,0 +1,59 @@
+// A simplex point-to-point link: buffer queue + transmitter + propagation.
+//
+// Packets offered while the transmitter is busy wait in the queue (or are
+// dropped by its discipline). A full-duplex link is simply two simplex
+// links. Delivery order on a link is FIFO by construction.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "src/net/queue.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace burst {
+
+class SimplexLink {
+ public:
+  /// @p queue buffers packets awaiting transmission; @p bandwidth_bps and
+  /// @p prop_delay describe the wire.
+  SimplexLink(Simulator& sim, std::unique_ptr<Queue> queue,
+              double bandwidth_bps, Time prop_delay);
+
+  SimplexLink(const SimplexLink&) = delete;
+  SimplexLink& operator=(const SimplexLink&) = delete;
+
+  /// Sets the far-end packet handler. Must be called before send().
+  void set_receiver(std::function<void(const Packet&)> rx) {
+    receiver_ = std::move(rx);
+  }
+
+  /// Offers a packet for transmission (may be dropped by the queue).
+  void send(const Packet& p);
+
+  Queue& queue() { return *queue_; }
+  const Queue& queue() const { return *queue_; }
+  double bandwidth_bps() const { return bandwidth_bps_; }
+  Time prop_delay() const { return prop_delay_; }
+  bool busy() const { return busy_; }
+
+  /// Packets handed to the receiver so far.
+  std::uint64_t delivered() const { return delivered_; }
+  /// Payload-inclusive bytes delivered.
+  std::uint64_t bytes_delivered() const { return bytes_delivered_; }
+
+ private:
+  void try_transmit();
+
+  Simulator& sim_;
+  std::unique_ptr<Queue> queue_;
+  double bandwidth_bps_;
+  Time prop_delay_;
+  std::function<void(const Packet&)> receiver_;
+  bool busy_ = false;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t bytes_delivered_ = 0;
+};
+
+}  // namespace burst

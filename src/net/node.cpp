@@ -1,0 +1,40 @@
+#include "src/net/node.hpp"
+
+#include <cassert>
+
+namespace burst {
+
+void Node::add_route(NodeId dst, SimplexLink* link) {
+  assert(link != nullptr);
+  routes_[dst] = link;
+}
+
+void Node::attach(FlowId flow, PacketHandler* handler) {
+  assert(handler != nullptr);
+  handlers_[flow] = handler;
+}
+
+void Node::receive(const Packet& p) {
+  if (p.dst == id_) {
+    auto it = handlers_.find(p.flow);
+    if (it == handlers_.end()) {
+      ++routing_errors_;
+      return;
+    }
+    it->second->handle(p);
+    return;
+  }
+  send(p);  // transit traffic: forward
+}
+
+void Node::send(const Packet& p) {
+  auto it = routes_.find(p.dst);
+  if (it == routes_.end()) it = routes_.find(kDefaultRoute);
+  if (it == routes_.end()) {
+    ++routing_errors_;
+    return;
+  }
+  it->second->send(p);
+}
+
+}  // namespace burst

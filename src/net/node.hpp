@@ -1,0 +1,59 @@
+// Nodes: packet endpoints and forwarders with static routing.
+//
+// A node delivers packets addressed to it to the local agent registered
+// for the packet's flow, and forwards everything else along its static
+// route table (dest node -> outgoing link). The dumbbell topology of the
+// paper needs nothing fancier, and static routes keep runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/net/link.hpp"
+#include "src/net/packet.hpp"
+
+namespace burst {
+
+/// Anything that can consume packets delivered to a node (transport agents
+/// implement this).
+class PacketHandler {
+ public:
+  virtual ~PacketHandler() = default;
+  virtual void handle(const Packet& p) = 0;
+};
+
+class Node {
+ public:
+  explicit Node(NodeId id) : id_(id) {}
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+
+  /// Installs "to reach @p dst, transmit on @p link". A default route can
+  /// be installed with dst = kDefaultRoute.
+  void add_route(NodeId dst, SimplexLink* link);
+
+  /// Registers the local consumer for packets of @p flow addressed here.
+  void attach(FlowId flow, PacketHandler* handler);
+
+  /// Entry point for packets arriving from a link (or injected locally).
+  void receive(const Packet& p);
+
+  /// Entry point for locally generated packets: routes and transmits.
+  void send(const Packet& p);
+
+  /// Packets that had no route or no local handler (should stay zero in a
+  /// correctly wired topology; tests assert on it).
+  std::uint64_t routing_errors() const { return routing_errors_; }
+
+  static constexpr NodeId kDefaultRoute = -1;
+
+ private:
+  NodeId id_;
+  std::unordered_map<NodeId, SimplexLink*> routes_;
+  std::unordered_map<FlowId, PacketHandler*> handlers_;
+  std::uint64_t routing_errors_ = 0;
+};
+
+}  // namespace burst

@@ -1,0 +1,16 @@
+#include "src/net/packet.hpp"
+
+#include <sstream>
+
+namespace burst {
+
+std::string Packet::describe() const {
+  std::ostringstream os;
+  os << (type == PacketType::kData ? "DATA" : "ACK") << " uid=" << uid
+     << " flow=" << flow << " " << src << "->" << dst << " seq=" << seq
+     << " ack=" << ack << " size=" << size_bytes
+     << (retransmit ? " rexmt" : "");
+  return os.str();
+}
+
+}  // namespace burst

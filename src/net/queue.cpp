@@ -1,0 +1,17 @@
+#include "src/net/queue.hpp"
+
+namespace burst {
+
+bool Queue::enqueue(const Packet& p, Time now) {
+  ++stats_.arrivals;
+  taps_.notify_arrival(p, now);
+  Packet mutable_copy = p;  // disciplines may mark ECN before storing
+  const bool accepted = do_enqueue(mutable_copy, now);
+  if (!accepted) {
+    ++stats_.drops;
+    taps_.notify_drop(p, now);
+  }
+  return accepted;
+}
+
+}  // namespace burst

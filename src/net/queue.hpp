@@ -1,0 +1,91 @@
+// Queueing-discipline interface for gateway/link buffers, plus shared
+// bookkeeping (arrival/drop counters and observer taps used by the
+// burstiness experiments).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "src/net/packet.hpp"
+#include "src/sim/time.hpp"
+
+namespace burst {
+
+/// Counters every queue maintains; the loss-percentage figures read these.
+struct QueueStats {
+  std::uint64_t arrivals = 0;       // packets offered to the queue
+  std::uint64_t drops = 0;          // packets rejected (any reason)
+  std::uint64_t forced_drops = 0;   // rejected because the buffer was full
+  std::uint64_t early_drops = 0;    // rejected probabilistically (RED)
+  std::uint64_t departures = 0;     // packets handed to the transmitter
+
+  double loss_fraction() const {
+    return arrivals == 0 ? 0.0
+                         : static_cast<double>(drops) / static_cast<double>(arrivals);
+  }
+};
+
+/// Observers invoked on every arrival (before any drop decision) and every
+/// drop, with the arrival timestamp. Multiple listeners may be attached;
+/// the c.o.v. measurement and the FlowMonitor both tap the bottleneck.
+class QueueTaps {
+ public:
+  using Listener = std::function<void(const Packet&, Time)>;
+
+  void add_arrival_listener(Listener l) { arrival_.push_back(std::move(l)); }
+  void add_drop_listener(Listener l) { drop_.push_back(std::move(l)); }
+
+  void notify_arrival(const Packet& p, Time now) const {
+    for (const auto& l : arrival_) l(p, now);
+  }
+  void notify_drop(const Packet& p, Time now) const {
+    for (const auto& l : drop_) l(p, now);
+  }
+
+ private:
+  std::vector<Listener> arrival_;
+  std::vector<Listener> drop_;
+};
+
+class Queue {
+ public:
+  virtual ~Queue() = default;
+
+  /// Offers a packet. Returns true if accepted, false if dropped.
+  bool enqueue(const Packet& p, Time now);
+
+  /// Removes the head-of-line packet, or nullopt if empty.
+  virtual std::optional<Packet> dequeue(Time now) = 0;
+
+  /// Packets currently buffered.
+  virtual std::size_t len() const = 0;
+  bool queue_empty() const { return len() == 0; }
+
+  const QueueStats& stats() const { return stats_; }
+  QueueTaps& taps() { return taps_; }
+
+ protected:
+  /// Discipline-specific accept/reject decision. Implementations must
+  /// store the packet themselves when accepting, and may mutate it first
+  /// (ECN-capable gateways mark instead of dropping).
+  virtual bool do_enqueue(Packet& p, Time now) = 0;
+
+  void count_departure() { ++stats_.departures; }
+
+  /// Counts and reports the drop of an *already-buffered* packet, for
+  /// disciplines that displace stored packets (longest-queue drop).
+  void count_displaced_drop(const Packet& p, Time now) {
+    ++stats_.drops;
+    ++stats_.forced_drops;
+    taps_.notify_drop(p, now);
+  }
+
+  QueueStats stats_;
+
+ private:
+  QueueTaps taps_;
+};
+
+}  // namespace burst

@@ -1,0 +1,88 @@
+#include "src/net/red_queue.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace burst {
+
+void RedQueue::update_avg(Time now) {
+  if (idle_ && cfg_.mean_pkt_tx_time > 0.0) {
+    // Decay the average as if m packets had departed during the idle gap.
+    const double m = (now - idle_since_) / cfg_.mean_pkt_tx_time;
+    if (m > 0.0) avg_ *= std::pow(1.0 - cfg_.weight, m);
+  }
+  avg_ = (1.0 - cfg_.weight) * avg_ +
+         cfg_.weight * static_cast<double>(q_.size());
+  idle_ = false;
+}
+
+void RedQueue::maybe_adapt(Time now) {
+  if (!cfg_.adaptive || now - last_adapt_ < cfg_.adapt_interval) return;
+  last_adapt_ = now;
+  // Self-configuring RED: too empty -> drop less aggressively; pinned at
+  // or above max_th -> drop more aggressively.
+  if (avg_ < cfg_.min_th) {
+    max_p_ = std::max(cfg_.min_max_p, max_p_ / cfg_.adapt_factor);
+  } else if (avg_ > cfg_.max_th) {
+    max_p_ = std::min(cfg_.max_max_p, max_p_ * cfg_.adapt_factor);
+  }
+}
+
+bool RedQueue::early_drop() {
+  const double pb =
+      max_p_ * (avg_ - cfg_.min_th) / (cfg_.max_th - cfg_.min_th);
+  const double denom =
+      1.0 - static_cast<double>(std::max<std::int64_t>(count_, 0)) * pb;
+  const double pa = denom <= 0.0 ? 1.0 : std::min(1.0, pb / denom);
+  return rng_.bernoulli(pa);
+}
+
+bool RedQueue::do_enqueue(Packet& p, Time now) {
+  update_avg(now);
+  maybe_adapt(now);
+
+  if (q_.size() >= cfg_.capacity) {
+    ++stats_.forced_drops;
+    count_ = 0;
+    return false;
+  }
+  if (avg_ >= cfg_.max_th) {
+    // Above max_th RED sheds load unconditionally, even for ECN flows
+    // (marking cannot relieve a queue this persistent).
+    ++stats_.early_drops;
+    count_ = 0;
+    return false;
+  }
+  if (avg_ >= cfg_.min_th) {
+    ++count_;
+    if (early_drop()) {
+      if (cfg_.ecn && p.ecn_capable) {
+        p.ecn_marked = true;  // mark-instead-of-drop
+        ++marks_;
+        count_ = 0;
+      } else {
+        ++stats_.early_drops;
+        count_ = 0;
+        return false;
+      }
+    }
+  } else {
+    count_ = -1;
+  }
+  q_.push_back(p);
+  return true;
+}
+
+std::optional<Packet> RedQueue::dequeue(Time now) {
+  if (q_.empty()) return std::nullopt;
+  Packet p = q_.front();
+  q_.pop_front();
+  count_departure();
+  if (q_.empty()) {
+    idle_ = true;
+    idle_since_ = now;
+  }
+  return p;
+}
+
+}  // namespace burst

@@ -1,0 +1,49 @@
+#include "src/sim/random.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace burst {
+
+double Random::uniform() {
+  // 53-bit mantissa-exact uniform in [0, 1).
+  return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+}
+
+double Random::uniform(double lo, double hi) {
+  assert(lo <= hi);
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Random::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // Rejection-free modulo is fine here: span is tiny relative to 2^64, the
+  // bias is below 2^-50 and irrelevant for simulation workloads.
+  return lo + static_cast<std::int64_t>(engine_() % span);
+}
+
+double Random::exponential(double mean) {
+  assert(mean > 0.0);
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);  // avoid log(0)
+  return -mean * std::log(u);
+}
+
+double Random::pareto(double alpha, double mean) {
+  assert(alpha > 1.0 && mean > 0.0);
+  const double scale = mean * (alpha - 1.0) / alpha;  // x_m of the Pareto
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return scale / std::pow(u, 1.0 / alpha);
+}
+
+bool Random::bernoulli(double p_true) { return uniform() < p_true; }
+
+Random Random::fork() { return Random(engine_()); }
+
+}  // namespace burst

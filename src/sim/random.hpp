@@ -1,0 +1,45 @@
+// Seeded random-number generation for deterministic simulations.
+//
+// Every experiment takes an explicit 64-bit seed; the same seed always
+// produces the same packet trace. Distributions are implemented by hand on
+// top of a canonical uniform so results do not depend on the standard
+// library's unspecified distribution algorithms.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace burst {
+
+class Random {
+ public:
+  explicit Random(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Exponential with the given mean (mean = 1/rate). Used for Poisson
+  /// inter-arrival times.
+  double exponential(double mean);
+
+  /// Pareto with shape @p alpha and given mean; requires alpha > 1 so the
+  /// mean exists. Heavy-tailed for alpha < 2 (infinite variance).
+  double pareto(double alpha, double mean);
+
+  /// Fair coin / biased coin.
+  bool bernoulli(double p_true);
+
+  /// Forks an independent stream, derived deterministically from this one.
+  Random fork();
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace burst

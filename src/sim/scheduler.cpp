@@ -1,0 +1,41 @@
+#include "src/sim/scheduler.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace burst {
+
+EventId Scheduler::schedule_at(Time at, std::function<void()> fn) {
+  const EventId id = next_seq_++;
+  heap_.push(Item{at, id, std::move(fn)});
+  pending_.insert(id);
+  return id;
+}
+
+void Scheduler::cancel(EventId id) {
+  // Erasing from pending_ is the cancellation; the heap entry is skipped
+  // lazily when it reaches the top.
+  pending_.erase(id);
+}
+
+void Scheduler::drop_cancelled_head() {
+  while (!heap_.empty() && !pending_.contains(heap_.top().id)) {
+    heap_.pop();
+  }
+}
+
+Time Scheduler::next_time() {
+  drop_cancelled_head();
+  return heap_.empty() ? kTimeNever : heap_.top().at;
+}
+
+Scheduler::Ready Scheduler::take_next() {
+  drop_cancelled_head();
+  assert(!heap_.empty() && "take_next on empty scheduler");
+  Item item = heap_.top();  // copy out so callbacks may schedule freely
+  heap_.pop();
+  pending_.erase(item.id);
+  return Ready{item.at, std::move(item.fn)};
+}
+
+}  // namespace burst

@@ -1,0 +1,84 @@
+// Event scheduler: a binary heap of (time, sequence) ordered events.
+//
+// Two events scheduled for the same instant fire in the order they were
+// scheduled (FIFO tie-break), which keeps runs bit-for-bit deterministic.
+// Cancellation is lazy: cancelled ids are skipped when popped.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/sim/time.hpp"
+
+namespace burst {
+
+/// Opaque handle identifying a scheduled event; usable for cancellation.
+using EventId = std::uint64_t;
+
+/// Sentinel for "no event".
+inline constexpr EventId kInvalidEventId = 0;
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Schedules @p fn to run at absolute time @p at. Returns a handle that
+  /// can be passed to cancel().
+  EventId schedule_at(Time at, std::function<void()> fn);
+
+  /// Cancels a pending event. Cancelling an already-fired, already-
+  /// cancelled, or invalid id is a harmless no-op.
+  void cancel(EventId id);
+
+  /// True iff the given event is scheduled and not yet fired or cancelled.
+  bool pending(EventId id) const { return pending_.contains(id); }
+
+  /// True if no runnable (non-cancelled) events remain.
+  bool empty() const { return pending_.empty(); }
+
+  /// Number of runnable events currently pending.
+  std::size_t size() const { return pending_.size(); }
+
+  /// Time of the earliest runnable event, or kTimeNever if none.
+  Time next_time();
+
+  /// A popped event, ready to invoke. The caller advances its clock to
+  /// `at` *before* invoking `fn`, so callbacks observe the correct time.
+  struct Ready {
+    Time at;
+    std::function<void()> fn;
+  };
+
+  /// Pops the earliest runnable event without invoking it.
+  /// Precondition: !empty().
+  Ready take_next();
+
+  /// Total events ever scheduled (for diagnostics / benchmarks).
+  std::uint64_t scheduled_count() const { return next_seq_ - 1; }
+
+ private:
+  struct Item {
+    Time at;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;  // FIFO among equal-time events
+    }
+  };
+
+  void drop_cancelled_head();
+
+  std::priority_queue<Item, std::vector<Item>, Later> heap_;
+  std::unordered_set<EventId> pending_;
+  EventId next_seq_ = 1;
+};
+
+}  // namespace burst

@@ -1,0 +1,36 @@
+#include "src/sim/simulator.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace burst {
+
+EventId Simulator::schedule(Time delay, std::function<void()> fn) {
+  assert(delay >= 0.0 && "cannot schedule into the past");
+  return scheduler_.schedule_at(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::schedule_at(Time at, std::function<void()> fn) {
+  assert(at >= now_ && "cannot schedule into the past");
+  return scheduler_.schedule_at(at, std::move(fn));
+}
+
+void Simulator::run(Time until) {
+  stopped_ = false;
+  while (!stopped_ && !scheduler_.empty()) {
+    const Time next = scheduler_.next_time();
+    if (next > until) {
+      now_ = until;
+      return;
+    }
+    // Advance the clock before invoking, so the callback (and anything it
+    // schedules) observes the event's own timestamp as "now".
+    auto ready = scheduler_.take_next();
+    now_ = ready.at;
+    ready.fn();
+    ++events_run_;
+  }
+  if (until != kTimeNever && now_ < until) now_ = until;
+}
+
+}  // namespace burst

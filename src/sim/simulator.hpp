@@ -1,0 +1,60 @@
+// The simulation context: clock + scheduler + RNG.
+//
+// Components hold a reference to their Simulator; there is no global
+// state, so several simulations can run in one process (the sweep runner
+// relies on this).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "src/sim/random.hpp"
+#include "src/sim/scheduler.hpp"
+#include "src/sim/time.hpp"
+
+namespace burst {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time in seconds.
+  Time now() const { return now_; }
+
+  /// Schedules @p fn to run @p delay seconds from now (delay >= 0).
+  EventId schedule(Time delay, std::function<void()> fn);
+
+  /// Schedules @p fn at absolute time @p at (>= now()).
+  EventId schedule_at(Time at, std::function<void()> fn);
+
+  /// Cancels a pending event; no-op for fired/invalid ids.
+  void cancel(EventId id) { scheduler_.cancel(id); }
+
+  /// True iff @p id is scheduled and not yet fired or cancelled.
+  bool pending(EventId id) const { return scheduler_.pending(id); }
+
+  /// Runs events until the event queue drains, @p until is reached, or
+  /// stop() is called. The clock is left at the time of the last event run
+  /// (or @p until, if that is earlier than the next event).
+  void run(Time until = kTimeNever);
+
+  /// Requests that run() return after the current event completes.
+  void stop() { stopped_ = true; }
+
+  /// Number of events executed so far (for diagnostics / benchmarks).
+  std::uint64_t events_run() const { return events_run_; }
+
+  Random& rng() { return rng_; }
+  Scheduler& scheduler() { return scheduler_; }
+
+ private:
+  Scheduler scheduler_;
+  Random rng_;
+  Time now_ = 0.0;
+  bool stopped_ = false;
+  std::uint64_t events_run_ = 0;
+};
+
+}  // namespace burst

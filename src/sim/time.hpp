@@ -1,0 +1,28 @@
+// Simulation time types.
+//
+// Simulated time is a double in seconds, as in ns-2. All arithmetic on
+// simulated time happens through the helpers here so units stay explicit.
+#pragma once
+
+#include <limits>
+
+namespace burst {
+
+/// Simulated time, in seconds since the start of the simulation.
+using Time = double;
+
+/// A sentinel meaning "never" / "unscheduled".
+inline constexpr Time kTimeNever = std::numeric_limits<Time>::infinity();
+
+/// Converts milliseconds to simulated seconds.
+constexpr Time ms(double v) { return v * 1e-3; }
+
+/// Converts microseconds to simulated seconds.
+constexpr Time us(double v) { return v * 1e-6; }
+
+/// Serialization delay of @p bytes on a link of @p bits_per_sec.
+constexpr Time transmission_time(int bytes, double bits_per_sec) {
+  return static_cast<double>(bytes) * 8.0 / bits_per_sec;
+}
+
+}  // namespace burst

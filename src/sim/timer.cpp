@@ -1,0 +1,21 @@
+#include "src/sim/timer.hpp"
+
+namespace burst {
+
+void Timer::schedule(Time delay) {
+  cancel();
+  expiry_ = sim_.now() + delay;
+  id_ = sim_.schedule(delay, [this] {
+    id_ = kInvalidEventId;
+    on_fire_();
+  });
+}
+
+void Timer::cancel() {
+  if (id_ != kInvalidEventId) {
+    sim_.cancel(id_);
+    id_ = kInvalidEventId;
+  }
+}
+
+}  // namespace burst

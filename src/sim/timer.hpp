@@ -1,0 +1,47 @@
+// A restartable one-shot timer, the building block for TCP retransmit and
+// delayed-ACK timers.
+//
+// The owner must outlive the timer's Simulator events; Timer guarantees
+// that a cancelled or rescheduled timer never fires its old callback
+// (generation counting guards against stale events).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "src/sim/simulator.hpp"
+
+namespace burst {
+
+class Timer {
+ public:
+  /// @p on_fire is invoked each time the timer expires.
+  Timer(Simulator& sim, std::function<void()> on_fire)
+      : sim_(sim), on_fire_(std::move(on_fire)) {}
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+  ~Timer() { cancel(); }
+
+  /// (Re)schedules the timer @p delay seconds from now, replacing any
+  /// pending expiry.
+  void schedule(Time delay);
+
+  /// Stops the timer; a stopped timer does not fire.
+  void cancel();
+
+  /// True if an expiry is pending.
+  bool pending() const { return id_ != kInvalidEventId && sim_.pending(id_); }
+
+  /// Absolute expiry time, or kTimeNever if not pending.
+  Time expiry() const { return pending() ? expiry_ : kTimeNever; }
+
+ private:
+  Simulator& sim_;
+  std::function<void()> on_fire_;
+  EventId id_ = kInvalidEventId;
+  Time expiry_ = kTimeNever;
+};
+
+}  // namespace burst

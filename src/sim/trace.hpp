@@ -1,0 +1,38 @@
+// Lightweight tracing: named (time, value) streams that experiments can
+// sample (e.g. per-flow congestion windows) and later dump or analyze.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/sim/time.hpp"
+
+namespace burst {
+
+/// One sampled series, e.g. the congestion window of flow 7.
+class TraceSeries {
+ public:
+  explicit TraceSeries(std::string name) : name_(std::move(name)) {}
+
+  void record(Time t, double value) { points_.emplace_back(t, value); }
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::pair<Time, double>>& points() const {
+    return points_;
+  }
+  bool empty() const { return points_.empty(); }
+
+  /// Last value at or before @p t, or @p fallback if none.
+  double value_at(Time t, double fallback = 0.0) const;
+
+  /// Downsamples to at most @p max_points by keeping every k-th sample
+  /// (always keeps the final sample). Used when printing long cwnd traces.
+  std::vector<std::pair<Time, double>> downsample(std::size_t max_points) const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<Time, double>> points_;
+};
+
+}  // namespace burst

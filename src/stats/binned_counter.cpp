@@ -1,0 +1,26 @@
+#include "src/stats/binned_counter.hpp"
+
+#include <cmath>
+
+namespace burst {
+
+void BinnedCounter::record(Time t) {
+  if (t < start_) return;
+  const auto idx = static_cast<std::size_t>((t - start_) / bin_width_);
+  if (idx >= bins_.size()) bins_.resize(idx + 1, 0);
+  ++bins_[idx];
+}
+
+RunningStats BinnedCounter::stats_until(Time end) const {
+  RunningStats rs;
+  std::size_t total_bins = bins_.size();
+  if (end > start_) {
+    total_bins = static_cast<std::size_t>(std::floor((end - start_) / bin_width_));
+  }
+  for (std::size_t i = 0; i < total_bins; ++i) {
+    rs.add(i < bins_.size() ? static_cast<double>(bins_[i]) : 0.0);
+  }
+  return rs;
+}
+
+}  // namespace burst

@@ -1,0 +1,39 @@
+// Counts events (gateway packet arrivals) in consecutive fixed-width time
+// bins. The paper bins arrivals by the round-trip propagation delay and
+// takes the c.o.v. of the per-bin counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/time.hpp"
+#include "src/stats/running_stats.hpp"
+
+namespace burst {
+
+class BinnedCounter {
+ public:
+  /// @p bin_width in seconds; events before @p start (warm-up) are ignored.
+  explicit BinnedCounter(Time bin_width, Time start = 0.0)
+      : bin_width_(bin_width), start_(start) {}
+
+  /// Records one event at time @p t. Times must be non-decreasing overall
+  /// (they come from a simulation clock).
+  void record(Time t);
+
+  /// Per-bin counts up to and including the last non-empty bin.
+  const std::vector<std::uint64_t>& bins() const { return bins_; }
+
+  /// Statistics over all bins in [start, end): trailing empty bins up to
+  /// @p end are included, since "no arrivals" is real data.
+  RunningStats stats_until(Time end) const;
+
+  Time bin_width() const { return bin_width_; }
+
+ private:
+  Time bin_width_;
+  Time start_;
+  std::vector<std::uint64_t> bins_;
+};
+
+}  // namespace burst

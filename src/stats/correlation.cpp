@@ -1,0 +1,63 @@
+#include "src/stats/correlation.hpp"
+
+#include <cmath>
+
+namespace burst {
+
+namespace {
+
+struct Moments {
+  double mean = 0.0;
+  double var = 0.0;  // population variance
+};
+
+Moments moments(const std::vector<double>& xs) {
+  Moments m;
+  if (xs.empty()) return m;
+  for (double x : xs) m.mean += x;
+  m.mean /= static_cast<double>(xs.size());
+  for (double x : xs) m.var += (x - m.mean) * (x - m.mean);
+  m.var /= static_cast<double>(xs.size());
+  return m;
+}
+
+}  // namespace
+
+double autocorrelation(const std::vector<double>& xs, int lag) {
+  if (lag < 0 || xs.size() < static_cast<std::size_t>(lag) + 2) return 0.0;
+  const Moments m = moments(xs);
+  if (m.var <= 0.0) return 0.0;
+  double acc = 0.0;
+  const std::size_t n = xs.size() - static_cast<std::size_t>(lag);
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += (xs[i] - m.mean) * (xs[i + static_cast<std::size_t>(lag)] - m.mean);
+  }
+  return acc / (static_cast<double>(xs.size()) * m.var);
+}
+
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) return 0.0;
+  const Moments mx = moments(xs);
+  const Moments my = moments(ys);
+  if (mx.var <= 0.0 || my.var <= 0.0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    acc += (xs[i] - mx.mean) * (ys[i] - my.mean);
+  }
+  return acc / (static_cast<double>(xs.size()) * std::sqrt(mx.var * my.var));
+}
+
+double mean_pairwise_correlation(
+    const std::vector<std::vector<double>>& series) {
+  double acc = 0.0;
+  int pairs = 0;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    for (std::size_t j = i + 1; j < series.size(); ++j) {
+      acc += pearson(series[i], series[j]);
+      ++pairs;
+    }
+  }
+  return pairs == 0 ? 0.0 : acc / pairs;
+}
+
+}  // namespace burst

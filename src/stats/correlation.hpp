@@ -1,0 +1,26 @@
+// Correlation statistics for the paper's dependency analysis:
+//
+//  * autocorrelation of the per-RTT gateway arrival counts — TCP
+//    modulation shows up as negative/oscillatory short-lag correlation;
+//  * Pearson cross-correlation between two flows' time series — the
+//    paper's claim that Reno couples streams' congestion decisions is
+//    "windows across flows co-move (and co-drop)".
+#pragma once
+
+#include <vector>
+
+namespace burst {
+
+/// Sample autocorrelation of xs at the given lag (0 <= lag < xs.size()).
+/// Returns 0 for degenerate input (constant or too-short series).
+double autocorrelation(const std::vector<double>& xs, int lag);
+
+/// Pearson correlation of two equal-length series; 0 for degenerate input.
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Mean pairwise Pearson correlation across a set of series (all pairs).
+/// The paper's stream-dependency measure: near 0 for independent flows,
+/// high for synchronized ones.
+double mean_pairwise_correlation(const std::vector<std::vector<double>>& series);
+
+}  // namespace burst

@@ -1,0 +1,12 @@
+// Jain's fairness index: (sum x)^2 / (n * sum x^2), in (0,1], 1 = equal.
+// Used to quantify the paper's Sec 3.2.2 observation that Vegas shares the
+// bottleneck more fairly than Reno.
+#pragma once
+
+#include <vector>
+
+namespace burst {
+
+double jain_fairness(const std::vector<double>& allocations);
+
+}  // namespace burst

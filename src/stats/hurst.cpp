@@ -1,0 +1,86 @@
+#include "src/stats/hurst.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/stats/running_stats.hpp"
+#include "src/stats/time_series.hpp"
+
+namespace burst {
+
+double ols_slope(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  return denom == 0.0 ? 0.0 : (n * sxy - sx * sy) / denom;
+}
+
+double hurst_variance_time(const std::vector<double>& xs,
+                           const std::vector<int>& ms) {
+  std::vector<double> log_m, log_var;
+  for (int m : ms) {
+    if (m <= 0 || xs.size() / static_cast<std::size_t>(m) < 4) continue;
+    // Block *means*, not sums: Var(X^(m)) ~ m^(2H-2).
+    auto sums = aggregate_series(xs, m);
+    for (auto& s : sums) s /= m;
+    const double var = series_stats(sums).variance();
+    if (var <= 0.0) continue;
+    log_m.push_back(std::log(static_cast<double>(m)));
+    log_var.push_back(std::log(var));
+  }
+  const double slope = ols_slope(log_m, log_var);
+  if (log_m.size() < 2) return 0.5;
+  return std::clamp(1.0 + slope / 2.0, 0.0, 1.0);
+}
+
+namespace {
+
+/// Mean R/S statistic over non-overlapping windows of length n.
+double mean_rs(const std::vector<double>& xs, int n) {
+  const std::size_t windows = xs.size() / static_cast<std::size_t>(n);
+  if (windows == 0) return 0.0;
+  double total = 0.0;
+  std::size_t used = 0;
+  for (std::size_t w = 0; w < windows; ++w) {
+    const std::size_t base = w * static_cast<std::size_t>(n);
+    RunningStats rs;
+    for (int i = 0; i < n; ++i) rs.add(xs[base + static_cast<std::size_t>(i)]);
+    const double mean = rs.mean();
+    const double sd = rs.stddev();
+    if (sd <= 0.0) continue;
+    double cum = 0.0, lo = 0.0, hi = 0.0;
+    for (int i = 0; i < n; ++i) {
+      cum += xs[base + static_cast<std::size_t>(i)] - mean;
+      lo = std::min(lo, cum);
+      hi = std::max(hi, cum);
+    }
+    total += (hi - lo) / sd;
+    ++used;
+  }
+  return used == 0 ? 0.0 : total / static_cast<double>(used);
+}
+
+}  // namespace
+
+double hurst_rescaled_range(const std::vector<double>& xs,
+                            const std::vector<int>& ns) {
+  std::vector<double> log_n, log_rs;
+  for (int n : ns) {
+    if (n < 8 || xs.size() / static_cast<std::size_t>(n) < 2) continue;
+    const double rs = mean_rs(xs, n);
+    if (rs <= 0.0) continue;
+    log_n.push_back(std::log(static_cast<double>(n)));
+    log_rs.push_back(std::log(rs));
+  }
+  if (log_n.size() < 2) return 0.5;
+  return std::clamp(ols_slope(log_n, log_rs), 0.0, 1.0);
+}
+
+}  // namespace burst

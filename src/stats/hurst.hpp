@@ -1,0 +1,32 @@
+// Hurst-parameter estimators for count series.
+//
+// The paper argues c.o.v. beats the Hurst parameter as a burstiness metric
+// for statistical multiplexing; we implement both so the ablation benches
+// can show the two views side by side on the same traffic.
+//
+//  * Variance-time plot: Var(X^(m)) ~ m^(2H-2) for the block-mean series
+//    X^(m); H is estimated from the log-log slope.
+//  * Rescaled range (R/S): E[R/S](n) ~ n^H.
+//
+// Both estimators are crude (as they are in the literature); tests only
+// assert loose bounds (H ~ 0.5 for iid data, H > 0.6 for heavy-tailed
+// on/off aggregates).
+#pragma once
+
+#include <vector>
+
+namespace burst {
+
+/// Least-squares slope of y on x. Returns 0 for degenerate input.
+double ols_slope(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Variance-time estimator of H over block sizes @p ms (each must fit the
+/// series at least 4 times). Returns 0.5 for degenerate input.
+double hurst_variance_time(const std::vector<double>& xs,
+                           const std::vector<int>& ms);
+
+/// R/S estimator of H over sub-series lengths @p ns.
+double hurst_rescaled_range(const std::vector<double>& xs,
+                            const std::vector<int>& ns);
+
+}  // namespace burst

@@ -1,0 +1,45 @@
+#include "src/stats/queueing_theory.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace burst {
+
+double mm1_mean_system(double rho) {
+  assert(rho >= 0.0 && rho < 1.0);
+  return rho / (1.0 - rho);
+}
+
+double mm1k_blocking(double rho, int k) {
+  assert(rho > 0.0 && k >= 1);
+  if (rho == 1.0) return 1.0 / (k + 1);
+  const double num = (1.0 - rho) * std::pow(rho, k);
+  const double den = 1.0 - std::pow(rho, k + 1);
+  return num / den;
+}
+
+double mm1k_mean_system(double rho, int k) {
+  assert(rho > 0.0 && k >= 1);
+  if (rho == 1.0) return k / 2.0;
+  const double r_k1 = std::pow(rho, k + 1);
+  return rho / (1.0 - rho) -
+         (k + 1) * r_k1 / (1.0 - r_k1);
+}
+
+double md1_mean_queue(double rho) {
+  assert(rho >= 0.0 && rho < 1.0);
+  return rho * rho / (2.0 * (1.0 - rho));
+}
+
+double md1_mean_system(double rho) { return md1_mean_queue(rho) + rho; }
+
+int slow_start_rounds(double w) {
+  if (w <= 1.0) return 0;
+  return static_cast<int>(std::ceil(std::log2(w)));
+}
+
+double slow_start_packets(double w) {
+  return std::pow(2.0, slow_start_rounds(w)) - 1.0;
+}
+
+}  // namespace burst

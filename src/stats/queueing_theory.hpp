@@ -1,0 +1,38 @@
+// Closed-form queueing-theory results used to validate the simulator and
+// to predict the unmodulated (UDP/Poisson) baseline of the paper's plots:
+//
+//  * M/M/1 and M/M/1/K: exact mean queue and blocking probability.
+//  * M/D/1: Pollaczek-Khinchine mean queue (the bottleneck link serves
+//    fixed-size packets, so Poisson arrivals + deterministic service).
+//  * Slow-start algebra: rounds/packets needed for a window to reach W.
+//
+// The conservation tests compare these against measured simulator output;
+// agreement there is evidence the substrate's queues and clocks are right.
+#pragma once
+
+namespace burst {
+
+/// M/M/1 mean number in system; requires rho < 1.
+double mm1_mean_system(double rho);
+
+/// M/M/1/K blocking probability (Erlang-like loss), any rho > 0.
+double mm1k_blocking(double rho, int k);
+
+/// M/M/1/K mean number in system.
+double mm1k_mean_system(double rho, int k);
+
+/// M/D/1 mean number *waiting* (Pollaczek-Khinchine); requires rho < 1.
+double md1_mean_queue(double rho);
+
+/// M/D/1 mean number in system (queue + in service).
+double md1_mean_system(double rho);
+
+/// Number of slow-start rounds (RTTs) for cwnd to grow 1 -> w with one
+/// ACK per packet (doubling per round): ceil(log2(w)).
+int slow_start_rounds(double w);
+
+/// Packets transmitted while slow-starting from cwnd=1 until the window
+/// first reaches w: 1+2+4+... = 2^rounds - 1.
+double slow_start_packets(double w);
+
+}  // namespace burst

@@ -1,0 +1,54 @@
+#include "src/stats/running_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace burst {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::cov() const {
+  const double m = mean();
+  return m == 0.0 ? 0.0 : stddev() / m;
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(n_);
+  const auto n2 = static_cast<double>(other.n_);
+  const double n = n1 + n2;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  mean_ += delta * n2 / n;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double poisson_aggregate_cov(int n, double lambda, double window) {
+  const double mean_count = static_cast<double>(n) * lambda * window;
+  return mean_count <= 0.0 ? 0.0 : 1.0 / std::sqrt(mean_count);
+}
+
+}  // namespace burst

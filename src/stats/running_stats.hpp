@@ -1,0 +1,40 @@
+// Numerically stable single-pass moments (Welford) and the coefficient of
+// variation — the paper's burstiness metric (c.o.v. = stddev / mean of
+// per-RTT packet counts, Sec 2.2).
+#pragma once
+
+#include <cstdint>
+
+namespace burst {
+
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  /// Coefficient of variation: stddev/mean; 0 when the mean is 0.
+  double cov() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Merges another accumulator into this one (parallel sweeps).
+  void merge(const RunningStats& other);
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Analytic c.o.v. of the aggregate of @p n independent Poisson sources of
+/// rate @p lambda each, counted over windows of @p window seconds:
+/// counts are Poisson(n*lambda*window), so c.o.v. = 1/sqrt(n*lambda*window).
+double poisson_aggregate_cov(int n, double lambda, double window);
+
+}  // namespace burst

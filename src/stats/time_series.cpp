@@ -1,0 +1,42 @@
+#include "src/stats/time_series.hpp"
+
+namespace burst {
+
+std::vector<double> aggregate_series(const std::vector<double>& xs, int m) {
+  std::vector<double> out;
+  if (m <= 0) return out;
+  out.reserve(xs.size() / static_cast<std::size_t>(m));
+  double acc = 0.0;
+  int k = 0;
+  for (double x : xs) {
+    acc += x;
+    if (++k == m) {
+      out.push_back(acc);
+      acc = 0.0;
+      k = 0;
+    }
+  }
+  return out;
+}
+
+std::vector<double> to_doubles(const std::vector<std::uint64_t>& xs) {
+  return {xs.begin(), xs.end()};
+}
+
+RunningStats series_stats(const std::vector<double>& xs) {
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  return rs;
+}
+
+std::vector<double> cov_across_scales(const std::vector<double>& xs,
+                                      const std::vector<int>& ms) {
+  std::vector<double> out;
+  out.reserve(ms.size());
+  for (int m : ms) {
+    out.push_back(series_stats(aggregate_series(xs, m)).cov());
+  }
+  return out;
+}
+
+}  // namespace burst

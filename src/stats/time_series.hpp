@@ -1,0 +1,29 @@
+// Utilities over equally spaced count series: aggregation across time
+// scales (the self-similar literature's "does it stay bursty when you
+// zoom out?" test) and c.o.v. at each scale.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/stats/running_stats.hpp"
+
+namespace burst {
+
+/// Sums consecutive non-overlapping blocks of @p m samples. The tail
+/// remainder (fewer than m samples) is discarded.
+std::vector<double> aggregate_series(const std::vector<double>& xs, int m);
+
+/// Convenience overload for count bins.
+std::vector<double> to_doubles(const std::vector<std::uint64_t>& xs);
+
+/// Stats of a plain vector.
+RunningStats series_stats(const std::vector<double>& xs);
+
+/// c.o.v. of the series aggregated at block size m, for each m in @p ms.
+/// For iid (e.g. Poisson) data this falls as 1/sqrt(m); for self-similar
+/// data with Hurst parameter H it falls only as m^(H-1).
+std::vector<double> cov_across_scales(const std::vector<double>& xs,
+                                      const std::vector<int>& ms);
+
+}  // namespace burst

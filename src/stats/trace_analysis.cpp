@@ -1,0 +1,73 @@
+#include "src/stats/trace_analysis.hpp"
+
+#include <algorithm>
+
+namespace burst {
+
+std::vector<int> decrease_counts(const std::vector<TraceSeries>& traces,
+                                 Time t0, Time t1) {
+  std::vector<int> out;
+  out.reserve(traces.size());
+  for (const auto& t : traces) {
+    int count = 0;
+    for (std::size_t i = 1; i < t.points().size(); ++i) {
+      const auto& [at, v] = t.points()[i];
+      if (at < t0 || at >= t1) continue;
+      if (v < t.points()[i - 1].second) ++count;
+    }
+    out.push_back(count);
+  }
+  return out;
+}
+
+double max_sync_fraction(const std::vector<TraceSeries>& traces, Time bin,
+                         Time t0, Time t1) {
+  if (traces.empty() || bin <= 0.0 || t1 <= t0) return 0.0;
+  const auto n_bins = static_cast<std::size_t>((t1 - t0) / bin) + 1;
+  std::vector<int> flows_cutting(n_bins, 0);
+  for (const auto& t : traces) {
+    std::size_t last_marked = n_bins;  // avoid double-counting one flow
+    for (std::size_t i = 1; i < t.points().size(); ++i) {
+      const auto& [at, v] = t.points()[i];
+      if (at < t0 || at >= t1) continue;
+      if (v >= t.points()[i - 1].second) continue;
+      const auto b = static_cast<std::size_t>((at - t0) / bin);
+      if (b != last_marked && b < n_bins) {
+        ++flows_cutting[b];
+        last_marked = b;
+      }
+    }
+  }
+  int max_count = 0;
+  for (int c : flows_cutting) max_count = std::max(max_count, c);
+  return static_cast<double>(max_count) / static_cast<double>(traces.size());
+}
+
+std::vector<double> resample(const TraceSeries& trace, Time t0, Time t1,
+                             Time dt, double fallback) {
+  std::vector<double> out;
+  if (dt <= 0.0) return out;
+  for (Time at = t0; at < t1; at += dt) {
+    out.push_back(trace.value_at(at, fallback));
+  }
+  return out;
+}
+
+std::vector<double> decrease_indicator(const TraceSeries& trace, Time bin,
+                                       Time t0, Time t1) {
+  std::vector<double> out;
+  if (bin <= 0.0 || t1 <= t0) return out;
+  // The epsilon keeps exact multiples (0.6/0.1) from losing their last bin
+  // to floating-point truncation.
+  const auto n_bins = static_cast<std::size_t>((t1 - t0) / bin + 1e-9);
+  out.assign(n_bins, 0.0);
+  for (std::size_t i = 1; i < trace.points().size(); ++i) {
+    const auto& [at, v] = trace.points()[i];
+    if (at < t0 || at >= t1 || v >= trace.points()[i - 1].second) continue;
+    const auto b = static_cast<std::size_t>((at - t0) / bin);
+    if (b < n_bins) out[b] = 1.0;
+  }
+  return out;
+}
+
+}  // namespace burst

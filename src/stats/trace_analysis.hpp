@@ -1,0 +1,33 @@
+// Analysis helpers over congestion-window trace series: loss-event
+// counting and the cross-stream synchronization metric used when
+// reproducing Figs 6-9 and 12.
+#pragma once
+
+#include <vector>
+
+#include "src/sim/trace.hpp"
+
+namespace burst {
+
+/// Window-decrease events per series within [t0, t1).
+std::vector<int> decrease_counts(const std::vector<TraceSeries>& traces,
+                                 Time t0, Time t1);
+
+/// Loss-synchronization: the largest fraction of traced flows that cut
+/// their window inside the same time bin of width @p bin over [t0, t1).
+/// 0 for empty input; each flow counts at most once per bin.
+double max_sync_fraction(const std::vector<TraceSeries>& traces, Time bin,
+                         Time t0, Time t1);
+
+/// Resamples a trace onto a regular grid [t0, t1) with step @p dt using
+/// last-value-holds semantics (value_at); @p fallback before first point.
+std::vector<double> resample(const TraceSeries& trace, Time t0, Time t1,
+                             Time dt, double fallback = 0.0);
+
+/// Per-bin 0/1 indicator of "this trace decreased inside the bin", over
+/// [t0, t1) with bins of width @p bin. Feed into mean_pairwise_correlation
+/// to measure synchronized congestion decisions.
+std::vector<double> decrease_indicator(const TraceSeries& trace, Time bin,
+                                       Time t0, Time t1);
+
+}  // namespace burst

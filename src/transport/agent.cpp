@@ -1,0 +1,17 @@
+#include "src/transport/agent.hpp"
+
+namespace burst {
+
+Agent::Agent(Simulator& sim, Node& node, FlowId flow, NodeId peer)
+    : sim_(sim), node_(node), flow_(flow), peer_(peer) {
+  node_.attach(flow, this);
+}
+
+void Agent::transmit(Packet p) {
+  p.flow = flow_;
+  p.src = node_.id();
+  p.dst = peer_;
+  node_.send(p);
+}
+
+}  // namespace burst

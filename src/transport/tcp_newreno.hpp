@@ -1,0 +1,28 @@
+// TCP NewReno (RFC 2582): Reno whose fast recovery survives partial ACKs.
+// Recovery ends only when the ACK covers `recover` (the highest sequence
+// outstanding when loss was detected); a partial ACK retransmits the next
+// hole immediately instead of waiting for three more dup ACKs or a
+// timeout. Included as an extension baseline beyond the paper.
+#pragma once
+
+#include "src/transport/tcp_sender.hpp"
+
+namespace burst {
+
+class TcpNewReno : public TcpSender {
+ public:
+  using TcpSender::TcpSender;
+
+  bool in_fast_recovery() const { return in_recovery_; }
+
+ protected:
+  void on_new_ack(std::int64_t acked, std::int64_t ack_seq) override;
+  void on_dup_ack() override;
+  void on_timeout_window() override;
+
+ private:
+  bool in_recovery_ = false;
+  std::int64_t recover_ = 0;
+};
+
+}  // namespace burst

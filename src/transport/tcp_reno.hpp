@@ -1,0 +1,28 @@
+// TCP Reno: the paper's primary subject. Slow start, congestion avoidance,
+// fast retransmit on the third duplicate ACK, and fast recovery with
+// window inflation (cwnd = ssthresh + 3, +1 per further dup ACK, deflated
+// to ssthresh on the next new ACK). A timeout resets cwnd to 1 and
+// re-enters slow start up to the halved threshold — the "re-start slow
+// start probing" the paper blames for the induced burstiness.
+#pragma once
+
+#include "src/transport/tcp_sender.hpp"
+
+namespace burst {
+
+class TcpReno : public TcpSender {
+ public:
+  using TcpSender::TcpSender;
+
+  bool in_fast_recovery() const { return in_recovery_; }
+
+ protected:
+  void on_new_ack(std::int64_t acked, std::int64_t ack_seq) override;
+  void on_dup_ack() override;
+  void on_timeout_window() override;
+
+ private:
+  bool in_recovery_ = false;
+};
+
+}  // namespace burst

@@ -1,0 +1,54 @@
+// TCP with selective acknowledgments (RFC 2018 receiver reporting + a
+// conservative RFC 3517-style sender), in the ns-2 "sack1" spirit.
+//
+// The sender keeps a scoreboard of sequences the receiver has reported
+// holding. During fast recovery it maintains a pipe estimate (packets
+// believed in flight) and, whenever pipe < cwnd, transmits the next
+// un-SACKed hole — or new data when no holes remain. Partial ACKs keep
+// recovery going instead of stalling into a timeout, which is Reno's
+// weakness under the multiple-drops-per-window losses the paper's heavy
+// congestion produces.
+//
+// An extension baseline beyond the paper (its "different implementations
+// of TCP" axis): the SACK ablation bench asks whether smarter loss
+// recovery removes the burstiness Reno induces (it reduces the timeouts
+// but not the synchronized multiplicative decreases).
+#pragma once
+
+#include <set>
+
+#include "src/transport/tcp_sender.hpp"
+
+namespace burst {
+
+class TcpSack : public TcpSender {
+ public:
+  using TcpSender::TcpSender;
+
+  bool in_fast_recovery() const { return in_recovery_; }
+  /// Sequences currently reported held by the receiver (above snd_una).
+  std::size_t scoreboard_size() const { return sacked_.size(); }
+
+ protected:
+  void on_ack_info(const Packet& p) override;
+  void on_new_ack(std::int64_t acked, std::int64_t ack_seq) override;
+  void on_dup_ack() override;
+  void on_timeout_window() override;
+
+ private:
+  /// Smallest sequence in [snd_una, recover_) that is neither SACKed nor
+  /// already retransmitted in this recovery episode; -1 if none.
+  std::int64_t next_hole() const;
+  /// Sends holes/new data while the pipe has room.
+  void fill_pipe();
+  void enter_recovery();
+  void leave_recovery();
+
+  std::set<std::int64_t> sacked_;
+  std::set<std::int64_t> rexmitted_;  // holes already resent this episode
+  bool in_recovery_ = false;
+  std::int64_t recover_ = 0;
+  double pipe_ = 0.0;
+};
+
+}  // namespace burst

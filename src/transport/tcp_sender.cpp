@@ -1,0 +1,171 @@
+#include "src/transport/tcp_sender.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace burst {
+
+TcpSender::TcpSender(Simulator& sim, Node& node, FlowId flow, NodeId peer,
+                     TcpConfig cfg)
+    : Agent(sim, node, flow, peer),
+      cfg_(cfg),
+      estimator_(cfg.rto),
+      rto_timer_(sim, [this] { on_rto(); }),
+      cwnd_(cfg.initial_cwnd),
+      ssthresh_(cfg.initial_ssthresh) {}
+
+void TcpSender::set_cwnd_trace(TraceSeries* trace) {
+  cwnd_trace_ = trace;
+  if (cwnd_trace_) cwnd_trace_->record(sim_.now(), cwnd_);
+}
+
+void TcpSender::set_cwnd(double v) {
+  cwnd_ = std::max(1.0, v);
+  if (cwnd_trace_) cwnd_trace_->record(sim_.now(), cwnd_);
+}
+
+void TcpSender::app_send(int packets) {
+  stats_.app_packets += static_cast<std::uint64_t>(packets);
+  app_total_ += packets;
+  try_send();
+}
+
+double TcpSender::effective_window() const {
+  return std::max(1.0, std::min(std::floor(cwnd_), cfg_.advertised_window));
+}
+
+bool TcpSender::window_limited() const {
+  // "Using the window" = the in-flight data is within one packet of it.
+  return static_cast<double>(flight()) + 1.0 >= effective_window();
+}
+
+void TcpSender::standard_growth() {
+  if (cfg_.cwnd_validation && !window_limited()) return;
+  if (cwnd_ < ssthresh_) {
+    set_cwnd(cwnd_ + 1.0);  // slow start: one packet per ACK
+  } else {
+    set_cwnd(cwnd_ + 1.0 / cwnd_);  // congestion avoidance
+  }
+}
+
+void TcpSender::try_send() {
+  while (snd_nxt_ < app_total_ &&
+         static_cast<double>(flight()) < effective_window()) {
+    send_seq(snd_nxt_);
+    ++snd_nxt_;
+  }
+}
+
+void TcpSender::send_seq(std::int64_t seq) {
+  Packet p;
+  p.uid = next_uid();
+  p.type = PacketType::kData;
+  p.size_bytes = cfg_.payload_bytes + kHeaderBytes;
+  p.seq = seq;
+  p.ts_echo = sim_.now();
+  p.retransmit = seq < snd_max_;
+  p.ecn_capable = cfg_.ecn;
+  snd_max_ = std::max(snd_max_, seq + 1);
+  sent_at_[seq] = sim_.now();
+
+  ++stats_.data_pkts_sent;
+  if (p.retransmit) ++stats_.retransmits;
+  transmit(p);
+  if (!rto_timer_.pending()) rto_timer_.schedule(estimator_.rto());
+}
+
+void TcpSender::retransmit_una() { send_seq(snd_una_); }
+
+void TcpSender::send_segment(std::int64_t seq) { send_seq(seq); }
+
+bool TcpSender::send_new_segment() {
+  if (snd_nxt_ >= app_total_) return false;
+  send_seq(snd_nxt_);
+  ++snd_nxt_;
+  return true;
+}
+
+void TcpSender::restart_rto_timer() { rto_timer_.schedule(estimator_.rto()); }
+
+Time TcpSender::sent_at(std::int64_t seq) const {
+  auto it = sent_at_.find(seq);
+  return it == sent_at_.end() ? kTimeNever : it->second;
+}
+
+void TcpSender::on_ecn_echo() {
+  // Default (RFC 2481 / Reno-style): a congestion echo is treated like a
+  // fast-retransmit loss signal, except nothing needs retransmitting.
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+  set_cwnd(ssthresh_);
+  ++stats_.ecn_reductions;
+}
+
+void TcpSender::handle(const Packet& p) {
+  if (p.type != PacketType::kAck) return;
+
+  on_ack_info(p);
+
+  if (p.ece) {
+    ++stats_.ecn_echoes;
+    // At most one window reduction per round-trip (like one loss event).
+    const Time guard = estimator_.has_sample() ? estimator_.srtt() : 0.1;
+    if (last_ecn_cut_ < 0.0 || sim_.now() - last_ecn_cut_ > guard) {
+      last_ecn_cut_ = sim_.now();
+      on_ecn_echo();
+    }
+  }
+
+  if (p.ack > snd_una_) {
+    const std::int64_t acked = p.ack - snd_una_;
+    for (std::int64_t s = snd_una_; s < p.ack; ++s) sent_at_.erase(s);
+    snd_una_ = p.ack;
+    snd_nxt_ = std::max(snd_nxt_, snd_una_);
+    ++stats_.new_acks;
+    dupacks_ = 0;
+
+    // Karn's rule: only segments never retransmitted yield RTT samples.
+    if (!p.retransmit) {
+      const Time rtt = sim_.now() - p.ts_echo;
+      estimator_.sample(rtt);
+      ++stats_.rtt_samples;
+      on_rtt_sample(rtt);
+    }
+    estimator_.reset_backoff();
+
+    on_new_ack(acked, p.ack);
+
+    if (snd_una_ == snd_nxt_ && backlog() == 0) {
+      rto_timer_.cancel();
+    } else {
+      restart_rto_timer();
+    }
+    try_send();
+    return;
+  }
+
+  if (p.ack == snd_una_ && flight() > 0) {
+    ++dupacks_;
+    ++stats_.dupacks;
+    if (cfg_.limited_transmit && dupacks_ <= 2 &&
+        static_cast<double>(flight()) <
+            std::min(cwnd_, cfg_.advertised_window) + 2.0) {
+      send_new_segment();  // RFC 3042: keep the dup-ACK clock alive
+    }
+    on_dup_ack();
+    try_send();  // recovery inflation may have opened the window
+  }
+}
+
+void TcpSender::on_rto() {
+  ++stats_.timeouts;
+  estimator_.backoff();
+  // Multiplicative decrease of the threshold, computed before the rewind.
+  ssthresh_ = std::max(static_cast<double>(flight()) / 2.0, 2.0);
+  dupacks_ = 0;
+  snd_nxt_ = snd_una_;  // go-back-N recovery from the hole
+  on_timeout_window();
+  rto_timer_.schedule(estimator_.rto());
+  try_send();
+}
+
+}  // namespace burst

@@ -1,0 +1,155 @@
+// TCP sender framework (packet-granularity, ns-2 style).
+//
+// Windows, sequence numbers and thresholds are all in units of packets,
+// matching the simulator used by the paper. The application pushes
+// packets into an *unbounded* send buffer independently of the congestion
+// window (Sec 3.2.1 of the paper relies on this backlog: slow-start bursts
+// happen because buffered data drains a full window per ACK).
+//
+// The base class implements sequencing, the retransmission timer
+// (Jacobson/Karels + Karn), duplicate-ACK accounting and loss recovery
+// plumbing; concrete congestion-control policies (Tahoe, Reno, NewReno,
+// Vegas) override the window-adjustment hooks.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/sim/trace.hpp"
+#include "src/transport/agent.hpp"
+#include "src/transport/rto_estimator.hpp"
+#include "src/sim/timer.hpp"
+
+namespace burst {
+
+struct TcpConfig {
+  int payload_bytes = kDefaultPayloadBytes;
+  double advertised_window = 20.0;  // receiver window, packets (Table 1)
+  double initial_cwnd = 1.0;
+  double initial_ssthresh = 1e9;    // effectively "until the first loss"
+  int dupack_threshold = 3;
+  bool ecn = false;                 // negotiate ECN-capable transport
+  /// RFC 3042 limited transmit: send one new segment on each of the first
+  /// two duplicate ACKs (without growing cwnd), so thin flows generate
+  /// enough dup ACKs to reach fast retransmit instead of timing out.
+  bool limited_transmit = false;
+  /// RFC 2861-style congestion-window validation: do not grow cwnd while
+  /// the flow is not actually using it. The paper's slow-start bursts
+  /// (Sec 3.2.1) exist precisely because ns-2-era stacks grow cwnd during
+  /// app-limited periods and the banked window releases as a burst; this
+  /// switch lets the ablation quantify that mechanism. Off by default
+  /// (the paper's TCP did not validate).
+  bool cwnd_validation = false;
+  RtoConfig rto{};
+};
+
+struct TcpSenderStats {
+  std::uint64_t app_packets = 0;     // submitted by the application
+  std::uint64_t data_pkts_sent = 0;  // transmissions incl. retransmissions
+  std::uint64_t retransmits = 0;
+  std::uint64_t timeouts = 0;        // RTO expirations
+  std::uint64_t fast_retransmits = 0;
+  std::uint64_t dupacks = 0;         // duplicate ACKs received
+  std::uint64_t new_acks = 0;
+  std::uint64_t rtt_samples = 0;
+  std::uint64_t ecn_echoes = 0;      // ACKs carrying a congestion echo
+  std::uint64_t ecn_reductions = 0;  // window cuts taken in response
+};
+
+class TcpSender : public Agent {
+ public:
+  TcpSender(Simulator& sim, Node& node, FlowId flow, NodeId peer,
+            TcpConfig cfg = {});
+
+  void app_send(int packets) override;
+  void handle(const Packet& p) override;
+
+  // --- Introspection --------------------------------------------------
+  double cwnd() const { return cwnd_; }
+  double ssthresh() const { return ssthresh_; }
+  std::int64_t snd_una() const { return snd_una_; }
+  std::int64_t snd_nxt() const { return snd_nxt_; }
+  /// One past the highest sequence ever transmitted (>= snd_nxt; they
+  /// differ after a go-back-N rewind).
+  std::int64_t snd_max() const { return snd_max_; }
+  /// Application packets buffered but not yet transmitted.
+  std::int64_t backlog() const { return app_total_ - snd_nxt_; }
+  /// Packets in flight (sent, not yet cumulatively acknowledged).
+  std::int64_t flight() const { return snd_nxt_ - snd_una_; }
+  const TcpSenderStats& stats() const { return stats_; }
+  const RtoEstimator& rto_estimator() const { return estimator_; }
+  const TcpConfig& config() const { return cfg_; }
+
+  /// If set, every congestion-window change is recorded (Figs 5-12).
+  void set_cwnd_trace(TraceSeries* trace);
+
+ protected:
+  // --- Policy hooks ----------------------------------------------------
+  /// A cumulative ACK advanced snd_una by @p acked packets to @p ack_seq.
+  virtual void on_new_ack(std::int64_t acked, std::int64_t ack_seq) = 0;
+  /// A duplicate ACK arrived (dupacks() holds the current count).
+  virtual void on_dup_ack() = 0;
+  /// The retransmission timer fired; set the post-timeout window. The base
+  /// class has already halved ssthresh and rewound snd_nxt (go-back-N).
+  virtual void on_timeout_window() = 0;
+  /// A clean (Karn-valid) RTT sample was taken. Vegas feeds on this.
+  virtual void on_rtt_sample(Time rtt) { (void)rtt; }
+  /// An ACK echoed an ECN congestion mark. The base rate-limits calls to
+  /// one per RTT; the default response is a Reno-style halving without
+  /// retransmission. Vegas overrides with its gentler 3/4 cut.
+  virtual void on_ecn_echo();
+
+  // --- Services for subclasses -----------------------------------------
+  /// Updates cwnd (floored at 1 packet) and records the trace point.
+  void set_cwnd(double v);
+  void set_ssthresh(double v) { ssthresh_ = v; }
+  /// Standard slow-start / congestion-avoidance growth on a new ACK,
+  /// honoring cwnd_validation. Used by the Reno-family policies.
+  void standard_growth();
+  /// True if the current flight (nearly) fills the effective window.
+  bool window_limited() const;
+  /// Retransmits the first unacknowledged packet (fast retransmit).
+  void retransmit_una();
+  /// Transmits an arbitrary sequence (a retransmission if already sent).
+  /// SACK recovery uses this to fill reported holes directly.
+  void send_segment(std::int64_t seq);
+  /// Transmits the next unsent application packet, if any.
+  bool send_new_segment();
+  /// Policy hook invoked with the raw ACK before any other processing,
+  /// so extensions (SACK) can read their option blocks.
+  virtual void on_ack_info(const Packet& p) { (void)p; }
+  /// Restarts the retransmission timer with the current RTO.
+  void restart_rto_timer();
+  int dupacks() const { return dupacks_; }
+  /// Time the given outstanding sequence was (last) transmitted.
+  Time sent_at(std::int64_t seq) const;
+  /// Sends as much buffered data as the window permits.
+  void try_send();
+  /// Rewinds snd_nxt to snd_una (go-back-N; Tahoe uses this on loss).
+  void rewind_to_una() { snd_nxt_ = snd_una_; }
+  Time now() const { return sim_.now(); }
+
+  TcpSenderStats stats_;
+
+ private:
+  void on_rto();
+  void send_seq(std::int64_t seq);
+  double effective_window() const;
+
+  TcpConfig cfg_;
+  RtoEstimator estimator_;
+  Timer rto_timer_;
+
+  double cwnd_;
+  double ssthresh_;
+  std::int64_t snd_una_ = 0;   // first unacknowledged sequence
+  std::int64_t snd_nxt_ = 0;   // next sequence to transmit
+  std::int64_t snd_max_ = 0;   // highest sequence ever transmitted + 1
+  std::int64_t app_total_ = 0; // packets submitted by the application
+  int dupacks_ = 0;
+  Time last_ecn_cut_ = -1.0;
+  std::unordered_map<std::int64_t, Time> sent_at_;
+  TraceSeries* cwnd_trace_ = nullptr;
+};
+
+}  // namespace burst

@@ -1,0 +1,21 @@
+// TCP Tahoe: slow start + congestion avoidance + fast retransmit, but no
+// fast recovery — every detected loss restarts slow start from cwnd = 1.
+// Included as a pre-Reno baseline (the paper's "different implementations
+// of TCP" axis).
+#pragma once
+
+#include "src/transport/tcp_sender.hpp"
+
+namespace burst {
+
+class TcpTahoe : public TcpSender {
+ public:
+  using TcpSender::TcpSender;
+
+ protected:
+  void on_new_ack(std::int64_t acked, std::int64_t ack_seq) override;
+  void on_dup_ack() override;
+  void on_timeout_window() override;
+};
+
+}  // namespace burst

@@ -1,0 +1,27 @@
+#include "src/transport/udp.hpp"
+
+namespace burst {
+
+void UdpSender::app_send(int packets) {
+  for (int i = 0; i < packets; ++i) {
+    Packet p;
+    p.uid = next_uid();
+    p.type = PacketType::kData;
+    p.size_bytes = payload_bytes_ + kHeaderBytes;
+    p.seq = next_seq_++;
+    p.ts_echo = sim_.now();
+    transmit(p);
+    ++packets_sent_;
+  }
+}
+
+void UdpSender::handle(const Packet&) {}
+
+void UdpSink::handle(const Packet& p) {
+  if (p.type != PacketType::kData) return;
+  ++packets_received_;
+  bytes_received_ += static_cast<std::uint64_t>(p.size_bytes);
+  delay_.add(sim_.now() - p.ts_echo);
+}
+
+}  // namespace burst

@@ -1,0 +1,50 @@
+// UDP: the transparent transport. The sender transmits each application
+// packet immediately; the sink counts deliveries. Used as the paper's
+// control case showing that un-modulated aggregate Poisson traffic stays
+// smooth (Fig 2's "UDP" curve).
+#pragma once
+
+#include <cstdint>
+
+#include "src/stats/running_stats.hpp"
+#include "src/transport/agent.hpp"
+
+namespace burst {
+
+class UdpSender : public Agent {
+ public:
+  UdpSender(Simulator& sim, Node& node, FlowId flow, NodeId peer,
+            int payload_bytes = kDefaultPayloadBytes)
+      : Agent(sim, node, flow, peer), payload_bytes_(payload_bytes) {}
+
+  void app_send(int packets) override;
+  void handle(const Packet& p) override;  // UDP senders ignore input
+
+  std::uint64_t packets_sent() const { return packets_sent_; }
+
+ private:
+  int payload_bytes_;
+  std::uint64_t packets_sent_ = 0;
+  std::int64_t next_seq_ = 0;
+};
+
+class UdpSink : public Agent {
+ public:
+  UdpSink(Simulator& sim, Node& node, FlowId flow, NodeId peer)
+      : Agent(sim, node, flow, peer) {}
+
+  void app_send(int) override {}  // sinks do not send
+  void handle(const Packet& p) override;
+
+  std::uint64_t packets_received() const { return packets_received_; }
+  std::uint64_t bytes_received() const { return bytes_received_; }
+  /// One-way delay of arriving packets.
+  const RunningStats& delay() const { return delay_; }
+
+ private:
+  std::uint64_t packets_received_ = 0;
+  std::uint64_t bytes_received_ = 0;
+  RunningStats delay_;
+};
+
+}  // namespace burst

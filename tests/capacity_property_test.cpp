@@ -1,0 +1,75 @@
+// Property sweeps over bandwidths and loads: the simulator must obey the
+// basic conservation laws of a work-conserving FIFO system.
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.hpp"
+
+namespace burst {
+namespace {
+
+class UdpCapacityLaw
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(UdpCapacityLaw, DeliveredIsMinOfOfferedAndCapacity) {
+  const auto [bw_mbps, clients] = GetParam();
+  Scenario sc = Scenario::paper_default();
+  sc.transport = Transport::kUdp;
+  sc.bottleneck_bw_bps = bw_mbps * 1e6;
+  sc.num_clients = clients;
+  sc.duration = 10.0;
+  const auto r = run_experiment(sc);
+  const double offered = sc.offered_pps() * sc.duration;
+  const double capacity = sc.bottleneck_pps() * sc.duration;
+  const double expected = std::min(offered, capacity);
+  EXPECT_NEAR(static_cast<double>(r.delivered), expected, 0.06 * expected)
+      << "bw=" << bw_mbps << " clients=" << clients;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, UdpCapacityLaw,
+    ::testing::Combine(::testing::Values(8.0, 16.0, 32.0, 64.0),
+                       ::testing::Values(10, 30, 50)));
+
+class TcpGoodputLaw : public ::testing::TestWithParam<Transport> {};
+
+TEST_P(TcpGoodputLaw, GoodputBoundedAndReasonable) {
+  Scenario sc = Scenario::paper_default();
+  sc.transport = GetParam();
+  sc.num_clients = 50;
+  sc.duration = 10.0;
+  const auto r = run_experiment(sc);
+  const double capacity = sc.bottleneck_pps() * sc.duration;
+  // Hard bound: the bottleneck can't deliver more than its capacity.
+  EXPECT_LE(static_cast<double>(r.delivered), 1.01 * capacity);
+  // Efficiency floor: any sane TCP keeps the saturated pipe > 75% busy.
+  EXPECT_GE(static_cast<double>(r.delivered), 0.75 * capacity);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTcp, TcpGoodputLaw,
+                         ::testing::Values(Transport::kTahoe, Transport::kReno,
+                                           Transport::kNewReno,
+                                           Transport::kVegas,
+                                           Transport::kSack));
+
+class LossMonotoneInLoad : public ::testing::TestWithParam<Transport> {};
+
+TEST_P(LossMonotoneInLoad, MoreClientsNeverLessCongestion) {
+  // Weak monotonicity of gateway drops as offered load doubles.
+  Scenario lo = Scenario::paper_default();
+  lo.transport = GetParam();
+  lo.num_clients = 30;
+  lo.duration = 8.0;
+  Scenario hi = lo;
+  hi.num_clients = 60;
+  const auto rl = run_experiment(lo);
+  const auto rh = run_experiment(hi);
+  EXPECT_GE(rh.gw_drops, rl.gw_drops);
+  EXPECT_GE(rh.delay.mean(), rl.delay.mean());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTransports, LossMonotoneInLoad,
+                         ::testing::Values(Transport::kUdp, Transport::kReno,
+                                           Transport::kVegas));
+
+}  // namespace
+}  // namespace burst

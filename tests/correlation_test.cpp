@@ -1,0 +1,92 @@
+#include "src/stats/correlation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/sim/random.hpp"
+
+namespace burst {
+namespace {
+
+TEST(Correlation, AutocorrLagZeroIsOne) {
+  std::vector<double> xs{1, 3, 2, 5, 4, 6, 2, 8};
+  EXPECT_NEAR(autocorrelation(xs, 0), 1.0, 1e-12);
+}
+
+TEST(Correlation, AutocorrPeriodicSignal) {
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_LT(autocorrelation(xs, 1), -0.9);  // alternating
+  EXPECT_GT(autocorrelation(xs, 2), 0.9);
+}
+
+TEST(Correlation, AutocorrIidNearZero) {
+  Random rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.uniform());
+  for (int lag : {1, 2, 5, 10}) {
+    EXPECT_NEAR(autocorrelation(xs, lag), 0.0, 0.03) << "lag " << lag;
+  }
+}
+
+TEST(Correlation, AutocorrDegenerate) {
+  EXPECT_DOUBLE_EQ(autocorrelation({}, 1), 0.0);
+  EXPECT_DOUBLE_EQ(autocorrelation({1.0, 1.0, 1.0}, 1), 0.0);  // zero var
+  EXPECT_DOUBLE_EQ(autocorrelation({1.0, 2.0}, 5), 0.0);       // lag too big
+  EXPECT_DOUBLE_EQ(autocorrelation({1.0, 2.0}, -1), 0.0);
+}
+
+TEST(Correlation, PearsonPerfectAndInverse) {
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  std::vector<double> up{2, 4, 6, 8, 10};
+  std::vector<double> down{5, 4, 3, 2, 1};
+  EXPECT_NEAR(pearson(xs, up), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(xs, down), -1.0, 1e-12);
+}
+
+TEST(Correlation, PearsonIndependentNearZero) {
+  Random rng(7);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 20000; ++i) {
+    xs.push_back(rng.uniform());
+    ys.push_back(rng.uniform());
+  }
+  EXPECT_NEAR(pearson(xs, ys), 0.0, 0.03);
+}
+
+TEST(Correlation, PearsonDegenerate) {
+  EXPECT_DOUBLE_EQ(pearson({1.0}, {2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(pearson({1.0, 2.0}, {3.0}), 0.0);  // length mismatch
+  EXPECT_DOUBLE_EQ(pearson({1.0, 1.0}, {2.0, 3.0}), 0.0);
+}
+
+TEST(Correlation, MeanPairwiseSyntheticGroups) {
+  // Three copies of the same signal (plus tiny jitter): near 1.
+  Random rng(9);
+  std::vector<double> base;
+  for (int i = 0; i < 5000; ++i) base.push_back(std::sin(i * 0.1));
+  std::vector<std::vector<double>> correlated;
+  for (int k = 0; k < 3; ++k) {
+    auto copy = base;
+    for (auto& v : copy) v += 0.01 * rng.uniform();
+    correlated.push_back(std::move(copy));
+  }
+  EXPECT_GT(mean_pairwise_correlation(correlated), 0.95);
+
+  std::vector<std::vector<double>> independent;
+  for (int k = 0; k < 3; ++k) {
+    std::vector<double> xs;
+    for (int i = 0; i < 5000; ++i) xs.push_back(rng.uniform());
+    independent.push_back(std::move(xs));
+  }
+  EXPECT_NEAR(mean_pairwise_correlation(independent), 0.0, 0.05);
+}
+
+TEST(Correlation, MeanPairwiseDegenerate) {
+  EXPECT_DOUBLE_EQ(mean_pairwise_correlation({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_pairwise_correlation({{1.0, 2.0}}), 0.0);
+}
+
+}  // namespace
+}  // namespace burst

@@ -1,0 +1,72 @@
+// One-way delay accounting at the sinks, against hand-computable values.
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.hpp"
+#include "src/transport/tcp_reno.hpp"
+#include "tests/transport_harness.hpp"
+
+namespace burst {
+namespace {
+
+using testing::TcpHarness;
+
+TEST(Delay, UncongestedDelayIsTxPlusProp) {
+  TcpHarness h;  // 10 Mbps, 10 ms one way
+  auto* s = h.make_sender<TcpReno>();
+  s->app_send(1);
+  h.sim.run();
+  // 1040B at 10 Mbps = 0.832 ms tx + 10 ms prop.
+  ASSERT_EQ(h.sink->delay().count(), 1u);
+  EXPECT_NEAR(h.sink->delay().mean(), 0.010832, 1e-6);
+}
+
+TEST(Delay, QueueingInflatesDelay) {
+  TcpHarness h;
+  auto* s = h.make_sender<TcpReno>();
+  s->app_send(200);
+  h.sim.run();
+  // With slow start bursting, later packets queue behind earlier ones:
+  // at least ~5 packet-transmission-times of extra delay at the peak.
+  EXPECT_GT(h.sink->delay().max(), h.sink->delay().min() + 0.004);
+  EXPECT_NEAR(h.sink->delay().min(), 0.010832, 1e-6);
+}
+
+TEST(Delay, ExperimentPoolsDelays) {
+  Scenario sc = Scenario::paper_default();
+  sc.num_clients = 10;
+  sc.duration = 5.0;
+  const auto r = run_experiment(sc);
+  EXPECT_GT(r.delay.count(), 1000u);
+  // One-way floor: client 20ms + bottleneck 20ms + tx times (~1.1ms).
+  EXPECT_GT(r.delay.min(), 0.041);
+  EXPECT_LT(r.delay.min(), 0.043);
+  // Ceiling: propagation + full client queue is impossible here; a loose
+  // bound is propagation + gateway buffer drain (50 pkts / 3846 pps).
+  EXPECT_LT(r.delay.max(), 0.042 + 50.0 / 3846.0 + 0.01);
+}
+
+TEST(Delay, CongestionRaisesMeanDelay) {
+  Scenario light = Scenario::paper_default();
+  light.num_clients = 10;
+  light.duration = 5.0;
+  Scenario heavy = light;
+  heavy.num_clients = 50;
+  const auto l = run_experiment(light);
+  const auto h = run_experiment(heavy);
+  EXPECT_GT(h.delay.mean(), l.delay.mean());
+}
+
+TEST(Delay, VegasKeepsQueueingDelayLowerThanReno) {
+  // Vegas targets alpha..beta queued packets; Reno fills the buffer.
+  Scenario sc = Scenario::paper_default();
+  sc.num_clients = 36;
+  sc.duration = 10.0;
+  sc.transport = Transport::kReno;
+  const auto reno = run_experiment(sc);
+  sc.transport = Transport::kVegas;
+  const auto vegas = run_experiment(sc);
+  EXPECT_LT(vegas.delay.mean(), reno.delay.mean());
+}
+
+}  // namespace
+}  // namespace burst

@@ -1,0 +1,69 @@
+// CSV / JSON export round-trips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/core/report.hpp"
+
+namespace burst {
+namespace {
+
+TEST(Export, WriteSweepCsv) {
+  SweepSeries a{"Reno", {}};
+  SweepSeries b{"Vegas", {}};
+  for (int n : {10, 20}) {
+    SweepPoint p;
+    p.num_clients = n;
+    p.result.cov = n / 100.0;
+    a.points.push_back(p);
+    p.result.cov = n / 200.0;
+    b.points.push_back(p);
+  }
+  const std::string path = ::testing::TempDir() + "/burst_sweep.csv";
+  write_sweep_csv(path, {a, b},
+                  [](const ExperimentResult& r) { return r.cov; });
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "clients,Reno,Vegas");
+  std::getline(f, line);
+  EXPECT_EQ(line, "10,0.1,0.05");
+  std::getline(f, line);
+  EXPECT_EQ(line, "20,0.2,0.1");
+  std::remove(path.c_str());
+}
+
+TEST(Export, WriteSweepCsvEmpty) {
+  const std::string path = ::testing::TempDir() + "/burst_sweep_empty.csv";
+  write_sweep_csv(path, {},
+                  [](const ExperimentResult& r) { return r.cov; });
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "clients");
+  std::remove(path.c_str());
+}
+
+TEST(Export, JsonContainsHeadlineFields) {
+  ExperimentResult r;
+  r.scenario = Scenario::paper_default();
+  r.scenario.num_clients = 42;
+  r.cov = 0.125;
+  r.delivered = 1234;
+  r.loss_pct = 2.5;
+  r.timeouts = 7;
+  const std::string j = to_json(r);
+  EXPECT_NE(j.find("\"scenario\":\"Reno N=42\""), std::string::npos);
+  EXPECT_NE(j.find("\"cov\":0.125"), std::string::npos);
+  EXPECT_NE(j.find("\"delivered\":1234"), std::string::npos);
+  EXPECT_NE(j.find("\"loss_pct\":2.5"), std::string::npos);
+  EXPECT_NE(j.find("\"timeouts\":7"), std::string::npos);
+  EXPECT_EQ(j.front(), '{');
+  EXPECT_EQ(j.back(), '}');
+  // Balanced quotes (crude well-formedness check).
+  EXPECT_EQ(std::count(j.begin(), j.end(), '"') % 2, 0);
+}
+
+}  // namespace
+}  // namespace burst

@@ -1,0 +1,39 @@
+#include "src/stats/fairness.hpp"
+
+#include <gtest/gtest.h>
+
+namespace burst {
+namespace {
+
+TEST(Fairness, EqualSharesAreOne) {
+  EXPECT_DOUBLE_EQ(jain_fairness({5, 5, 5, 5}), 1.0);
+}
+
+TEST(Fairness, SingleFlowIsOne) {
+  EXPECT_DOUBLE_EQ(jain_fairness({42}), 1.0);
+}
+
+TEST(Fairness, EmptyIsOne) {
+  EXPECT_DOUBLE_EQ(jain_fairness({}), 1.0);
+}
+
+TEST(Fairness, AllZerosIsOne) {
+  EXPECT_DOUBLE_EQ(jain_fairness({0, 0, 0}), 1.0);
+}
+
+TEST(Fairness, StarvationApproachesOneOverN) {
+  // One flow hogging everything among n flows -> index = 1/n.
+  EXPECT_NEAR(jain_fairness({10, 0, 0, 0}), 0.25, 1e-12);
+}
+
+TEST(Fairness, KnownMixedCase) {
+  // (1+2+3)^2 / (3 * (1+4+9)) = 36/42.
+  EXPECT_NEAR(jain_fairness({1, 2, 3}), 36.0 / 42.0, 1e-12);
+}
+
+TEST(Fairness, ScaleInvariant) {
+  EXPECT_NEAR(jain_fairness({1, 2, 3}), jain_fairness({10, 20, 30}), 1e-12);
+}
+
+}  // namespace
+}  // namespace burst

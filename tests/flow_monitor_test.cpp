@@ -1,0 +1,121 @@
+#include "src/net/flow_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/net/drop_tail_queue.hpp"
+
+namespace burst {
+namespace {
+
+Packet data(FlowId flow, std::int64_t seq = 0) {
+  Packet p;
+  p.flow = flow;
+  p.seq = seq;
+  p.size_bytes = 1040;
+  return p;
+}
+
+Packet ack(FlowId flow) {
+  Packet p;
+  p.flow = flow;
+  p.type = PacketType::kAck;
+  p.size_bytes = 40;
+  return p;
+}
+
+TEST(FlowMonitor, CountsPerFlowArrivals) {
+  DropTailQueue q(100);
+  FlowMonitor m(q);
+  q.enqueue(data(1), 0.0);
+  q.enqueue(data(1), 0.0);
+  q.enqueue(data(2), 0.0);
+  ASSERT_EQ(m.flows().size(), 2u);
+  EXPECT_EQ(m.flows().at(1).arrivals, 2u);
+  EXPECT_EQ(m.flows().at(2).arrivals, 1u);
+  EXPECT_EQ(m.flows().at(1).drops, 0u);
+}
+
+TEST(FlowMonitor, IgnoresAcks) {
+  DropTailQueue q(100);
+  FlowMonitor m(q);
+  q.enqueue(ack(1), 0.0);
+  EXPECT_TRUE(m.flows().empty());
+  EXPECT_EQ(m.queue_at_arrival().count(), 0u);
+}
+
+TEST(FlowMonitor, QueueAtArrivalSampler) {
+  DropTailQueue q(100);
+  FlowMonitor m(q);
+  q.enqueue(data(1), 0.0);  // sees 0 buffered
+  q.enqueue(data(1), 0.0);  // sees 1
+  q.enqueue(data(1), 0.0);  // sees 2
+  EXPECT_DOUBLE_EQ(m.queue_at_arrival().mean(), 1.0);
+  EXPECT_EQ(m.queue_at_arrival().count(), 3u);
+}
+
+TEST(FlowMonitor, PerFlowDrops) {
+  DropTailQueue q(1);
+  FlowMonitor m(q);
+  q.enqueue(data(1), 0.0);
+  q.enqueue(data(2), 0.0);  // dropped (full)
+  q.enqueue(data(2), 0.0);  // dropped
+  EXPECT_EQ(m.flows().at(2).drops, 2u);
+  EXPECT_EQ(m.flows().at(1).drops, 0u);
+}
+
+TEST(FlowMonitor, DropEventClustering) {
+  DropTailQueue q(1);
+  FlowMonitor m(q, /*event_gap=*/0.5);
+  q.enqueue(data(0), 0.0);  // fills the buffer
+  // Event 1 at t~1: flows 1 and 2 lose together.
+  q.enqueue(data(1), 1.00);
+  q.enqueue(data(2), 1.01);
+  // Event 2 at t~5 (gap > 0.5): only flow 3.
+  q.enqueue(data(3), 5.0);
+  EXPECT_EQ(m.drop_events(), 2u);
+  EXPECT_EQ(m.flows_hit_per_event()[0], 2);
+  EXPECT_EQ(m.flows_hit_per_event()[1], 1);
+  EXPECT_EQ(m.max_flows_hit(), 2);
+  EXPECT_NEAR(m.mean_flows_hit(), 1.5, 1e-12);
+}
+
+TEST(FlowMonitor, SameFlowCountedOncePerEvent) {
+  DropTailQueue q(1);
+  FlowMonitor m(q, 0.5);
+  q.enqueue(data(0), 0.0);
+  q.enqueue(data(7), 1.00);
+  q.enqueue(data(7), 1.01);
+  q.enqueue(data(7), 1.02);
+  EXPECT_EQ(m.drop_events(), 1u);
+  EXPECT_EQ(m.flows_hit_per_event()[0], 1);
+}
+
+TEST(FlowMonitor, LosslessHasNoEvents) {
+  DropTailQueue q(100);
+  FlowMonitor m(q);
+  q.enqueue(data(1), 0.0);
+  EXPECT_EQ(m.drop_events(), 0u);
+  EXPECT_EQ(m.max_flows_hit(), 0);
+  EXPECT_DOUBLE_EQ(m.mean_flows_hit(), 0.0);
+}
+
+TEST(FlowMonitor, LossFractionSpread) {
+  DropTailQueue q(1);
+  FlowMonitor m(q);
+  // Flow 1: 200 arrivals, 0 drops. Flow 2: 200 arrivals, 100 drops.
+  for (int i = 0; i < 200; ++i) {
+    q.dequeue(0.0);
+    q.enqueue(data(1), 0.0);
+  }
+  for (int i = 0; i < 100; ++i) {
+    q.dequeue(0.0);
+    q.enqueue(data(2), 0.0);  // accepted
+    q.enqueue(data(2), 0.0);  // dropped (full)
+  }
+  EXPECT_NEAR(m.loss_fraction_spread(), 0.5, 1e-12);
+  // With a high threshold no flow qualifies -> 0.
+  EXPECT_DOUBLE_EQ(m.loss_fraction_spread(10000), 0.0);
+}
+
+}  // namespace
+}  // namespace burst

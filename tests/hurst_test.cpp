@@ -1,0 +1,99 @@
+#include "src/stats/hurst.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/sim/random.hpp"
+
+namespace burst {
+namespace {
+
+std::vector<double> iid_series(int n, std::uint64_t seed) {
+  Random rng(seed);
+  std::vector<double> xs;
+  xs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) xs.push_back(rng.exponential(1.0));
+  return xs;
+}
+
+/// A crude long-range-dependent series: sum of on/off indicators with
+/// Pareto sojourn times (the classic construction from the self-similar
+/// traffic literature).
+std::vector<double> lrd_series(int n, std::uint64_t seed) {
+  Random rng(seed);
+  const int sources = 32;
+  std::vector<double> xs(static_cast<std::size_t>(n), 0.0);
+  for (int s = 0; s < sources; ++s) {
+    bool on = rng.bernoulli(0.5);
+    int i = 0;
+    while (i < n) {
+      const int len = std::max(
+          1, static_cast<int>(rng.pareto(1.2, 8.0)));
+      if (on) {
+        for (int k = i; k < std::min(n, i + len); ++k) {
+          xs[static_cast<std::size_t>(k)] += 1.0;
+        }
+      }
+      i += len;
+      on = !on;
+    }
+  }
+  return xs;
+}
+
+TEST(Hurst, OlsSlopeExactLine) {
+  std::vector<double> x{1, 2, 3, 4}, y{3, 5, 7, 9};
+  EXPECT_NEAR(ols_slope(x, y), 2.0, 1e-12);
+}
+
+TEST(Hurst, OlsSlopeDegenerate) {
+  EXPECT_DOUBLE_EQ(ols_slope({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(ols_slope({1.0}, {2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(ols_slope({1.0, 1.0}, {2.0, 3.0}), 0.0);
+}
+
+TEST(Hurst, VarianceTimeIidIsHalf) {
+  auto xs = iid_series(65536, 3);
+  const double h = hurst_variance_time(xs, {1, 2, 4, 8, 16, 32, 64, 128});
+  EXPECT_NEAR(h, 0.5, 0.08);
+}
+
+TEST(Hurst, RescaledRangeIidNearHalf) {
+  auto xs = iid_series(65536, 5);
+  const double h = hurst_rescaled_range(xs, {16, 32, 64, 128, 256, 512});
+  // R/S is biased upward on short series; accept the usual band.
+  EXPECT_GT(h, 0.40);
+  EXPECT_LT(h, 0.68);
+}
+
+TEST(Hurst, LrdSeriesHasElevatedHurst) {
+  auto xs = lrd_series(65536, 7);
+  const double h_vt = hurst_variance_time(xs, {1, 2, 4, 8, 16, 32, 64, 128});
+  const double h_rs = hurst_rescaled_range(xs, {16, 32, 64, 128, 256, 512});
+  EXPECT_GT(h_vt, 0.65);
+  EXPECT_GT(h_rs, 0.6);
+}
+
+TEST(Hurst, LrdBeatsIidOnBothEstimators) {
+  auto iid = iid_series(32768, 11);
+  auto lrd = lrd_series(32768, 11);
+  const std::vector<int> ms{1, 2, 4, 8, 16, 32, 64};
+  EXPECT_GT(hurst_variance_time(lrd, ms), hurst_variance_time(iid, ms) + 0.1);
+}
+
+TEST(Hurst, DegenerateInputsReturnHalf) {
+  EXPECT_DOUBLE_EQ(hurst_variance_time({}, {1, 2}), 0.5);
+  EXPECT_DOUBLE_EQ(hurst_variance_time({1.0, 1.0, 1.0}, {1}), 0.5);
+  EXPECT_DOUBLE_EQ(hurst_rescaled_range({1.0, 2.0}, {8}), 0.5);
+}
+
+TEST(Hurst, EstimateClampedToUnitInterval) {
+  auto xs = iid_series(1024, 13);
+  const double h = hurst_variance_time(xs, {1, 2, 4, 8});
+  EXPECT_GE(h, 0.0);
+  EXPECT_LE(h, 1.0);
+}
+
+}  // namespace
+}  // namespace burst

@@ -1,0 +1,97 @@
+#include "src/net/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/net/drop_tail_queue.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace burst {
+namespace {
+
+struct Capture : PacketHandler {
+  std::vector<Packet> got;
+  void handle(const Packet& p) override { got.push_back(p); }
+};
+
+Packet pkt(NodeId dst, FlowId flow) {
+  Packet p;
+  p.dst = dst;
+  p.flow = flow;
+  p.size_bytes = 100;
+  return p;
+}
+
+TEST(Node, DeliversLocalPacketsToAttachedHandler) {
+  Node n(5);
+  Capture c;
+  n.attach(7, &c);
+  n.receive(pkt(5, 7));
+  ASSERT_EQ(c.got.size(), 1u);
+  EXPECT_EQ(n.routing_errors(), 0u);
+}
+
+TEST(Node, UnknownFlowCountsRoutingError) {
+  Node n(5);
+  n.receive(pkt(5, 99));
+  EXPECT_EQ(n.routing_errors(), 1u);
+}
+
+TEST(Node, ForwardsTransitTraffic) {
+  Simulator sim;
+  Node a(1), b(2);
+  SimplexLink link(sim, std::make_unique<DropTailQueue>(10), 1e6, 0.0);
+  link.set_receiver([&b](const Packet& p) { b.receive(p); });
+  a.add_route(2, &link);
+  Capture c;
+  b.attach(0, &c);
+  a.receive(pkt(2, 0));  // transit: not addressed to a
+  sim.run();
+  ASSERT_EQ(c.got.size(), 1u);
+}
+
+TEST(Node, UsesDefaultRouteWhenNoExplicitMatch) {
+  Simulator sim;
+  Node a(1), b(2);
+  SimplexLink link(sim, std::make_unique<DropTailQueue>(10), 1e6, 0.0);
+  link.set_receiver([&b](const Packet& p) { b.receive(p); });
+  a.add_route(Node::kDefaultRoute, &link);
+  Capture c;
+  b.attach(3, &c);
+  a.send(pkt(2, 3));
+  sim.run();
+  ASSERT_EQ(c.got.size(), 1u);
+}
+
+TEST(Node, ExplicitRouteBeatsDefault) {
+  Simulator sim;
+  Node a(1), b(2), c_node(3);
+  SimplexLink to_b(sim, std::make_unique<DropTailQueue>(10), 1e6, 0.0);
+  SimplexLink to_c(sim, std::make_unique<DropTailQueue>(10), 1e6, 0.0);
+  to_b.set_receiver([&b](const Packet& p) { b.receive(p); });
+  to_c.set_receiver([&c_node](const Packet& p) { c_node.receive(p); });
+  a.add_route(Node::kDefaultRoute, &to_b);
+  a.add_route(3, &to_c);
+  Capture cb, cc;
+  b.attach(0, &cb);
+  c_node.attach(0, &cc);
+  a.send(pkt(3, 0));
+  sim.run();
+  EXPECT_EQ(cb.got.size(), 0u);
+  EXPECT_EQ(cc.got.size(), 1u);
+}
+
+TEST(Node, NoRouteCountsError) {
+  Node a(1);
+  a.send(pkt(9, 0));
+  EXPECT_EQ(a.routing_errors(), 1u);
+}
+
+TEST(Node, IdAccessor) {
+  Node n(42);
+  EXPECT_EQ(n.id(), 42);
+}
+
+}  // namespace
+}  // namespace burst

@@ -1,0 +1,139 @@
+// Acceptance tests for the reproduction: the paper's qualitative results
+// (DESIGN.md §6) must hold on shortened runs. These are the claims the
+// benches reproduce in full.
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.hpp"
+
+namespace burst {
+namespace {
+
+Scenario paper(int clients, Transport t, GatewayQueue q = GatewayQueue::kDropTail,
+               bool delack = false) {
+  Scenario s = Scenario::paper_default();
+  s.num_clients = clients;
+  s.transport = t;
+  s.gateway = q;
+  s.delayed_ack = delack;
+  s.duration = 12.0;
+  s.seed = 71;
+  return s;
+}
+
+TEST(PaperResults, UdpTracksPoissonAcrossLoads) {
+  for (int n : {10, 25, 40, 55}) {
+    const auto r = run_experiment(paper(n, Transport::kUdp));
+    EXPECT_NEAR(r.cov, r.poisson_cov, 0.25 * r.poisson_cov) << "N=" << n;
+  }
+}
+
+TEST(PaperResults, PoissonCovFallsWithClients) {
+  const auto r10 = run_experiment(paper(10, Transport::kUdp));
+  const auto r40 = run_experiment(paper(40, Transport::kUdp));
+  EXPECT_NEAR(r10.poisson_cov / r40.poisson_cov, 2.0, 0.01);
+  EXPECT_GT(r10.cov, r40.cov);
+}
+
+TEST(PaperResults, RenoModulatesTrafficUnderCongestion) {
+  // Heavy congestion: Reno's c.o.v. rises well above the Poisson value
+  // (paper: >140% above).
+  const auto r = run_experiment(paper(50, Transport::kReno));
+  EXPECT_GT(r.cov, 1.5 * r.poisson_cov);
+}
+
+TEST(PaperResults, RenoBarelyModulatesWhenUncongested) {
+  const auto r = run_experiment(paper(8, Transport::kReno));
+  EXPECT_LT(r.cov, 1.35 * r.poisson_cov);
+  EXPECT_LT(r.loss_pct, 0.5);
+}
+
+TEST(PaperResults, RedIncreasesRenoBurstiness) {
+  // Sec 3.2.3: RED gateways increase TCP modulation and hurt performance.
+  const auto plain = run_experiment(paper(50, Transport::kReno));
+  const auto red =
+      run_experiment(paper(50, Transport::kReno, GatewayQueue::kRed));
+  EXPECT_GT(red.cov, plain.cov);
+  EXPECT_LT(red.delivered, plain.delivered);
+}
+
+TEST(PaperResults, VegasSmootherThanReno) {
+  for (int n : {45, 60}) {
+    const auto reno = run_experiment(paper(n, Transport::kReno));
+    const auto vegas = run_experiment(paper(n, Transport::kVegas));
+    EXPECT_LT(vegas.cov, reno.cov) << "N=" << n;
+  }
+}
+
+TEST(PaperResults, VegasLowestLossAmongTcp) {
+  const int n = 45;
+  const auto reno = run_experiment(paper(n, Transport::kReno));
+  const auto reno_red =
+      run_experiment(paper(n, Transport::kReno, GatewayQueue::kRed));
+  const auto vegas = run_experiment(paper(n, Transport::kVegas));
+  EXPECT_LT(vegas.loss_pct, reno.loss_pct);
+  EXPECT_LT(vegas.loss_pct, reno_red.loss_pct);
+}
+
+TEST(PaperResults, VegasRedWorseThanVegasPlain) {
+  // Fig 4: Vegas/RED produces higher packet loss than plain Vegas.
+  const auto plain = run_experiment(paper(45, Transport::kVegas));
+  const auto red =
+      run_experiment(paper(45, Transport::kVegas, GatewayQueue::kRed));
+  EXPECT_GT(red.loss_pct, plain.loss_pct);
+  EXPECT_LT(red.delivered, plain.delivered);
+}
+
+TEST(PaperResults, ThroughputPlateausAtCapacity) {
+  // Fig 3: past saturation, delivered packets flatten near capacity.
+  Scenario s45 = paper(45, Transport::kReno);
+  Scenario s60 = paper(60, Transport::kReno);
+  const auto r45 = run_experiment(s45);
+  const auto r60 = run_experiment(s60);
+  const double cap = s45.bottleneck_pps() * s45.duration;
+  EXPECT_GT(static_cast<double>(r45.delivered), 0.85 * cap);
+  EXPECT_LE(static_cast<double>(r60.delivered), 1.01 * cap);
+  // Adding clients beyond saturation cannot raise goodput much.
+  EXPECT_LT(static_cast<double>(r60.delivered),
+            1.1 * static_cast<double>(r45.delivered));
+}
+
+TEST(PaperResults, RenoTimeoutDupackRatioExceedsVegas) {
+  // Fig 13: Reno relies on timeouts far more than Vegas.
+  const auto reno = run_experiment(paper(50, Transport::kReno));
+  const auto vegas = run_experiment(paper(50, Transport::kVegas));
+  ASSERT_GT(reno.dupacks, 0u);
+  ASSERT_GT(vegas.dupacks, 0u);
+  EXPECT_GT(reno.timeout_dupack_ratio, vegas.timeout_dupack_ratio);
+}
+
+TEST(PaperResults, VegasSharesBandwidthMoreFairly) {
+  // Sec 3.2.2 / Figs 10-12: Vegas shares the bottleneck more fairly.
+  const auto reno = run_experiment(paper(50, Transport::kReno));
+  const auto vegas = run_experiment(paper(50, Transport::kVegas));
+  EXPECT_GE(vegas.fairness, reno.fairness - 0.005);
+}
+
+TEST(PaperResults, LossGrowsWithLoadForReno) {
+  const auto r40 = run_experiment(paper(40, Transport::kReno));
+  const auto r60 = run_experiment(paper(60, Transport::kReno));
+  EXPECT_GT(r60.loss_pct, r40.loss_pct);
+}
+
+TEST(PaperResults, DelayedAckStillModulates) {
+  // Reno/DelayAck appears in Figs 2-4 as another Reno-family curve: it
+  // must behave like TCP (modulation under congestion), not like UDP.
+  const auto r = run_experiment(
+      paper(50, Transport::kReno, GatewayQueue::kDropTail, true));
+  EXPECT_GT(r.cov, 1.2 * r.poisson_cov);
+  EXPECT_GT(r.dupacks, 0u);
+}
+
+TEST(PaperResults, SlowStartLossesAppearAtModerateLoad) {
+  // Sec 3.2.1: even at N=20 (uncongested on average), synchronized
+  // slow-start bursts overflow the 50-packet buffer.
+  const auto r = run_experiment(paper(20, Transport::kReno));
+  EXPECT_GT(r.gw_drops, 0u);
+}
+
+}  // namespace
+}  // namespace burst

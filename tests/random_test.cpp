@@ -1,0 +1,137 @@
+#include "src/sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace burst {
+namespace {
+
+TEST(Random, Deterministic) {
+  Random a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Random, DifferentSeedsDiffer) {
+  Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Random, UniformInUnitInterval) {
+  Random r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Random, UniformRange) {
+  Random r(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform(-2.0, 6.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 6.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 2.0, 0.1);
+}
+
+TEST(Random, UniformIntCoversRangeInclusive) {
+  Random r(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    saw_lo |= v == 3;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+class ExponentialMeanTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ExponentialMeanTest, SampleMeanMatches) {
+  const double mean = GetParam();
+  Random r(13);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.exponential(mean);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double m = sum / n;
+  const double var = sum_sq / n - m * m;
+  EXPECT_NEAR(m, mean, 0.02 * mean);
+  // Exponential: variance = mean^2.
+  EXPECT_NEAR(var, mean * mean, 0.1 * mean * mean);
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, ExponentialMeanTest,
+                         ::testing::Values(0.01, 0.1, 1.0, 25.0));
+
+class ParetoTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ParetoTest, SampleMeanMatchesAndHasMinimum) {
+  const double alpha = GetParam();
+  const double mean = 2.0;
+  const double x_m = mean * (alpha - 1.0) / alpha;
+  Random r(17);
+  const int n = 400000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.pareto(alpha, mean);
+    EXPECT_GE(x, x_m * 0.999999);
+    sum += x;
+  }
+  // Heavy tails converge slowly; allow a generous band.
+  EXPECT_NEAR(sum / n, mean, 0.15 * mean);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ParetoTest, ::testing::Values(1.5, 1.9, 3.0));
+
+TEST(Random, BernoulliFrequency) {
+  Random r(19);
+  int heads = 0;
+  for (int i = 0; i < 100000; ++i) heads += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(heads / 100000.0, 0.3, 0.01);
+}
+
+TEST(Random, BernoulliExtremes) {
+  Random r(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+TEST(Random, ForkProducesIndependentStream) {
+  Random a(31);
+  Random b = a.fork();
+  // The fork must not replay the parent's stream.
+  int same = 0;
+  Random a2(31);
+  (void)a2.uniform();  // advance past the fork draw
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Random, ForkIsDeterministic) {
+  Random a(37), b(37);
+  Random fa = a.fork(), fb = b.fork();
+  for (int i = 0; i < 50; ++i) EXPECT_DOUBLE_EQ(fa.uniform(), fb.uniform());
+}
+
+}  // namespace
+}  // namespace burst

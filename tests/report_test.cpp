@@ -1,0 +1,92 @@
+#include "src/core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace burst {
+namespace {
+
+TEST(Report, FmtPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 4), "3.1416");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+TEST(Report, PrintTableAlignsColumns) {
+  std::ostringstream os;
+  print_table(os, {"a", "long_header"},
+              {{"1", "2"}, {"333", "4"}});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("long_header"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // Every line has the same length (alignment).
+  std::istringstream is(out);
+  std::string line;
+  std::size_t len = 0;
+  while (std::getline(is, line)) {
+    if (len == 0) len = line.size();
+    EXPECT_EQ(line.size(), len);
+  }
+}
+
+TEST(Report, PrintMetricVsClients) {
+  SweepSeries s1{"Reno", {}};
+  SweepPoint p;
+  p.num_clients = 10;
+  p.result.cov = 0.5;
+  s1.points.push_back(p);
+  p.num_clients = 20;
+  p.result.cov = 0.25;
+  s1.points.push_back(p);
+
+  std::ostringstream os;
+  print_metric_vs_clients(os, {s1}, "c.o.v.",
+                          [](const ExperimentResult& r) { return r.cov; }, 2);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("c.o.v."), std::string::npos);
+  EXPECT_NE(out.find("Reno"), std::string::npos);
+  EXPECT_NE(out.find("0.50"), std::string::npos);
+  EXPECT_NE(out.find("0.25"), std::string::npos);
+  EXPECT_NE(out.find("20"), std::string::npos);
+}
+
+TEST(Report, PrintMetricEmptySeriesIsNoOp) {
+  std::ostringstream os;
+  print_metric_vs_clients(os, {}, "x",
+                          [](const ExperimentResult& r) { return r.cov; });
+  EXPECT_TRUE(os.str().empty());
+}
+
+TEST(Report, PrintCwndTraces) {
+  TraceSeries t("client 1");
+  t.record(0.0, 1.0);
+  t.record(1.0, 2.0);
+  t.record(2.0, 4.0);
+  std::ostringstream os;
+  print_cwnd_traces(os, {t}, 2.0, 0.5, 100);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("client 1"), std::string::npos);
+  EXPECT_NE(out.find("t(s)"), std::string::npos);
+  EXPECT_NE(out.find("4.0"), std::string::npos);
+}
+
+TEST(Report, WriteTraceCsvRoundTrips) {
+  TraceSeries t("cwnd");
+  t.record(0.5, 3.25);
+  const std::string path = ::testing::TempDir() + "/burst_trace_test.csv";
+  write_trace_csv(path, t);
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::string header, row;
+  std::getline(f, header);
+  std::getline(f, row);
+  EXPECT_EQ(header, "time,cwnd");
+  EXPECT_EQ(row, "0.5,3.25");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace burst

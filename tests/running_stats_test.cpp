@@ -1,0 +1,119 @@
+#include "src/stats/running_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace burst {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.cov(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats rs;
+  rs.add(5.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 5.0);
+}
+
+TEST(RunningStats, KnownSeries) {
+  RunningStats rs;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(x);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  // Sample variance with n-1: sum sq dev = 32, n-1 = 7.
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(rs.cov(), std::sqrt(32.0 / 7.0) / 5.0, 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStats, MatchesNaiveTwoPass) {
+  RunningStats rs;
+  std::vector<double> xs;
+  double seedish = 0.37;
+  for (int i = 0; i < 5000; ++i) {
+    seedish = std::fmod(seedish * 997.13 + 0.113, 13.0);
+    xs.push_back(seedish);
+    rs.add(seedish);
+  }
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(rs.mean(), mean, 1e-9);
+  EXPECT_NEAR(rs.variance(), var, 1e-9 * var);
+}
+
+TEST(RunningStats, NumericallyStableAtLargeOffset) {
+  // Welford must survive values with a large common offset.
+  RunningStats rs;
+  for (double x : {1e9 + 1.0, 1e9 + 2.0, 1e9 + 3.0}) rs.add(x);
+  EXPECT_NEAR(rs.variance(), 1.0, 1e-6);
+}
+
+TEST(RunningStats, CovZeroMeanGuard) {
+  RunningStats rs;
+  rs.add(-1.0);
+  rs.add(1.0);
+  EXPECT_DOUBLE_EQ(rs.cov(), 0.0);  // mean == 0 -> defined as 0
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats whole, left, right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(static_cast<double>(i)) * 10.0 + 3.0;
+    whole.add(x);
+    (i < 37 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  const double mean = a.mean();
+  a.merge(b);  // no-op
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  b.merge(a);  // copies
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+  EXPECT_EQ(b.count(), 2u);
+}
+
+class PoissonCovTest
+    : public ::testing::TestWithParam<std::tuple<int, double, double>> {};
+
+TEST_P(PoissonCovTest, AnalyticFormula) {
+  const auto [n, lambda, window] = GetParam();
+  const double expected = 1.0 / std::sqrt(n * lambda * window);
+  EXPECT_NEAR(poisson_aggregate_cov(n, lambda, window), expected, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PoissonCovTest,
+    ::testing::Values(std::tuple{1, 100.0, 0.08}, std::tuple{20, 100.0, 0.08},
+                      std::tuple{60, 100.0, 0.08}, std::tuple{38, 10.0, 0.044}));
+
+TEST(PoissonCov, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(poisson_aggregate_cov(0, 100.0, 0.08), 0.0);
+  EXPECT_DOUBLE_EQ(poisson_aggregate_cov(10, 0.0, 0.08), 0.0);
+}
+
+}  // namespace
+}  // namespace burst

@@ -1,0 +1,105 @@
+// Direct tests of the sink's SACK-block generation (RFC 2018 shape).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/net/drop_tail_queue.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/transport/tcp_sink.hpp"
+
+namespace burst {
+namespace {
+
+struct Harness {
+  Simulator sim{1};
+  Node server{1};
+  SimplexLink out{sim, std::make_unique<DropTailQueue>(1000), 1e9, 0.0};
+  std::vector<Packet> acks;
+  std::unique_ptr<TcpSink> sink;
+
+  Harness() {
+    out.set_receiver([this](const Packet& p) { acks.push_back(p); });
+    server.add_route(Node::kDefaultRoute, &out);
+    TcpSinkConfig cfg;
+    cfg.sack = true;
+    sink = std::make_unique<TcpSink>(sim, server, 0, 0, cfg);
+  }
+
+  void data(std::int64_t seq) {
+    Packet p;
+    p.type = PacketType::kData;
+    p.flow = 0;
+    p.dst = 1;
+    p.seq = seq;
+    p.size_bytes = 1040;
+    sink->handle(p);
+    sim.run();
+  }
+
+  const Packet& last_ack() { return acks.back(); }
+};
+
+TEST(SackBlocks, SingleHoleSingleBlock) {
+  Harness h;
+  h.data(0);
+  h.data(2);
+  ASSERT_EQ(h.acks.size(), 2u);
+  const Packet& a = h.last_ack();
+  EXPECT_EQ(a.ack, 1);
+  ASSERT_EQ(a.sack_count, 1);
+  EXPECT_EQ(a.sack[0].lo, 2);
+  EXPECT_EQ(a.sack[0].hi, 3);
+}
+
+TEST(SackBlocks, ContiguousRunsMerge) {
+  Harness h;
+  h.data(0);
+  h.data(2);
+  h.data(3);
+  h.data(4);
+  const Packet& a = h.last_ack();
+  ASSERT_EQ(a.sack_count, 1);
+  EXPECT_EQ(a.sack[0].lo, 2);
+  EXPECT_EQ(a.sack[0].hi, 5);
+}
+
+TEST(SackBlocks, MultipleRunsReported) {
+  Harness h;
+  h.data(0);
+  h.data(2);
+  h.data(5);
+  h.data(6);
+  const Packet& a = h.last_ack();
+  ASSERT_EQ(a.sack_count, 2);
+  EXPECT_EQ(a.sack[0].lo, 2);
+  EXPECT_EQ(a.sack[0].hi, 3);
+  EXPECT_EQ(a.sack[1].lo, 5);
+  EXPECT_EQ(a.sack[1].hi, 7);
+}
+
+TEST(SackBlocks, CappedAtThreeBlocks) {
+  Harness h;
+  h.data(0);
+  for (std::int64_t s : {2, 4, 6, 8, 10}) h.data(s);  // five runs
+  const Packet& a = h.last_ack();
+  EXPECT_EQ(a.sack_count, Packet::kMaxSackBlocks);
+}
+
+TEST(SackBlocks, NoBlocksOnceHoleFilled) {
+  Harness h;
+  h.data(0);
+  h.data(2);
+  h.data(1);  // fills the hole
+  const Packet& a = h.last_ack();
+  EXPECT_EQ(a.ack, 3);
+  EXPECT_EQ(a.sack_count, 0);
+}
+
+TEST(SackBlocks, InOrderStreamNeverCarriesBlocks) {
+  Harness h;
+  for (std::int64_t s = 0; s < 10; ++s) h.data(s);
+  for (const Packet& a : h.acks) EXPECT_EQ(a.sack_count, 0);
+}
+
+}  // namespace
+}  // namespace burst

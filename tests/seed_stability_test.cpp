@@ -1,0 +1,60 @@
+// Statistical stability: the paper's headline orderings must hold across
+// RNG seeds, not just for one lucky draw. Kept to short runs so the suite
+// stays fast; the benches provide the full-length versions.
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.hpp"
+
+namespace burst {
+namespace {
+
+Scenario base(std::uint64_t seed, Transport t,
+              GatewayQueue q = GatewayQueue::kDropTail) {
+  Scenario s = Scenario::paper_default();
+  s.num_clients = 50;
+  s.duration = 8.0;
+  s.seed = seed;
+  s.transport = t;
+  s.gateway = q;
+  return s;
+}
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, HeadlineOrderingsHold) {
+  const std::uint64_t seed = GetParam();
+  const auto udp = run_experiment(base(seed, Transport::kUdp));
+  const auto reno = run_experiment(base(seed, Transport::kReno));
+  const auto reno_red =
+      run_experiment(base(seed, Transport::kReno, GatewayQueue::kRed));
+  const auto vegas = run_experiment(base(seed, Transport::kVegas));
+
+  // Fig 2 orderings.
+  EXPECT_NEAR(udp.cov, udp.poisson_cov, 0.3 * udp.poisson_cov);
+  EXPECT_GT(reno.cov, 1.3 * reno.poisson_cov);
+  EXPECT_GT(reno_red.cov, reno.cov);
+  EXPECT_LT(vegas.cov, reno.cov);
+  // Fig 3: RED costs throughput.
+  EXPECT_LT(reno_red.delivered, reno.delivered);
+  // Fig 4: Vegas loses least among TCPs.
+  EXPECT_LT(vegas.loss_pct, reno.loss_pct);
+  // Fig 13: Vegas barely times out.
+  EXPECT_LT(vegas.timeouts, reno.timeouts / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(3u, 17u, 101u, 9001u));
+
+TEST(SeedStability, MetricsVaryButModestly) {
+  // The c.o.v. of the c.o.v.: across seeds the Reno burstiness estimate
+  // itself should be stable to within ~35%.
+  RunningStats covs;
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    covs.add(run_experiment(base(seed, Transport::kReno)).cov);
+  }
+  EXPECT_LT(covs.cov(), 0.35);
+  EXPECT_GT(covs.mean(), 0.05);
+}
+
+}  // namespace
+}  // namespace burst

@@ -1,0 +1,113 @@
+#include "src/sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace burst {
+namespace {
+
+TEST(Simulator, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  Simulator sim;
+  Time seen = -1.0;
+  sim.schedule(2.5, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 2.5);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.5);
+}
+
+TEST(Simulator, CallbackObservesOwnTimestamp) {
+  // Regression test for the stale-clock bug: an event scheduled from
+  // within a callback must be offset from the *event's* time, not the
+  // previous event's.
+  Simulator sim;
+  std::vector<Time> times;
+  sim.schedule(1.0, [&] {
+    times.push_back(sim.now());
+    sim.schedule(1.0, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 2.0);
+}
+
+TEST(Simulator, RunUntilStopsAtBound) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1.0, [&] { ++fired; });
+  sim.schedule(5.0, [&] { ++fired; });
+  sim.run(3.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+  sim.run(10.0);  // resumes with the remaining event
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator sim;
+  sim.run(4.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 4.0);
+}
+
+TEST(Simulator, StopEndsRunEarly) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1.0, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule(2.0, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  sim.run();  // can resume after stop
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, ScheduleAtAbsoluteTime) {
+  Simulator sim;
+  Time seen = -1.0;
+  sim.schedule(1.0, [&] {
+    sim.schedule_at(5.0, [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 5.0);
+}
+
+TEST(Simulator, CancelWorksThroughSimulator) {
+  Simulator sim;
+  bool ran = false;
+  EventId id = sim.schedule(1.0, [&] { ran = true; });
+  EXPECT_TRUE(sim.pending(id));
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, EventsRunCounter) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule(static_cast<Time>(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_run(), 7u);
+}
+
+TEST(Simulator, ZeroDelayEventRunsAtCurrentTime) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(1.0, [&] {
+    order.push_back(1);
+    sim.schedule(0.0, [&] { order.push_back(2); });
+  });
+  sim.schedule(1.0, [&] { order.push_back(3); });
+  sim.run();
+  // The zero-delay event fires after already-queued same-time events.
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+}  // namespace
+}  // namespace burst

@@ -1,0 +1,99 @@
+#include "src/core/tandem.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/stats/binned_counter.hpp"
+
+namespace burst {
+namespace {
+
+TandemConfig small(Transport t = Transport::kReno, int clients = 6) {
+  TandemConfig cfg;
+  cfg.base = Scenario::paper_default();
+  cfg.base.transport = t;
+  cfg.base.num_clients = clients;
+  cfg.base.duration = 5.0;
+  return cfg;
+}
+
+TEST(Tandem, TrafficFlowsAcrossBothHops) {
+  Simulator sim(1);
+  Tandem net(sim, small());
+  std::uint64_t hop1 = 0, hop2 = 0;
+  net.first_queue().taps().add_arrival_listener(
+      [&](const Packet& p, Time) { hop1 += p.type == PacketType::kData; });
+  net.second_queue().taps().add_arrival_listener(
+      [&](const Packet& p, Time) { hop2 += p.type == PacketType::kData; });
+  net.start_sources();
+  sim.run(5.0);
+  EXPECT_GT(net.total_delivered(), 1000u);
+  EXPECT_GT(hop1, 1000u);
+  EXPECT_GT(hop2, 1000u);
+  EXPECT_LE(hop2, hop1);  // hop2 sees only what hop1 forwarded
+  EXPECT_EQ(net.routing_errors(), 0u);
+}
+
+TEST(Tandem, SecondHopIsTheRateLimit) {
+  // Past saturation of the *second* hop, goodput tracks its capacity.
+  TandemConfig cfg = small(Transport::kUdp, 42);
+  cfg.second_hop_ratio = 0.8;
+  Simulator sim(2);
+  Tandem net(sim, cfg);
+  net.start_sources();
+  sim.run(cfg.base.duration);
+  const double cap2 =
+      cfg.base.bottleneck_pps() * cfg.second_hop_ratio * cfg.base.duration;
+  EXPECT_LE(static_cast<double>(net.total_delivered()), 1.01 * cap2);
+  EXPECT_GT(static_cast<double>(net.total_delivered()), 0.9 * cap2);
+  EXPECT_GT(net.second_queue().stats().drops, 0u);
+}
+
+TEST(Tandem, TcpReliabilityHoldsAcrossHops) {
+  Simulator sim(3);
+  TandemConfig cfg = small(Transport::kReno, 40);
+  Tandem net(sim, cfg);
+  net.start_sources();
+  sim.run(cfg.base.duration);
+  for (int i = 0; i < net.num_clients(); ++i) {
+    auto* s = net.tcp_sender(i);
+    ASSERT_NE(s, nullptr);
+    EXPECT_GE(s->snd_nxt(), s->snd_una());
+  }
+  EXPECT_EQ(net.routing_errors(), 0u);
+}
+
+TEST(Tandem, UpstreamPacingSmoothsSecondHop) {
+  // Departures of hop 1 are serialized at its service rate, so hop 2's
+  // arrival c.o.v. cannot exceed hop 1's by much (property used by the
+  // multihop ablation).
+  TandemConfig cfg = small(Transport::kUdp, 40);
+  cfg.base.duration = 20.0;
+  Simulator sim(4);
+  Tandem net(sim, cfg);
+  BinnedCounter b1(cfg.base.rtt_prop(), 2.0), b2(cfg.base.rtt_prop(), 2.0);
+  net.first_queue().taps().add_arrival_listener([&](const Packet& p, Time now) {
+    if (p.type == PacketType::kData) b1.record(now);
+  });
+  net.second_queue().taps().add_arrival_listener(
+      [&](const Packet& p, Time now) {
+        if (p.type == PacketType::kData) b2.record(now);
+      });
+  net.start_sources();
+  sim.run(cfg.base.duration);
+  const double cov1 = b1.stats_until(cfg.base.duration).cov();
+  const double cov2 = b2.stats_until(cfg.base.duration).cov();
+  EXPECT_LT(cov2, cov1 * 1.2 + 0.01);
+}
+
+TEST(Tandem, VegasWorksOnTandem) {
+  Simulator sim(5);
+  TandemConfig cfg = small(Transport::kVegas, 30);
+  Tandem net(sim, cfg);
+  net.start_sources();
+  sim.run(cfg.base.duration);
+  EXPECT_GT(net.total_delivered(), 1000u);
+  EXPECT_EQ(net.routing_errors(), 0u);
+}
+
+}  // namespace
+}  // namespace burst

@@ -1,0 +1,94 @@
+#include "src/transport/tcp_newreno.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/transport/tcp_reno.hpp"
+#include "tests/transport_harness.hpp"
+
+namespace burst {
+namespace {
+
+using testing::LinkParams;
+using testing::TcpHarness;
+
+TEST(TcpNewReno, DeliversReliably) {
+  TcpHarness h;
+  auto* s = h.make_sender<TcpNewReno>();
+  s->app_send(100);
+  h.sim.run();
+  EXPECT_EQ(h.sink->rcv_nxt(), 100);
+}
+
+TEST(TcpNewReno, SurvivesBurstLossWithoutTimeoutMoreOftenThanReno) {
+  // Multiple drops in one window: classic Reno usually needs a timeout,
+  // NewReno retransmits on partial ACKs. Compare timeout counts across a
+  // set of seeds; NewReno must never be worse in aggregate.
+  std::uint64_t reno_timeouts = 0, newreno_timeouts = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    LinkParams fwd;
+    fwd.queue_capacity = 5;
+    {
+      TcpHarness h(seed, fwd);
+      auto* s = h.make_sender<TcpReno>();
+      s->app_send(15);
+      h.sim.run(1.0);
+      s->app_send(25);
+      h.sim.run(60.0);
+      EXPECT_EQ(h.sink->rcv_nxt(), 40);
+      reno_timeouts += s->stats().timeouts;
+    }
+    {
+      TcpHarness h(seed, fwd);
+      auto* s = h.make_sender<TcpNewReno>();
+      s->app_send(15);
+      h.sim.run(1.0);
+      s->app_send(25);
+      h.sim.run(60.0);
+      EXPECT_EQ(h.sink->rcv_nxt(), 40);
+      newreno_timeouts += s->stats().timeouts;
+    }
+  }
+  EXPECT_LE(newreno_timeouts, reno_timeouts);
+}
+
+TEST(TcpNewReno, PartialAckRetransmitsImmediately) {
+  LinkParams fwd;
+  fwd.queue_capacity = 4;
+  TcpHarness h(2, fwd);
+  auto* s = h.make_sender<TcpNewReno>();
+  s->app_send(10);
+  h.sim.run(1.0);
+  const auto rexmits0 = s->stats().retransmits;
+  s->app_send(20);  // burst with multiple drops
+  h.sim.run(60.0);
+  EXPECT_EQ(h.sink->rcv_nxt(), 30);
+  EXPECT_GT(s->stats().retransmits, rexmits0);
+}
+
+TEST(TcpNewReno, RecoveryEndsAtRecoverPoint) {
+  LinkParams fwd;
+  fwd.queue_capacity = 6;
+  TcpHarness h(1, fwd);
+  auto* s = h.make_sender<TcpNewReno>();
+  s->app_send(12);
+  h.sim.run(1.0);
+  s->app_send(20);
+  h.sim.run(60.0);
+  EXPECT_FALSE(s->in_fast_recovery());
+  EXPECT_EQ(h.sink->rcv_nxt(), 32);
+}
+
+TEST(TcpNewReno, HeavyLossProperty) {
+  for (std::size_t cap : {1u, 3u, 6u}) {
+    LinkParams fwd;
+    fwd.queue_capacity = cap;
+    TcpHarness h(11, fwd);
+    auto* s = h.make_sender<TcpNewReno>();
+    s->app_send(200);
+    h.sim.run(300.0);
+    EXPECT_EQ(h.sink->rcv_nxt(), 200) << "cap " << cap;
+  }
+}
+
+}  // namespace
+}  // namespace burst

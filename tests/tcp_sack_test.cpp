@@ -1,0 +1,145 @@
+#include "src/transport/tcp_sack.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/transport/tcp_reno.hpp"
+#include "tests/transport_harness.hpp"
+
+namespace burst {
+namespace {
+
+using testing::LinkParams;
+using testing::TcpHarness;
+
+TcpSinkConfig sack_sink() {
+  TcpSinkConfig cfg;
+  cfg.sack = true;
+  return cfg;
+}
+
+TEST(TcpSack, DeliversReliably) {
+  TcpHarness h(1, {}, sack_sink());
+  auto* s = h.make_sender<TcpSack>();
+  s->app_send(100);
+  h.sim.run();
+  EXPECT_EQ(h.sink->rcv_nxt(), 100);
+  EXPECT_EQ(s->backlog(), 0);
+}
+
+TEST(TcpSack, SinkReportsSackBlocks) {
+  TcpHarness h(1, {}, sack_sink());
+  auto* s = h.make_sender<TcpSack>();
+  // Capture acks on the reverse link.
+  int acks_with_sack = 0;
+  h.ba.queue().taps().add_arrival_listener([&](const Packet& p, Time) {
+    if (p.type == PacketType::kAck && p.sack_count > 0) ++acks_with_sack;
+  });
+  // Inject out-of-order data by dropping one packet via a tiny detour:
+  // send 1 packet, then force a gap by delivering seq 2,3 first is hard
+  // here; instead use a small queue to create real loss.
+  (void)s;
+  LinkParams fwd;
+  fwd.queue_capacity = 4;
+  TcpHarness h2(3, fwd, sack_sink());
+  auto* s2 = h2.make_sender<TcpSack>();
+  int sacked_acks = 0;
+  h2.ba.queue().taps().add_arrival_listener([&](const Packet& p, Time) {
+    if (p.type == PacketType::kAck && p.sack_count > 0) ++sacked_acks;
+  });
+  s2->app_send(10);
+  h2.sim.run(1.0);
+  s2->app_send(30);
+  h2.sim.run(30.0);
+  EXPECT_EQ(h2.sink->rcv_nxt(), 40);
+  EXPECT_GT(sacked_acks, 0);
+}
+
+TEST(TcpSack, ScoreboardTracksAndCleans) {
+  LinkParams fwd;
+  fwd.queue_capacity = 4;
+  TcpHarness h(3, fwd, sack_sink());
+  auto* s = h.make_sender<TcpSack>();
+  s->app_send(10);
+  h.sim.run(1.0);
+  s->app_send(30);
+  h.sim.run(30.0);
+  // After full delivery everything below snd_una is cleaned out.
+  EXPECT_EQ(h.sink->rcv_nxt(), 40);
+  EXPECT_EQ(s->scoreboard_size(), 0u);
+  EXPECT_FALSE(s->in_fast_recovery());
+}
+
+TEST(TcpSack, FewerTimeoutsThanRenoUnderMultipleDrops) {
+  std::uint64_t reno_timeouts = 0, sack_timeouts = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    LinkParams fwd;
+    fwd.queue_capacity = 5;
+    {
+      TcpHarness h(seed, fwd);
+      auto* s = h.make_sender<TcpReno>();
+      s->app_send(15);
+      h.sim.run(1.0);
+      s->app_send(40);
+      h.sim.run(90.0);
+      EXPECT_EQ(h.sink->rcv_nxt(), 55);
+      reno_timeouts += s->stats().timeouts;
+    }
+    {
+      TcpHarness h(seed, fwd, sack_sink());
+      auto* s = h.make_sender<TcpSack>();
+      s->app_send(15);
+      h.sim.run(1.0);
+      s->app_send(40);
+      h.sim.run(90.0);
+      EXPECT_EQ(h.sink->rcv_nxt(), 55);
+      sack_timeouts += s->stats().timeouts;
+    }
+  }
+  EXPECT_LE(sack_timeouts, reno_timeouts);
+}
+
+TEST(TcpSack, DoesNotRetransmitSackedData) {
+  LinkParams fwd;
+  fwd.queue_capacity = 6;
+  TcpHarness h(5, fwd, sack_sink());
+  auto* s = h.make_sender<TcpSack>();
+  s->app_send(12);
+  h.sim.run(1.0);
+  const auto unique_before = h.sink->stats().unique_packets;
+  s->app_send(30);
+  h.sim.run(60.0);
+  EXPECT_EQ(h.sink->rcv_nxt(), 42);
+  // Spurious (duplicate) deliveries would show up as duplicate_packets;
+  // SACK should keep them minimal (well below the retransmit count Reno
+  // would produce with go-back-N after timeouts).
+  EXPECT_LE(h.sink->stats().duplicate_packets, s->stats().retransmits);
+  EXPECT_EQ(h.sink->stats().unique_packets, unique_before + 30);
+}
+
+TEST(TcpSack, HeavyLossProperty) {
+  for (std::size_t cap : {1u, 3u, 6u}) {
+    LinkParams fwd;
+    fwd.queue_capacity = cap;
+    TcpHarness h(17, fwd, sack_sink());
+    auto* s = h.make_sender<TcpSack>();
+    s->app_send(200);
+    h.sim.run(300.0);
+    EXPECT_EQ(h.sink->rcv_nxt(), 200) << "cap " << cap;
+  }
+}
+
+TEST(TcpSack, WorksAgainstNonSackSink) {
+  // Without SACK blocks from the peer it degrades to NewReno-ish behavior
+  // but must stay correct.
+  LinkParams fwd;
+  fwd.queue_capacity = 3;
+  TcpHarness h(19, fwd);  // default sink: no SACK
+  auto* s = h.make_sender<TcpSack>();
+  s->app_send(100);
+  h.sim.run(200.0);
+  EXPECT_EQ(h.sink->rcv_nxt(), 100);
+  EXPECT_EQ(s->scoreboard_size(), 0u);
+}
+
+}  // namespace
+}  // namespace burst

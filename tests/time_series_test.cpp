@@ -1,0 +1,63 @@
+#include "src/stats/time_series.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/random.hpp"
+
+namespace burst {
+namespace {
+
+TEST(TimeSeries, AggregateSumsBlocks) {
+  std::vector<double> xs{1, 2, 3, 4, 5, 6, 7};
+  auto agg = aggregate_series(xs, 2);
+  EXPECT_EQ(agg, (std::vector<double>{3, 7, 11}));  // tail 7 discarded
+}
+
+TEST(TimeSeries, AggregateByOneIsIdentity) {
+  std::vector<double> xs{1, 2, 3};
+  EXPECT_EQ(aggregate_series(xs, 1), xs);
+}
+
+TEST(TimeSeries, AggregateInvalidBlock) {
+  std::vector<double> xs{1, 2, 3};
+  EXPECT_TRUE(aggregate_series(xs, 0).empty());
+  EXPECT_TRUE(aggregate_series(xs, -2).empty());
+}
+
+TEST(TimeSeries, ToDoubles) {
+  std::vector<std::uint64_t> xs{1, 2, 3};
+  EXPECT_EQ(to_doubles(xs), (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(TimeSeries, SeriesStats) {
+  auto rs = series_stats({2.0, 4.0, 6.0});
+  EXPECT_DOUBLE_EQ(rs.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 4.0);
+}
+
+TEST(TimeSeries, CovFallsAsSqrtMForIidCounts) {
+  // iid counts: cov at aggregation m scales as 1/sqrt(m).
+  Random rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 100000; ++i) {
+    // Poisson-ish iid: number of exponential events in a unit window,
+    // approximated by rounding an exponential sum; simpler: Bernoulli sums.
+    int c = 0;
+    for (int k = 0; k < 10; ++k) c += rng.bernoulli(0.5) ? 1 : 0;
+    xs.push_back(static_cast<double>(c));
+  }
+  auto covs = cov_across_scales(xs, {1, 4, 16, 64});
+  for (std::size_t i = 1; i < covs.size(); ++i) {
+    EXPECT_NEAR(covs[i - 1] / covs[i], 2.0, 0.4);  // sqrt(4) per step
+  }
+}
+
+TEST(TimeSeries, CovScalesEmptyInput) {
+  EXPECT_TRUE(cov_across_scales({}, {}).empty());
+  auto covs = cov_across_scales({1.0, 2.0}, {8});
+  ASSERT_EQ(covs.size(), 1u);
+  EXPECT_DOUBLE_EQ(covs[0], 0.0);  // not enough data -> degenerate 0
+}
+
+}  // namespace
+}  // namespace burst

@@ -1,0 +1,83 @@
+#include "src/sim/timer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace burst {
+namespace {
+
+TEST(Timer, FiresAfterDelay) {
+  Simulator sim;
+  int fired = 0;
+  Timer t(sim, [&] { ++fired; });
+  t.schedule(1.5);
+  EXPECT_TRUE(t.pending());
+  EXPECT_DOUBLE_EQ(t.expiry(), 1.5);
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(t.pending());
+}
+
+TEST(Timer, CancelPreventsFiring) {
+  Simulator sim;
+  int fired = 0;
+  Timer t(sim, [&] { ++fired; });
+  t.schedule(1.0);
+  t.cancel();
+  sim.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_FALSE(t.pending());
+}
+
+TEST(Timer, RescheduleReplacesPendingExpiry) {
+  Simulator sim;
+  std::vector<Time> fire_times;
+  Timer t(sim, [&] { fire_times.push_back(sim.now()); });
+  t.schedule(1.0);
+  t.schedule(3.0);  // replaces the 1.0 expiry
+  sim.run();
+  ASSERT_EQ(fire_times.size(), 1u);
+  EXPECT_DOUBLE_EQ(fire_times[0], 3.0);
+}
+
+TEST(Timer, CanRescheduleFromCallback) {
+  Simulator sim;
+  int fired = 0;
+  Timer t(sim, [&] {
+    if (++fired < 3) t.schedule(1.0);
+  });
+  t.schedule(1.0);
+  sim.run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Timer, ExpiryIsNeverWhenIdle) {
+  Simulator sim;
+  Timer t(sim, [] {});
+  EXPECT_EQ(t.expiry(), kTimeNever);
+  EXPECT_FALSE(t.pending());
+}
+
+TEST(Timer, DestructorCancelsCleanly) {
+  Simulator sim;
+  int fired = 0;
+  {
+    Timer t(sim, [&] { ++fired; });
+    t.schedule(1.0);
+  }
+  sim.run();  // must not crash or fire
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Timer, CancelIdempotent) {
+  Simulator sim;
+  Timer t(sim, [] {});
+  t.cancel();
+  t.schedule(1.0);
+  t.cancel();
+  t.cancel();
+  EXPECT_FALSE(t.pending());
+}
+
+}  // namespace
+}  // namespace burst

@@ -1,0 +1,94 @@
+#include "src/stats/trace_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+namespace burst {
+namespace {
+
+TraceSeries steps(const std::vector<std::pair<Time, double>>& pts,
+                  const char* name = "t") {
+  TraceSeries t(name);
+  for (const auto& [at, v] : pts) t.record(at, v);
+  return t;
+}
+
+TEST(TraceAnalysis, DecreaseCountsPerWindow) {
+  auto t = steps({{0, 1}, {1, 2}, {2, 1}, {3, 4}, {4, 2}, {5, 1}});
+  // Decreases at t=2, 4, 5.
+  auto all = decrease_counts({t}, 0.0, 10.0);
+  EXPECT_EQ(all, (std::vector<int>{3}));
+  auto early = decrease_counts({t}, 0.0, 3.0);
+  EXPECT_EQ(early, (std::vector<int>{1}));
+  auto late = decrease_counts({t}, 3.0, 10.0);
+  EXPECT_EQ(late, (std::vector<int>{2}));
+}
+
+TEST(TraceAnalysis, DecreaseCountsMultipleSeries) {
+  auto a = steps({{0, 2}, {1, 1}});
+  auto b = steps({{0, 2}, {1, 3}});
+  auto counts = decrease_counts({a, b}, 0.0, 10.0);
+  EXPECT_EQ(counts, (std::vector<int>{1, 0}));
+}
+
+TEST(TraceAnalysis, MaxSyncFractionAllTogether) {
+  // Three flows all cut inside the same 0.1 s bin.
+  std::vector<TraceSeries> ts;
+  for (int i = 0; i < 3; ++i) {
+    ts.push_back(steps({{0.0, 10}, {1.02 + 0.01 * i, 5}}));
+  }
+  EXPECT_DOUBLE_EQ(max_sync_fraction(ts, 0.1, 0.0, 2.0), 1.0);
+}
+
+TEST(TraceAnalysis, MaxSyncFractionSpreadOut) {
+  std::vector<TraceSeries> ts;
+  for (int i = 0; i < 4; ++i) {
+    ts.push_back(steps({{0.0, 10}, {1.0 + 0.5 * i, 5}}));
+  }
+  EXPECT_DOUBLE_EQ(max_sync_fraction(ts, 0.1, 0.0, 4.0), 0.25);
+}
+
+TEST(TraceAnalysis, MaxSyncFractionOneFlowOncePerBin) {
+  // One flow cutting three times in a bin counts once.
+  auto t = steps({{0, 10}, {1.01, 8}, {1.02, 6}, {1.03, 4}});
+  auto other = steps({{0, 10}});
+  EXPECT_DOUBLE_EQ(max_sync_fraction({t, other}, 0.1, 0.0, 2.0), 0.5);
+}
+
+TEST(TraceAnalysis, MaxSyncFractionDegenerate) {
+  EXPECT_DOUBLE_EQ(max_sync_fraction({}, 0.1, 0.0, 1.0), 0.0);
+  auto t = steps({{0, 1}});
+  EXPECT_DOUBLE_EQ(max_sync_fraction({t}, 0.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(max_sync_fraction({t}, 0.1, 1.0, 1.0), 0.0);
+}
+
+TEST(TraceAnalysis, ResampleHoldsLastValue) {
+  auto t = steps({{0.0, 1}, {1.0, 2}, {2.5, 3}});
+  auto g = resample(t, 0.0, 3.0, 1.0);
+  EXPECT_EQ(g, (std::vector<double>{1, 2, 2}));
+  auto fine = resample(t, 2.0, 3.0, 0.25);
+  EXPECT_EQ(fine, (std::vector<double>{2, 2, 3, 3}));
+}
+
+TEST(TraceAnalysis, ResampleFallbackBeforeFirstPoint) {
+  auto t = steps({{5.0, 9}});
+  auto g = resample(t, 0.0, 2.0, 1.0, -1.0);
+  EXPECT_EQ(g, (std::vector<double>{-1, -1}));
+  EXPECT_TRUE(resample(t, 0.0, 2.0, 0.0).empty());
+}
+
+TEST(TraceAnalysis, DecreaseIndicator) {
+  auto t = steps({{0.0, 5}, {0.15, 3}, {0.35, 4}, {0.55, 2}});
+  auto ind = decrease_indicator(t, 0.1, 0.0, 0.6);
+  // Bins: [0,.1)=0, [.1,.2)=1 (cut at .15), [.2,.3)=0, [.3,.4)=0 (increase),
+  // [.4,.5)=0, [.5,.6)=1.
+  EXPECT_EQ(ind, (std::vector<double>{0, 1, 0, 0, 0, 1}));
+}
+
+TEST(TraceAnalysis, DecreaseIndicatorDegenerate) {
+  auto t = steps({{0.0, 5}});
+  EXPECT_TRUE(decrease_indicator(t, 0.0, 0.0, 1.0).empty());
+  EXPECT_TRUE(decrease_indicator(t, 0.1, 1.0, 1.0).empty());
+}
+
+}  // namespace
+}  // namespace burst

@@ -1,0 +1,62 @@
+#include "src/sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace burst {
+namespace {
+
+TEST(TraceSeries, RecordsPoints) {
+  TraceSeries t("cwnd");
+  EXPECT_TRUE(t.empty());
+  t.record(0.0, 1.0);
+  t.record(1.0, 2.0);
+  EXPECT_EQ(t.name(), "cwnd");
+  ASSERT_EQ(t.points().size(), 2u);
+  EXPECT_DOUBLE_EQ(t.points()[1].second, 2.0);
+}
+
+TEST(TraceSeries, ValueAtStepFunction) {
+  TraceSeries t("x");
+  t.record(1.0, 10.0);
+  t.record(2.0, 20.0);
+  t.record(5.0, 50.0);
+  EXPECT_DOUBLE_EQ(t.value_at(0.5, -1.0), -1.0);  // before first point
+  EXPECT_DOUBLE_EQ(t.value_at(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(t.value_at(1.9), 10.0);
+  EXPECT_DOUBLE_EQ(t.value_at(2.0), 20.0);
+  EXPECT_DOUBLE_EQ(t.value_at(4.999), 20.0);
+  EXPECT_DOUBLE_EQ(t.value_at(100.0), 50.0);
+}
+
+TEST(TraceSeries, ValueAtEmptyReturnsFallback) {
+  TraceSeries t("x");
+  EXPECT_DOUBLE_EQ(t.value_at(3.0, 7.0), 7.0);
+}
+
+TEST(TraceSeries, DownsampleKeepsEndpointsAndBounds) {
+  TraceSeries t("x");
+  for (int i = 0; i < 1000; ++i) {
+    t.record(static_cast<Time>(i), static_cast<double>(i));
+  }
+  auto d = t.downsample(100);
+  EXPECT_LE(d.size(), 102u);
+  EXPECT_DOUBLE_EQ(d.front().first, 0.0);
+  EXPECT_DOUBLE_EQ(d.back().first, 999.0);
+}
+
+TEST(TraceSeries, DownsampleSmallSeriesIsIdentity) {
+  TraceSeries t("x");
+  t.record(0.0, 1.0);
+  t.record(1.0, 2.0);
+  auto d = t.downsample(100);
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(TraceSeries, DownsampleZeroReturnsEmpty) {
+  TraceSeries t("x");
+  t.record(0.0, 1.0);
+  EXPECT_TRUE(t.downsample(0).empty());
+}
+
+}  // namespace
+}  // namespace burst

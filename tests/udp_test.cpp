@@ -1,0 +1,90 @@
+#include "src/transport/udp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/net/drop_tail_queue.hpp"
+#include "src/net/node.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace burst {
+namespace {
+
+struct UdpHarness {
+  Simulator sim{1};
+  Node a{0}, b{1};
+  SimplexLink ab{sim, std::make_unique<DropTailQueue>(5), 1e6, 0.010};
+  UdpSender sender{sim, a, 0, 1};
+  UdpSink sink{sim, b, 0, 0};
+
+  UdpHarness() {
+    ab.set_receiver([this](const Packet& p) { b.receive(p); });
+    a.add_route(Node::kDefaultRoute, &ab);
+  }
+};
+
+TEST(Udp, TransmitsImmediately) {
+  UdpHarness h;
+  h.sender.app_send(1);
+  EXPECT_EQ(h.sender.packets_sent(), 1u);
+  h.sim.run();
+  EXPECT_EQ(h.sink.packets_received(), 1u);
+  EXPECT_EQ(h.sink.bytes_received(), 1040u);
+}
+
+TEST(Udp, NoRetransmissionOnLoss) {
+  UdpHarness h;
+  // Queue capacity 5 + 1 in flight: a burst of 10 loses 4.
+  h.sender.app_send(10);
+  h.sim.run();
+  EXPECT_EQ(h.sender.packets_sent(), 10u);
+  EXPECT_EQ(h.sink.packets_received(), 6u);
+  EXPECT_EQ(h.ab.queue().stats().drops, 4u);
+  // And nothing further happens: UDP never recovers the loss.
+  h.sim.run(100.0);
+  EXPECT_EQ(h.sink.packets_received(), 6u);
+}
+
+TEST(Udp, SenderIgnoresIncomingPackets) {
+  UdpHarness h;
+  Packet bogus;
+  bogus.type = PacketType::kAck;
+  h.sender.handle(bogus);  // must be a no-op
+  EXPECT_EQ(h.sender.packets_sent(), 0u);
+}
+
+TEST(Udp, SinkIgnoresAcks) {
+  UdpHarness h;
+  Packet ack;
+  ack.type = PacketType::kAck;
+  h.sink.handle(ack);
+  EXPECT_EQ(h.sink.packets_received(), 0u);
+}
+
+TEST(Udp, SequencesIncrease) {
+  UdpHarness h;
+  std::vector<std::int64_t> seqs;
+  h.ab.queue().taps().add_arrival_listener([&](const Packet& p, Time) {
+    seqs.push_back(p.seq);
+  });
+  h.sender.app_send(3);
+  h.sim.run();
+  EXPECT_EQ(seqs, (std::vector<std::int64_t>{0, 1, 2}));
+}
+
+TEST(Udp, CustomPayloadSize) {
+  Simulator sim;
+  Node a(0), b(1);
+  SimplexLink ab(sim, std::make_unique<DropTailQueue>(10), 1e6, 0.0);
+  ab.set_receiver([&b](const Packet& p) { b.receive(p); });
+  a.add_route(Node::kDefaultRoute, &ab);
+  UdpSender s(sim, a, 0, 1, 512);
+  UdpSink k(sim, b, 0, 0);
+  s.app_send(1);
+  sim.run();
+  EXPECT_EQ(k.bytes_received(), 512u + kHeaderBytes);
+}
+
+}  // namespace
+}  // namespace burst

@@ -1,0 +1,58 @@
+// Property sweep: Vegas's diff-based equilibrium across bandwidths.
+#include <gtest/gtest.h>
+
+#include "src/stats/running_stats.hpp"
+#include "src/transport/tcp_vegas.hpp"
+#include "tests/transport_harness.hpp"
+
+namespace burst {
+namespace {
+
+using testing::LinkParams;
+using testing::TcpHarness;
+
+class VegasEquilibrium : public ::testing::TestWithParam<double> {};
+
+TEST_P(VegasEquilibrium, CwndTracksBandwidthDelayProduct) {
+  const double bw = GetParam();
+  LinkParams fwd;
+  fwd.bandwidth_bps = bw;
+  fwd.queue_capacity = 500;
+  TcpConfig cfg;
+  cfg.advertised_window = 500.0;
+  TcpHarness h(1, fwd);
+  auto* s = h.make_sender<TcpVegas>(cfg);
+  s->app_send(2000000);
+  h.sim.run(30.0);
+  const double bdp = bw / 8.0 * s->base_rtt() / 1040.0;
+  // Equilibrium window = BDP + [alpha..beta] queued packets (plus slack
+  // for the +-1 oscillation).
+  EXPECT_GE(s->cwnd(), bdp + 0.5) << "bw=" << bw;
+  EXPECT_LE(s->cwnd(), bdp + 5.0) << "bw=" << bw;
+  // Near-zero loss at equilibrium.
+  EXPECT_EQ(s->stats().timeouts, 0u);
+  EXPECT_LT(h.ab.queue().stats().loss_fraction(), 0.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bandwidths, VegasEquilibrium,
+                         ::testing::Values(1e6, 2e6, 5e6, 8e6));
+
+TEST(VegasEquilibrium, DiffStaysWithinAlphaBetaBand) {
+  LinkParams fwd;
+  fwd.bandwidth_bps = 4e6;
+  TcpHarness h(1, fwd);
+  auto* s = h.make_sender<TcpVegas>();
+  s->app_send(2000000);
+  // Sample diff after convergence; it should hover in/near [alpha, beta].
+  h.sim.run(10.0);
+  RunningStats diffs;
+  for (int i = 0; i < 100; ++i) {
+    h.sim.run(h.sim.now() + 0.1);
+    diffs.add(s->last_diff());
+  }
+  EXPECT_GT(diffs.mean(), 0.0);
+  EXPECT_LT(diffs.mean(), 4.5);
+}
+
+}  // namespace
+}  // namespace burst

@@ -1,0 +1,56 @@
+// burstsim: command-line driver for single experiments. See --help.
+#include <iostream>
+
+#include "src/core/cli.hpp"
+#include "src/core/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace burst;
+
+  CliError error;
+  const auto request = parse_cli({argv + 1, argv + argc}, &error);
+  if (!request) {
+    std::cerr << "burstsim: " << error.message << "\n\n" << cli_usage();
+    return 2;
+  }
+  if (request->show_help) {
+    std::cout << cli_usage();
+    return 0;
+  }
+
+  const Scenario& sc = request->scenario;
+  std::cout << "running: " << sc.label() << ", " << sc.duration
+            << " s simulated, seed " << sc.seed << "\n";
+  const ExperimentResult r = run_experiment(sc, request->options);
+
+  print_table(
+      std::cout, {"metric", "value"},
+      {
+          {"c.o.v. of gateway arrivals per RTT", fmt(r.cov, 4)},
+          {"analytic Poisson c.o.v.", fmt(r.poisson_cov, 4)},
+          {"application packets generated", std::to_string(r.app_generated)},
+          {"packets delivered in order", std::to_string(r.delivered)},
+          {"gateway arrivals / drops",
+           std::to_string(r.gw_arrivals) + " / " + std::to_string(r.gw_drops)},
+          {"packet loss", fmt(r.loss_pct, 2) + " %"},
+          {"timeouts / fast retransmits",
+           std::to_string(r.timeouts) + " / " +
+               std::to_string(r.fast_retransmits)},
+          {"duplicate ACKs received", std::to_string(r.dupacks)},
+          {"Jain fairness", fmt(r.fairness, 4)},
+      });
+
+  if (!request->options.trace_clients.empty()) {
+    std::cout << '\n';
+    print_cwnd_traces(std::cout, r.cwnd_traces, sc.duration, 0.1, 40);
+  }
+  if (!request->csv_path.empty()) {
+    for (const auto& t : r.cwnd_traces) {
+      const std::string path =
+          request->csv_path + "." + t.name() + ".csv";
+      write_trace_csv(path, t);
+      std::cout << "wrote " << path << "\n";
+    }
+  }
+  return 0;
+}
