@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "src/run/campaign.hpp"
+
 namespace burst::bench {
 
 Scenario paper_base() {
@@ -36,13 +38,35 @@ std::vector<int> fig2_clients() {
 
 std::vector<int> fig34_clients() { return range(30, 60, 3); }
 
+std::vector<SweepSeries> figure_sweep(const std::string& name,
+                                      const Scenario& base,
+                                      const std::vector<int>& client_counts,
+                                      const std::vector<SweepConfig>& configs) {
+  CampaignSweep sweep;
+  sweep.name = name;
+  sweep.base = base;
+  sweep.client_counts = client_counts;
+  sweep.configs = configs;
+
+  CampaignOptions opts;
+  if (const char* cache = std::getenv("BURST_CACHE_DIR")) {
+    opts.cache_dir = cache;
+  }
+  opts.use_cache = std::getenv("BURST_NO_CACHE") == nullptr;
+  opts.log = opts.cache_dir.empty() ? nullptr : &std::cerr;
+  return run_campaign({sweep}, opts).sweeps.front().second;
+}
+
 void maybe_write_sweep_csv(const std::string& name,
                            const std::vector<SweepSeries>& series,
                            double (*metric)(const ExperimentResult&)) {
   const char* dir = std::getenv("BURST_CSV_DIR");
   if (!dir) return;
   const std::string path = std::string(dir) + "/" + name + ".csv";
-  write_sweep_csv(path, series, metric);
+  if (!write_sweep_csv(path, series, metric)) {
+    std::cerr << "error: could not write " << path << "\n";
+    return;
+  }
   std::cout << "wrote " << path << "\n";
 }
 

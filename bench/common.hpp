@@ -3,8 +3,12 @@
 // a PASS/DEVIATION verdict where the claim is checkable.
 //
 // Environment overrides:
-//   BURST_DURATION  simulation seconds per run (default: the paper's 20 s)
-//   BURST_SEED      base RNG seed (default 1)
+//   BURST_DURATION   simulation seconds per run (default: the paper's 20 s)
+//   BURST_SEED       base RNG seed (default 1)
+//   BURST_CACHE_DIR  result-cache directory: figure sweeps are served from /
+//                    recorded into the campaign result store (warm reruns
+//                    simulate nothing)
+//   BURST_NO_CACHE   set to ignore the cache even if BURST_CACHE_DIR is set
 #pragma once
 
 #include <string>
@@ -32,6 +36,15 @@ std::vector<int> fig2_clients();
 
 /// Client counts for Figs 3, 4 and 13 (the paper starts these at 30).
 std::vector<int> fig34_clients();
+
+/// Runs one named figure sweep through the campaign runner: identical
+/// numbers to sweep_clients, but cache-backed when BURST_CACHE_DIR is set
+/// (and shared across figure binaries, since seeds key on config name and
+/// client count rather than loop indices).
+std::vector<SweepSeries> figure_sweep(const std::string& name,
+                                      const Scenario& base,
+                                      const std::vector<int>& client_counts,
+                                      const std::vector<SweepConfig>& configs);
 
 /// If BURST_CSV_DIR is set, writes the sweep as <dir>/<name>.csv so
 /// scripts/plot_figures.py can render the figure.

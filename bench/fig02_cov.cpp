@@ -16,7 +16,7 @@ int main() {
 
   const Scenario base = paper_base();
   const auto ns = fig2_clients();
-  const auto series = sweep_clients(base, ns, paper_protocol_set());
+  const auto series = figure_sweep("fig02_cov", base, ns, paper_protocol_set());
 
   // Assemble the table with the analytic Poisson column first.
   std::vector<std::string> header{"clients", "Poisson"};

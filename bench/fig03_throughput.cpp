@@ -14,7 +14,7 @@ int main() {
 
   const Scenario base = paper_base();
   const auto ns = fig34_clients();
-  const auto series = sweep_clients(base, ns, paper_protocol_set(false));
+  const auto series = figure_sweep("fig03_throughput", base, ns, paper_protocol_set(false));
 
   print_metric_vs_clients(
       std::cout, series, "total packets successfully transmitted",

@@ -80,25 +80,31 @@ void print_cwnd_traces(std::ostream& os,
   print_table(os, header, rows);
 }
 
-void write_trace_csv(const std::string& path, const TraceSeries& trace) {
+bool write_trace_csv(const std::string& path, const TraceSeries& trace) {
   std::ofstream f(path);
+  if (!f) return false;
   f << "time," << trace.name() << '\n';
   for (const auto& [t, v] : trace.points()) f << t << ',' << v << '\n';
+  f.flush();
+  return static_cast<bool>(f);
 }
 
-void write_sweep_csv(const std::string& path,
+bool write_sweep_csv(const std::string& path,
                      const std::vector<SweepSeries>& series,
                      double (*metric)(const ExperimentResult&)) {
   std::ofstream f(path);
+  if (!f) return false;
   f << "clients";
   for (const auto& s : series) f << ',' << s.name;
   f << '\n';
-  if (series.empty()) return;
-  for (std::size_t p = 0; p < series.front().points.size(); ++p) {
+  for (std::size_t p = 0;
+       !series.empty() && p < series.front().points.size(); ++p) {
     f << series.front().points[p].num_clients;
     for (const auto& s : series) f << ',' << metric(s.points[p].result);
     f << '\n';
   }
+  f.flush();
+  return static_cast<bool>(f);
 }
 
 std::string to_json(const ExperimentResult& r) {

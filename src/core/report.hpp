@@ -32,13 +32,15 @@ void print_cwnd_traces(std::ostream& os,
                        Time sample_period, int max_rows = 60);
 
 /// Writes a trace as CSV (t,value per line) for external plotting.
-void write_trace_csv(const std::string& path, const TraceSeries& trace);
+/// Returns false if the file cannot be opened or fully written.
+bool write_trace_csv(const std::string& path, const TraceSeries& trace);
 
 /// Writes sweep results as CSV: one row per client count, one column per
 /// series, for a caller-chosen metric. Used by the figure benches when
 /// BURST_CSV_DIR is set, so the paper's plots can be regenerated with any
-/// external plotting tool.
-void write_sweep_csv(const std::string& path,
+/// external plotting tool. Returns false if the file cannot be opened or
+/// fully written.
+bool write_sweep_csv(const std::string& path,
                      const std::vector<SweepSeries>& series,
                      double (*metric)(const ExperimentResult&));
 

@@ -1,7 +1,10 @@
 #include "src/core/sweep.hpp"
 
-#include <atomic>
+#include <algorithm>
 #include <thread>
+
+#include "src/run/executor.hpp"
+#include "src/run/scenario_key.hpp"
 
 namespace burst {
 
@@ -45,28 +48,25 @@ std::vector<SweepSeries> sweep_clients(
       Scenario sc = base;
       sc.num_clients = client_counts[p];
       configs[c].apply(sc);
-      // Decorrelate seeds across points while keeping determinism.
-      sc.seed = base.seed + 1000003ULL * c + 17ULL * p;
+      // Decorrelate per-point seeds with a splitmix64 mix keyed on the
+      // config *name* and client *count* (not loop indices), so the same
+      // scenario gets the same seed in every sweep and in the campaign
+      // runner's cached path.
+      sc.seed = derive_seed(base.seed, configs[c].name, client_counts[p]);
       out[c].points[p].num_clients = client_counts[p];
       tasks.push_back(Task{c, p, sc});
     }
   }
 
-  std::atomic<std::size_t> next{0};
-  auto worker = [&] {
-    while (true) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= tasks.size()) return;
-      const Task& t = tasks[i];
-      out[t.series].points[t.point].result = run_experiment(t.scenario);
-    }
-  };
+  if (tasks.empty()) return out;
+  // No point spinning up more workers than tasks.
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  const std::size_t n_threads = std::min<std::size_t>(hw, tasks.size());
-  std::vector<std::thread> pool;
-  pool.reserve(n_threads);
-  for (std::size_t i = 0; i < n_threads; ++i) pool.emplace_back(worker);
-  for (auto& th : pool) th.join();
+  Executor executor(
+      static_cast<unsigned>(std::min<std::size_t>(hw, tasks.size())));
+  executor.run(tasks.size(), [&](std::size_t i) {
+    const Task& t = tasks[i];
+    out[t.series].points[t.point].result = run_experiment(t.scenario);
+  });
   return out;
 }
 

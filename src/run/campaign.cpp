@@ -1,0 +1,265 @@
+#include "src/run/campaign.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+
+#include "src/core/report.hpp"
+#include "src/run/result_store.hpp"
+
+#ifndef BURST_VERSION_STRING
+#define BURST_VERSION_STRING "unversioned"
+#endif
+
+namespace burst {
+namespace {
+
+struct PlannedPoint {
+  std::size_t sweep = 0;
+  std::size_t config = 0;
+  std::size_t point = 0;
+  std::size_t unique_index = 0;  // into the deduplicated task list
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(static_cast<unsigned char>(c) < 0x20 ? ' ' : c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t campaign_point_seed(const Scenario& base,
+                                  const std::string& config_name,
+                                  int num_clients) {
+  return derive_seed(base.seed, config_name, num_clients);
+}
+
+CampaignOutput run_campaign(const std::vector<CampaignSweep>& sweeps,
+                            const CampaignOptions& opts) {
+  const auto t0 = std::chrono::steady_clock::now();
+  CampaignOutput out;
+
+  // ---- Plan: expand every sweep and dedup identical scenarios. --------
+  std::vector<PlannedPoint> plan;
+  std::vector<Scenario> unique_scenarios;
+  std::vector<ScenarioKey> unique_keys;
+  std::unordered_map<ScenarioKey, std::size_t, ScenarioKeyHash> by_key;
+  for (std::size_t s = 0; s < sweeps.size(); ++s) {
+    const CampaignSweep& sweep = sweeps[s];
+    for (std::size_t c = 0; c < sweep.configs.size(); ++c) {
+      for (std::size_t p = 0; p < sweep.client_counts.size(); ++p) {
+        Scenario sc = sweep.base;
+        sc.num_clients = sweep.client_counts[p];
+        sweep.configs[c].apply(sc);
+        sc.seed = campaign_point_seed(sweep.base, sweep.configs[c].name,
+                                      sweep.client_counts[p]);
+        const ScenarioKey key = scenario_key(sc);
+        const auto [it, inserted] = by_key.emplace(key, unique_scenarios.size());
+        if (inserted) {
+          unique_scenarios.push_back(sc);
+          unique_keys.push_back(key);
+        }
+        plan.push_back(PlannedPoint{s, c, p, it->second});
+      }
+    }
+  }
+  out.stats.planned = plan.size();
+  out.stats.unique = unique_scenarios.size();
+
+  // ---- Probe the cache. -----------------------------------------------
+  std::unique_ptr<ResultStore> store;
+  if (opts.use_cache && !opts.cache_dir.empty()) {
+    store = std::make_unique<ResultStore>(opts.cache_dir);
+    out.stats.store_skipped = store->skipped_entries();
+  }
+  std::vector<ExperimentResult> results(unique_scenarios.size());
+  std::vector<std::size_t> misses;
+  for (std::size_t i = 0; i < unique_scenarios.size(); ++i) {
+    bool hit = false;
+    if (store) {
+      if (auto cached = store->get(unique_keys[i])) {
+        results[i] = std::move(*cached);
+        results[i].scenario = unique_scenarios[i];
+        hit = true;
+      }
+    }
+    if (hit) {
+      ++out.stats.cache_hits;
+    } else {
+      misses.push_back(i);
+    }
+  }
+  out.stats.simulated = misses.size();
+  if (opts.log) {
+    *opts.log << "campaign: " << out.stats.planned << " points, "
+              << out.stats.unique << " unique scenarios, "
+              << out.stats.cache_hits << " cache hits, " << misses.size()
+              << " to simulate\n";
+  }
+
+  // ---- Simulate the misses. -------------------------------------------
+  if (!misses.empty()) {
+    unsigned threads = opts.threads;
+    if (threads == 0) {
+      threads = static_cast<unsigned>(
+          std::min<std::size_t>(std::max(1u, std::thread::hardware_concurrency()),
+                                misses.size()));
+    }
+    Executor executor(threads);
+    // Log at most ~20 progress lines regardless of batch size.
+    const std::size_t stride = std::max<std::size_t>(1, misses.size() / 20);
+    const auto progress = [&](const ExecutorProgress& p) {
+      if (!opts.log) return;
+      if (p.done % stride != 0 && p.done != p.total) return;
+      *opts.log << "campaign: " << p.done << "/" << p.total
+                << " simulated, elapsed " << fmt(p.elapsed_s, 1) << " s, ETA "
+                << fmt(p.eta_s, 1) << " s\n";
+    };
+    executor.run(
+        misses.size(),
+        [&](std::size_t i) {
+          const std::size_t ui = misses[i];
+          results[ui] = run_experiment(unique_scenarios[ui]);
+        },
+        opts.log ? progress : std::function<void(const ExecutorProgress&)>{});
+    if (store) {
+      for (const std::size_t ui : misses) {
+        store->put(unique_keys[ui], results[ui]);
+      }
+      if (!store->flush() && opts.log) {
+        *opts.log << "campaign: warning: could not persist result cache to "
+                  << store->shard_path() << "\n";
+      }
+    }
+  }
+
+  // ---- Assemble per-sweep series. -------------------------------------
+  out.sweeps.reserve(sweeps.size());
+  for (const CampaignSweep& sweep : sweeps) {
+    std::vector<SweepSeries> series(sweep.configs.size());
+    for (std::size_t c = 0; c < sweep.configs.size(); ++c) {
+      series[c].name = sweep.configs[c].name;
+      series[c].points.resize(sweep.client_counts.size());
+      for (std::size_t p = 0; p < sweep.client_counts.size(); ++p) {
+        series[c].points[p].num_clients = sweep.client_counts[p];
+      }
+    }
+    out.sweeps.emplace_back(sweep.name, std::move(series));
+  }
+  for (const PlannedPoint& pt : plan) {
+    out.sweeps[pt.sweep].second[pt.config].points[pt.point].result =
+        results[pt.unique_index];
+  }
+  out.stats.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  // ---- Artifacts. ------------------------------------------------------
+  if (!opts.artifact_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(opts.artifact_dir, ec);
+    if (ec) {
+      if (opts.log) {
+        *opts.log << "campaign: cannot create artifact dir "
+                  << opts.artifact_dir << ": " << ec.message() << "\n";
+      }
+    } else {
+      for (std::size_t s = 0; s < sweeps.size(); ++s) {
+        if (!sweeps[s].metric) continue;
+        const std::string path =
+            opts.artifact_dir + "/" + sweeps[s].name + ".csv";
+        if (!write_sweep_csv(path, out.sweeps[s].second, sweeps[s].metric)) {
+          if (opts.log) *opts.log << "campaign: failed to write " << path << "\n";
+        } else if (opts.log) {
+          *opts.log << "campaign: wrote " << path << "\n";
+        }
+      }
+      const std::string manifest = opts.artifact_dir + "/manifest.json";
+      std::ofstream mf(manifest, std::ios::trunc);
+      mf << "{\n"
+         << "  \"version\": \"" << json_escape(BURST_VERSION_STRING) << "\",\n"
+         << "  \"result_schema\": " << kResultSchemaVersion << ",\n"
+         << "  \"generated_unix\": " << static_cast<long long>(std::time(nullptr))
+         << ",\n"
+         << "  \"wall_s\": " << out.stats.wall_s << ",\n"
+         << "  \"cache_dir\": \"" << json_escape(opts.cache_dir) << "\",\n"
+         << "  \"cache_enabled\": " << (store ? "true" : "false") << ",\n"
+         << "  \"stats\": {\"planned\": " << out.stats.planned
+         << ", \"unique\": " << out.stats.unique
+         << ", \"cache_hits\": " << out.stats.cache_hits
+         << ", \"simulated\": " << out.stats.simulated
+         << ", \"store_skipped\": " << out.stats.store_skipped << "},\n"
+         << "  \"sweeps\": [\n";
+      for (std::size_t s = 0; s < sweeps.size(); ++s) {
+        const CampaignSweep& sweep = sweeps[s];
+        mf << "    {\"name\": \"" << json_escape(sweep.name)
+           << "\", \"metric\": \"" << json_escape(sweep.metric_name)
+           << "\", \"base_seed\": " << sweep.base.seed << ", \"clients\": [";
+        for (std::size_t p = 0; p < sweep.client_counts.size(); ++p) {
+          mf << (p ? "," : "") << sweep.client_counts[p];
+        }
+        mf << "], \"series\": [";
+        for (std::size_t c = 0; c < sweep.configs.size(); ++c) {
+          mf << (c ? "," : "") << "{\"name\": \""
+             << json_escape(sweep.configs[c].name) << "\", \"seeds\": [";
+          for (std::size_t p = 0; p < sweep.client_counts.size(); ++p) {
+            mf << (p ? "," : "")
+               << campaign_point_seed(sweep.base, sweep.configs[c].name,
+                                      sweep.client_counts[p]);
+          }
+          mf << "]}";
+        }
+        mf << "]}" << (s + 1 < sweeps.size() ? "," : "") << "\n";
+      }
+      mf << "  ]\n}\n";
+      mf.flush();
+      if (opts.log) {
+        if (mf) {
+          *opts.log << "campaign: wrote " << manifest << "\n";
+        } else {
+          *opts.log << "campaign: failed to write " << manifest << "\n";
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<CampaignSweep> paper_figure_campaign(const Scenario& base) {
+  // The bench harnesses' client grids (bench/common.cpp mirrors these).
+  std::vector<int> fig2 = range(4, 36, 4);
+  for (int n : {38, 39, 40, 44, 48, 52, 56, 60}) fig2.push_back(n);
+  const std::vector<int> fig34 = range(30, 60, 3);
+
+  std::vector<CampaignSweep> sweeps;
+  sweeps.push_back({"fig02_cov", "c.o.v. of per-RTT gateway arrivals", base,
+                    fig2, paper_protocol_set(true),
+                    [](const ExperimentResult& r) { return r.cov; }});
+  sweeps.push_back({"fig03_throughput", "packets successfully transmitted",
+                    base, fig34, paper_protocol_set(false),
+                    [](const ExperimentResult& r) {
+                      return static_cast<double>(r.delivered);
+                    }});
+  sweeps.push_back({"fig04_loss", "packet loss percentage", base, fig34,
+                    paper_protocol_set(false),
+                    [](const ExperimentResult& r) { return r.loss_pct; }});
+  sweeps.push_back({"fig13_timeout_dupack", "timeouts / duplicate ACKs", base,
+                    fig34, paper_protocol_set(false),
+                    [](const ExperimentResult& r) {
+                      return r.timeout_dupack_ratio;
+                    }});
+  return sweeps;
+}
+
+}  // namespace burst

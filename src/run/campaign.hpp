@@ -1,0 +1,77 @@
+// Campaigns: declarative batches of client-count sweeps that run once
+// per *unique* scenario instead of once per figure.
+//
+// A campaign is planned as the union of (sweep × config × client-count)
+// points; identical scenarios (same fingerprint, see scenario_key.hpp)
+// are deduplicated across sweeps, looked up in an optional on-disk
+// ResultStore, and only the misses are simulated — through the shared
+// Executor, with per-point seeds derived from values (not loop indices)
+// so the cached and uncached paths are bit-identical. Artifacts are a
+// per-sweep CSV plus a manifest.json recording seeds, cache hit/miss
+// counts, wall time and the build version.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/core/sweep.hpp"
+#include "src/run/executor.hpp"
+
+namespace burst {
+
+/// One named sweep: base scenario × configs × client counts, plus the
+/// metric its CSV artifact reports.
+struct CampaignSweep {
+  std::string name;         // artifact stem, e.g. "fig02_cov"
+  std::string metric_name;  // human label for the metric column group
+  Scenario base;
+  std::vector<int> client_counts;
+  std::vector<SweepConfig> configs;
+  double (*metric)(const ExperimentResult&) = nullptr;
+};
+
+struct CampaignOptions {
+  /// Directory holding the ResultStore shard; empty disables caching.
+  std::string cache_dir;
+  /// --no-cache: when false, the store is neither read nor written.
+  bool use_cache = true;
+  /// Worker threads; 0 = hardware concurrency.
+  unsigned threads = 0;
+  /// Where CSVs + manifest.json go; empty disables artifacts.
+  std::string artifact_dir;
+  /// Progress / summary lines go here when set (e.g. &std::cerr).
+  std::ostream* log = nullptr;
+};
+
+struct CampaignStats {
+  std::size_t planned = 0;     // sweep × config × count points
+  std::size_t unique = 0;      // after cross-sweep dedup
+  std::size_t cache_hits = 0;  // unique scenarios served from the store
+  std::size_t simulated = 0;   // unique scenarios actually run
+  std::size_t store_skipped = 0;  // corrupt/stale store lines at load
+  double wall_s = 0.0;
+};
+
+struct CampaignOutput {
+  /// Per-sweep results, in input order, in sweep_clients's shape.
+  std::vector<std::pair<std::string, std::vector<SweepSeries>>> sweeps;
+  CampaignStats stats;
+};
+
+/// Plans, runs and (optionally) persists a campaign. Blocking.
+CampaignOutput run_campaign(const std::vector<CampaignSweep>& sweeps,
+                            const CampaignOptions& opts = {});
+
+/// The full paper figure set (Figs 2, 3, 4, 13) over @p base. Figures 3,
+/// 4 and 13 share every simulation (same scenarios, different metric
+/// column), so the campaign runs ~half the naive task count.
+std::vector<CampaignSweep> paper_figure_campaign(const Scenario& base);
+
+/// The seed a campaign (and sweep_clients) assigns to one point.
+std::uint64_t campaign_point_seed(const Scenario& base,
+                                  const std::string& config_name,
+                                  int num_clients);
+
+}  // namespace burst

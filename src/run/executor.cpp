@@ -1,0 +1,100 @@
+#include "src/run/executor.hpp"
+
+#include <algorithm>
+
+namespace burst {
+
+Executor::Executor(unsigned num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void Executor::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  while (true) {
+    work_cv_.wait(lk, [&] {
+      return shutdown_ || batch_generation_ != seen_generation;
+    });
+    if (shutdown_) return;
+    seen_generation = batch_generation_;
+    lk.unlock();
+    work_on_batch();
+    lk.lock();
+  }
+}
+
+void Executor::work_on_batch() {
+  while (true) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_acq_rel);
+    const std::size_t total = total_.load(std::memory_order_relaxed);
+    if (i >= total) return;
+    if (!cancelled()) {
+      try {
+        (*task_)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    ++finished_;
+    if (progress_) {
+      ExecutorProgress p;
+      p.done = finished_;
+      p.total = total;
+      p.elapsed_s = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - batch_start_)
+                        .count();
+      p.eta_s = p.done == 0
+                    ? 0.0
+                    : p.elapsed_s *
+                          static_cast<double>(p.total - p.done) /
+                          static_cast<double>(p.done);
+      (*progress_)(p);
+    }
+    if (finished_ == total) done_cv_.notify_all();
+  }
+}
+
+void Executor::run(std::size_t num_tasks,
+                   const std::function<void(std::size_t)>& task,
+                   const std::function<void(const ExecutorProgress&)>& progress) {
+  if (num_tasks == 0) return;
+  std::unique_lock<std::mutex> lk(mu_);
+  total_.store(num_tasks, std::memory_order_relaxed);
+  task_ = &task;
+  progress_ = progress ? &progress : nullptr;
+  finished_ = 0;
+  first_error_ = nullptr;
+  cancelled_.store(false, std::memory_order_relaxed);
+  // Release: claims ordered after the batch fields above are visible.
+  next_.store(0, std::memory_order_release);
+  batch_start_ = std::chrono::steady_clock::now();
+  ++batch_generation_;
+  work_cv_.notify_all();
+  done_cv_.wait(lk, [&] { return finished_ == num_tasks; });
+  task_ = nullptr;
+  progress_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr e = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace burst

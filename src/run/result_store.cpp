@@ -1,0 +1,403 @@
+#include "src/run/result_store.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+namespace burst {
+namespace {
+
+// ---- Writing ----------------------------------------------------------
+
+// max_digits10 digits round-trip any finite double exactly through strtod.
+void append_double(std::ostringstream& os, double v) {
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << v;
+}
+
+void append_field(std::ostringstream& os, const char* name, double v,
+                  bool first = false) {
+  if (!first) os << ',';
+  os << '"' << name << "\":";
+  append_double(os, v);
+}
+
+void append_field(std::ostringstream& os, const char* name, std::uint64_t v,
+                  bool first = false) {
+  if (!first) os << ',';
+  os << '"' << name << "\":" << v;
+}
+
+// Trace names are generated labels ("client 7"); escape the JSON basics
+// anyway so a hostile name cannot corrupt the shard line.
+void append_string(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      os << ' ';
+    } else {
+      os << c;
+    }
+  }
+  os << '"';
+}
+
+// ---- Minimal JSON reader ----------------------------------------------
+//
+// Strict enough for the shard format: objects, arrays, strings, numbers.
+// Numbers keep their raw token so integer fields can be re-parsed as
+// uint64 without a double round-trip.
+
+struct JsonReader {
+  const char* p;
+  const char* end;
+
+  explicit JsonReader(const std::string& s)
+      : p(s.data()), end(s.data() + s.size()) {}
+
+  void skip_ws() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+      ++p;
+    }
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (p < end && *p == c) {
+      ++p;
+      return true;
+    }
+    return false;
+  }
+  bool peek(char c) {
+    skip_ws();
+    return p < end && *p == c;
+  }
+
+  bool read_string(std::string* out) {
+    if (!consume('"')) return false;
+    out->clear();
+    while (p < end && *p != '"') {
+      if (*p == '\\') {
+        ++p;
+        if (p >= end) return false;
+      }
+      out->push_back(*p++);
+    }
+    return consume('"');
+  }
+
+  bool read_number_token(std::string* out) {
+    skip_ws();
+    const char* start = p;
+    while (p < end && (std::isdigit(static_cast<unsigned char>(*p)) ||
+                       *p == '-' || *p == '+' || *p == '.' || *p == 'e' ||
+                       *p == 'E' || *p == 'x' || *p == 'n' || *p == 'a' ||
+                       *p == 'i' || *p == 'f')) {
+      ++p;  // accepts nan/inf tokens so they fail conversion, not parsing
+    }
+    if (p == start) return false;
+    out->assign(start, p);
+    return true;
+  }
+};
+
+bool token_to_double(const std::string& tok, double* out) {
+  char* rest = nullptr;
+  errno = 0;
+  const double v = std::strtod(tok.c_str(), &rest);
+  if (rest != tok.c_str() + tok.size() || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+bool token_to_u64(const std::string& tok, std::uint64_t* out) {
+  if (tok.empty() || tok[0] == '-') return false;
+  char* rest = nullptr;
+  errno = 0;
+  const std::uint64_t v = std::strtoull(tok.c_str(), &rest, 10);
+  if (rest != tok.c_str() + tok.size() || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+// Reads `"name":<number>` with an optional leading comma.
+bool read_num_field(JsonReader& r, const char* name, std::string* tok) {
+  r.consume(',');
+  std::string key;
+  if (!r.read_string(&key) || key != name) return false;
+  if (!r.consume(':')) return false;
+  return r.read_number_token(tok);
+}
+
+bool read_double_field(JsonReader& r, const char* name, double* out) {
+  std::string tok;
+  return read_num_field(r, name, &tok) && token_to_double(tok, out);
+}
+
+bool read_u64_field(JsonReader& r, const char* name, std::uint64_t* out) {
+  std::string tok;
+  return read_num_field(r, name, &tok) && token_to_u64(tok, out);
+}
+
+}  // namespace
+
+std::string result_to_json(const ExperimentResult& r) {
+  std::ostringstream os;
+  os << '{';
+  append_field(os, "cov", r.cov, /*first=*/true);
+  append_field(os, "poisson_cov", r.poisson_cov);
+  append_field(os, "mean_per_bin", r.mean_per_bin);
+  append_field(os, "app_generated", r.app_generated);
+  append_field(os, "delivered", r.delivered);
+  append_field(os, "gw_arrivals", r.gw_arrivals);
+  append_field(os, "gw_drops", r.gw_drops);
+  append_field(os, "loss_pct", r.loss_pct);
+  append_field(os, "timeouts", r.timeouts);
+  append_field(os, "fast_retransmits", r.fast_retransmits);
+  append_field(os, "dupacks", r.dupacks);
+  append_field(os, "retransmits", r.retransmits);
+  append_field(os, "data_pkts_sent", r.data_pkts_sent);
+  append_field(os, "timeout_dupack_ratio", r.timeout_dupack_ratio);
+  append_field(os, "fairness", r.fairness);
+  append_field(os, "routing_errors", r.routing_errors);
+  os << ",\"delay\":{";
+  append_field(os, "n", r.delay.count(), /*first=*/true);
+  append_field(os, "mean", r.delay.mean());
+  append_field(os, "m2", r.delay.m2());
+  append_field(os, "min", r.delay.min());
+  append_field(os, "max", r.delay.max());
+  os << "},\"cwnd_traces\":[";
+  for (std::size_t i = 0; i < r.cwnd_traces.size(); ++i) {
+    const TraceSeries& t = r.cwnd_traces[i];
+    if (i) os << ',';
+    os << "{\"name\":";
+    append_string(os, t.name());
+    os << ",\"points\":[";
+    bool first = true;
+    for (const auto& [time, value] : t.points()) {
+      if (!first) os << ',';
+      first = false;
+      os << '[';
+      append_double(os, time);
+      os << ',';
+      append_double(os, value);
+      os << ']';
+    }
+    os << "]}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+bool result_from_json(const std::string& json, ExperimentResult* out) {
+  ExperimentResult r;
+  JsonReader rd(json);
+  if (!rd.consume('{')) return false;
+  if (!read_double_field(rd, "cov", &r.cov)) return false;
+  if (!read_double_field(rd, "poisson_cov", &r.poisson_cov)) return false;
+  if (!read_double_field(rd, "mean_per_bin", &r.mean_per_bin)) return false;
+  if (!read_u64_field(rd, "app_generated", &r.app_generated)) return false;
+  if (!read_u64_field(rd, "delivered", &r.delivered)) return false;
+  if (!read_u64_field(rd, "gw_arrivals", &r.gw_arrivals)) return false;
+  if (!read_u64_field(rd, "gw_drops", &r.gw_drops)) return false;
+  if (!read_double_field(rd, "loss_pct", &r.loss_pct)) return false;
+  if (!read_u64_field(rd, "timeouts", &r.timeouts)) return false;
+  if (!read_u64_field(rd, "fast_retransmits", &r.fast_retransmits)) {
+    return false;
+  }
+  if (!read_u64_field(rd, "dupacks", &r.dupacks)) return false;
+  if (!read_u64_field(rd, "retransmits", &r.retransmits)) return false;
+  if (!read_u64_field(rd, "data_pkts_sent", &r.data_pkts_sent)) return false;
+  if (!read_double_field(rd, "timeout_dupack_ratio", &r.timeout_dupack_ratio)) {
+    return false;
+  }
+  if (!read_double_field(rd, "fairness", &r.fairness)) return false;
+  if (!read_u64_field(rd, "routing_errors", &r.routing_errors)) return false;
+
+  // delay accumulator.
+  rd.consume(',');
+  std::string key;
+  if (!rd.read_string(&key) || key != "delay" || !rd.consume(':') ||
+      !rd.consume('{')) {
+    return false;
+  }
+  std::uint64_t n = 0;
+  double mean = 0, m2 = 0, dmin = 0, dmax = 0;
+  if (!read_u64_field(rd, "n", &n)) return false;
+  if (!read_double_field(rd, "mean", &mean)) return false;
+  if (!read_double_field(rd, "m2", &m2)) return false;
+  if (!read_double_field(rd, "min", &dmin)) return false;
+  if (!read_double_field(rd, "max", &dmax)) return false;
+  if (!rd.consume('}')) return false;
+  r.delay = RunningStats::from_moments(n, mean, m2, dmin, dmax);
+
+  // cwnd traces.
+  rd.consume(',');
+  if (!rd.read_string(&key) || key != "cwnd_traces" || !rd.consume(':') ||
+      !rd.consume('[')) {
+    return false;
+  }
+  while (!rd.peek(']')) {
+    if (!r.cwnd_traces.empty() && !rd.consume(',')) return false;
+    if (!rd.consume('{')) return false;
+    std::string name;
+    if (!rd.read_string(&key) || key != "name" || !rd.consume(':') ||
+        !rd.read_string(&name)) {
+      return false;
+    }
+    TraceSeries trace(name);
+    if (!rd.consume(',') || !rd.read_string(&key) || key != "points" ||
+        !rd.consume(':') || !rd.consume('[')) {
+      return false;
+    }
+    bool first_point = true;
+    while (!rd.peek(']')) {
+      if (!first_point && !rd.consume(',')) return false;
+      first_point = false;
+      std::string t_tok, v_tok;
+      double t = 0, v = 0;
+      if (!rd.consume('[') || !rd.read_number_token(&t_tok) ||
+          !rd.consume(',') || !rd.read_number_token(&v_tok) ||
+          !rd.consume(']') || !token_to_double(t_tok, &t) ||
+          !token_to_double(v_tok, &v)) {
+        return false;
+      }
+      trace.record(t, v);
+    }
+    if (!rd.consume(']') || !rd.consume('}')) return false;
+    r.cwnd_traces.push_back(std::move(trace));
+  }
+  if (!rd.consume(']') || !rd.consume('}')) return false;
+  rd.skip_ws();
+  if (rd.p != rd.end) return false;  // trailing garbage
+
+  *out = std::move(r);
+  return true;
+}
+
+std::string ResultStore::shard_path() const { return dir_ + "/results.jsonl"; }
+
+ResultStore::ResultStore(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    std::cerr << "result_store: cannot create " << dir_ << ": " << ec.message()
+              << " (cache disabled for reads)\n";
+    return;
+  }
+  std::ifstream in(shard_path());
+  if (!in) return;  // fresh store
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    // Envelope: {"key":"<32 hex>","schema":N,"result":{...}}
+    // We wrote it, so anything off-pattern is corruption: skip the line.
+    const std::string key_prefix = "{\"key\":\"";
+    ScenarioKey key;
+    bool ok = line.rfind(key_prefix, 0) == 0 && line.size() > 40 &&
+              ScenarioKey::parse(
+                  std::string_view(line).substr(key_prefix.size(), 32), &key);
+    std::uint64_t schema = 0;
+    std::string payload;
+    if (ok) {
+      const std::string schema_prefix = "\",\"schema\":";
+      const std::size_t schema_at = key_prefix.size() + 32;
+      ok = line.compare(schema_at, schema_prefix.size(), schema_prefix) == 0;
+      if (ok) {
+        const std::size_t num_at = schema_at + schema_prefix.size();
+        const std::size_t comma = line.find(',', num_at);
+        ok = comma != std::string::npos &&
+             token_to_u64(line.substr(num_at, comma - num_at), &schema);
+        const std::string result_prefix = "\"result\":";
+        if (ok) {
+          ok = line.compare(comma + 1, result_prefix.size(), result_prefix) ==
+                   0 &&
+               line.back() == '}';
+          if (ok) {
+            payload = line.substr(comma + 1 + result_prefix.size(),
+                                  line.size() - comma - 2 -
+                                      result_prefix.size());
+          }
+        }
+      }
+    }
+    // A wrong-schema entry is not corruption, but it is unusable: skip.
+    if (ok && schema != kResultSchemaVersion) {
+      ++skipped_;
+      continue;
+    }
+    ExperimentResult parsed;
+    if (!ok || !result_from_json(payload, &parsed)) {
+      ++skipped_;
+      continue;
+    }
+    entries_[key] = std::move(payload);
+  }
+  if (skipped_ > 0) {
+    std::cerr << "result_store: skipped " << skipped_
+              << " corrupt/stale entr" << (skipped_ == 1 ? "y" : "ies")
+              << " in " << shard_path() << " (will re-simulate)\n";
+  }
+}
+
+ResultStore::~ResultStore() {
+  if (dirty_) flush();
+}
+
+std::optional<ExperimentResult> ResultStore::get(const ScenarioKey& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  ExperimentResult r;
+  if (!result_from_json(it->second, &r)) return std::nullopt;
+  return r;
+}
+
+bool ResultStore::contains(const ScenarioKey& key) const {
+  return entries_.count(key) > 0;
+}
+
+void ResultStore::put(const ScenarioKey& key, const ExperimentResult& result) {
+  entries_[key] = result_to_json(result);
+  dirty_ = true;
+}
+
+bool ResultStore::flush() {
+  if (!dirty_) return true;
+  const std::string tmp = shard_path() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      std::cerr << "result_store: cannot write " << tmp << '\n';
+      return false;
+    }
+    for (const auto& [key, json] : entries_) {
+      out << "{\"key\":\"" << key.hex()
+          << "\",\"schema\":" << kResultSchemaVersion << ",\"result\":" << json
+          << "}\n";
+    }
+    out.flush();
+    if (!out) {
+      std::cerr << "result_store: short write to " << tmp << '\n';
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), shard_path().c_str()) != 0) {
+    std::cerr << "result_store: rename to " << shard_path() << " failed\n";
+    std::remove(tmp.c_str());
+    return false;
+  }
+  dirty_ = false;
+  return true;
+}
+
+}  // namespace burst

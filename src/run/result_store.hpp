@@ -1,0 +1,70 @@
+// On-disk, content-addressed cache of ExperimentResults.
+//
+// Layout: one JSON-lines shard per store directory (`results.jsonl`),
+// each line `{"key":"<32 hex>","schema":N,"result":{...}}`. The store is
+// loaded fully at open; corrupt or truncated lines are counted and
+// skipped with a warning (a crashed writer must never poison the cache),
+// and entries from other schema versions are ignored, so bumping
+// kResultSchemaVersion invalidates everything at once. Writes go through
+// a temp file followed by an atomic rename, so readers never observe a
+// half-written shard.
+//
+// The stored JSON covers every metric of ExperimentResult except the
+// embedded Scenario — the key already binds the result to its scenario,
+// and the campaign layer re-attaches the Scenario it planned with.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "src/core/experiment.hpp"
+#include "src/run/scenario_key.hpp"
+
+namespace burst {
+
+/// Serializes every metric of @p r (not the Scenario) as one JSON object.
+/// Doubles are printed with round-trip precision so a cached result is
+/// bit-identical to the fresh one.
+std::string result_to_json(const ExperimentResult& r);
+
+/// Parses result_to_json output. Returns false on malformed/truncated
+/// input; *out is untouched on failure.
+bool result_from_json(const std::string& json, ExperimentResult* out);
+
+class ResultStore {
+ public:
+  /// Opens (creating the directory and an empty shard if needed) and
+  /// loads every valid entry for the current schema version.
+  explicit ResultStore(std::string dir);
+  ~ResultStore();
+
+  ResultStore(const ResultStore&) = delete;
+  ResultStore& operator=(const ResultStore&) = delete;
+
+  std::optional<ExperimentResult> get(const ScenarioKey& key) const;
+  bool contains(const ScenarioKey& key) const;
+
+  /// Inserts/overwrites in memory; call flush() to persist.
+  void put(const ScenarioKey& key, const ExperimentResult& result);
+
+  /// Atomically rewrites the shard (tmp file + rename). Returns false on
+  /// I/O failure. No-op when nothing changed since the last flush.
+  bool flush();
+
+  std::size_t size() const { return entries_.size(); }
+  /// Lines skipped at load time (corrupt, truncated, or wrong schema).
+  std::size_t skipped_entries() const { return skipped_; }
+  const std::string& dir() const { return dir_; }
+  std::string shard_path() const;
+
+ private:
+  std::string dir_;
+  // Values stay serialized until asked for: cheap to load, and flush()
+  // is a straight dump.
+  std::unordered_map<ScenarioKey, std::string, ScenarioKeyHash> entries_;
+  std::size_t skipped_ = 0;
+  bool dirty_ = false;
+};
+
+}  // namespace burst

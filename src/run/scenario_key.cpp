@@ -1,0 +1,155 @@
+#include "src/run/scenario_key.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace burst {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a64(std::string_view bytes, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t derive_seed(std::uint64_t base_seed, std::string_view series,
+                          std::int64_t point) {
+  std::uint64_t h = splitmix64(base_seed);
+  h = splitmix64(h ^ fnv1a64(series));
+  h = splitmix64(h ^ static_cast<std::uint64_t>(point));
+  return h;
+}
+
+std::string ScenarioKey::hex() const {
+  std::ostringstream os;
+  os << std::hex << std::setfill('0') << std::setw(16) << hi << std::setw(16)
+     << lo;
+  return os.str();
+}
+
+bool ScenarioKey::parse(std::string_view s, ScenarioKey* out) {
+  if (s.size() != 32) return false;
+  std::uint64_t parts[2] = {0, 0};
+  for (int half = 0; half < 2; ++half) {
+    for (int i = 0; i < 16; ++i) {
+      const char c = s[16 * half + i];
+      std::uint64_t digit = 0;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<std::uint64_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<std::uint64_t>(c - 'a' + 10);
+      } else {
+        return false;
+      }
+      parts[half] = (parts[half] << 4) | digit;
+    }
+  }
+  out->hi = parts[0];
+  out->lo = parts[1];
+  return true;
+}
+
+namespace {
+
+// Appends name=value; pairs. Doubles render as hexfloat: bit-exact, so
+// the canonical string (and therefore the key) never depends on locale
+// or decimal rounding.
+class Canon {
+ public:
+  Canon& field(std::string_view name, double v) {
+    os_ << name << '=' << std::hexfloat << v << ';';
+    return *this;
+  }
+  Canon& field(std::string_view name, std::int64_t v) {
+    os_ << name << '=' << std::dec << v << ';';
+    return *this;
+  }
+  Canon& field(std::string_view name, std::uint64_t v) {
+    os_ << name << '=' << std::dec << v << ';';
+    return *this;
+  }
+  Canon& field(std::string_view name, bool v) {
+    os_ << name << '=' << (v ? 1 : 0) << ';';
+    return *this;
+  }
+  Canon& field(std::string_view name, std::string_view v) {
+    os_ << name << '=' << v << ';';
+    return *this;
+  }
+  std::string str() const { return os_.str(); }
+
+ private:
+  std::ostringstream os_;
+};
+
+}  // namespace
+
+std::string canonical_string(const Scenario& s, const ExperimentOptions& opts) {
+  Canon c;
+  c.field("schema", static_cast<std::uint64_t>(kResultSchemaVersion));
+  // Experiment axes.
+  c.field("num_clients", static_cast<std::int64_t>(s.num_clients));
+  c.field("transport", to_string(s.transport));
+  c.field("gateway", to_string(s.gateway));
+  c.field("delayed_ack", s.delayed_ack);
+  c.field("ecn", s.ecn);
+  c.field("adaptive_red", s.adaptive_red);
+  c.field("limited_transmit", s.limited_transmit);
+  c.field("cwnd_validation", s.cwnd_validation);
+  // Table 1.
+  c.field("client_bw_bps", s.client_bw_bps);
+  c.field("client_delay", s.client_delay);
+  c.field("client_delay_spread", s.client_delay_spread);
+  c.field("bottleneck_bw_bps", s.bottleneck_bw_bps);
+  c.field("bottleneck_delay", s.bottleneck_delay);
+  c.field("advertised_window", s.advertised_window);
+  c.field("gateway_buffer", static_cast<std::uint64_t>(s.gateway_buffer));
+  c.field("payload_bytes", static_cast<std::int64_t>(s.payload_bytes));
+  c.field("mean_interarrival", s.mean_interarrival);
+  c.field("duration", s.duration);
+  c.field("red_min_th", s.red_min_th);
+  c.field("red_max_th", s.red_max_th);
+  c.field("vegas_alpha", s.vegas.alpha);
+  c.field("vegas_beta", s.vegas.beta);
+  c.field("vegas_gamma", s.vegas.gamma);
+  // Modeling knobs.
+  c.field("red_weight", s.red_weight);
+  c.field("red_max_p", s.red_max_p);
+  c.field("rto_granularity", s.rto.granularity);
+  c.field("rto_min", s.rto.min_rto);
+  c.field("rto_max", s.rto.max_rto);
+  c.field("rto_initial", s.rto.initial_rto);
+  c.field("warmup", s.warmup);
+  c.field("client_queue_buffer",
+          static_cast<std::uint64_t>(s.client_queue_buffer));
+  c.field("seed", s.seed);
+  // Experiment options.
+  {
+    std::ostringstream tc;
+    for (const int i : opts.trace_clients) tc << i << ',';
+    c.field("trace_clients", tc.str());
+  }
+  c.field("cwnd_sample_period", opts.cwnd_sample_period);
+  return c.str();
+}
+
+ScenarioKey scenario_key(const Scenario& s, const ExperimentOptions& opts) {
+  const std::string canon = canonical_string(s, opts);
+  ScenarioKey key;
+  key.hi = fnv1a64(canon);
+  // Second, independent hash: different FNV offset basis, then a splitmix
+  // pass so the halves never agree by construction.
+  key.lo = splitmix64(fnv1a64(canon, 0xcbf29ce484222325ULL ^ key.hi));
+  return key;
+}
+
+}  // namespace burst

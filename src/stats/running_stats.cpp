@@ -46,6 +46,17 @@ void RunningStats::merge(const RunningStats& other) {
   max_ = std::max(max_, other.max_);
 }
 
+RunningStats RunningStats::from_moments(std::uint64_t n, double mean,
+                                        double m2, double min, double max) {
+  RunningStats s;
+  s.n_ = n;
+  s.mean_ = mean;
+  s.m2_ = m2;
+  s.min_ = min;
+  s.max_ = max;
+  return s;
+}
+
 double poisson_aggregate_cov(int n, double lambda, double window) {
   const double mean_count = static_cast<double>(n) * lambda * window;
   return mean_count <= 0.0 ? 0.0 : 1.0 / std::sqrt(mean_count);

@@ -24,6 +24,13 @@ class RunningStats {
   /// Merges another accumulator into this one (parallel sweeps).
   void merge(const RunningStats& other);
 
+  /// Raw sum of squared deviations (Welford's M2); exposed so the result
+  /// store can serialize the accumulator bit-exactly.
+  double m2() const { return m2_; }
+  /// Rebuilds an accumulator from serialized moments (result store).
+  static RunningStats from_moments(std::uint64_t n, double mean, double m2,
+                                   double min, double max);
+
  private:
   std::uint64_t n_ = 0;
   double mean_ = 0.0;

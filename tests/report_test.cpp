@@ -73,11 +73,21 @@ TEST(Report, PrintCwndTraces) {
   EXPECT_NE(out.find("4.0"), std::string::npos);
 }
 
+TEST(Report, WriteCsvReportsUnwritablePath) {
+  const std::string bad =
+      ::testing::TempDir() + "/no_such_dir_for_report_test/out.csv";
+  TraceSeries t("cwnd");
+  t.record(0.5, 3.25);
+  EXPECT_FALSE(write_trace_csv(bad, t));
+  EXPECT_FALSE(write_sweep_csv(bad, {},
+                               [](const ExperimentResult& r) { return r.cov; }));
+}
+
 TEST(Report, WriteTraceCsvRoundTrips) {
   TraceSeries t("cwnd");
   t.record(0.5, 3.25);
   const std::string path = ::testing::TempDir() + "/burst_trace_test.csv";
-  write_trace_csv(path, t);
+  EXPECT_TRUE(write_trace_csv(path, t));
   std::ifstream f(path);
   ASSERT_TRUE(f.good());
   std::string header, row;

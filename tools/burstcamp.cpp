@@ -1,0 +1,163 @@
+// burstcamp: runs the whole paper figure set (Figs 2, 3, 4, 13) as one
+// cached campaign. A cold run simulates each unique scenario exactly
+// once (Figs 3/4/13 share all of theirs); a warm rerun is served
+// entirely from the content-addressed result cache. See --help.
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/core/report.hpp"
+#include "src/run/campaign.hpp"
+#include "src/run/result_store.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    R"(usage: burstcamp [options]
+
+Runs the paper's figure campaign (fig02_cov, fig03_throughput, fig04_loss,
+fig13_timeout_dupack) with cross-figure deduplication and an on-disk
+result cache, and writes per-figure CSVs plus manifest.json.
+
+options:
+  --out=DIR         artifact directory            (default: campaign_out)
+  --cache-dir=DIR   result cache location         (default: <out>/cache)
+  --no-cache        ignore and do not write the result cache
+  --threads=N       worker threads                (default: all cores)
+  --duration=SECS   simulated seconds per run     (default: paper's 20)
+  --seed=N          base RNG seed                 (default: 1)
+  --only=NAME[,..]  run a subset of the figures, e.g. --only=fig02_cov
+  --list            print the figure set and exit
+  --print           print each figure's table to stdout (default: summary only)
+  --quiet           suppress progress lines
+  --help            this text
+)";
+
+bool parse_flag(const std::string& arg, const std::string& name,
+                std::string* value) {
+  const std::string prefix = name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace burst;
+
+  std::string out_dir = "campaign_out";
+  std::string cache_dir;
+  bool no_cache = false;
+  bool list = false;
+  bool print_tables = false;
+  bool quiet = false;
+  unsigned threads = 0;
+  std::string only;
+  Scenario base = Scenario::paper_default();
+  if (const char* d = std::getenv("BURST_DURATION")) base.duration = std::atof(d);
+  if (const char* s = std::getenv("BURST_SEED")) {
+    base.seed = static_cast<std::uint64_t>(std::atoll(s));
+  }
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    } else if (arg == "--no-cache") {
+      no_cache = true;
+    } else if (arg == "--list") {
+      list = true;
+    } else if (arg == "--print") {
+      print_tables = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (parse_flag(arg, "--out", &value)) {
+      out_dir = value;
+    } else if (parse_flag(arg, "--cache-dir", &value)) {
+      cache_dir = value;
+    } else if (parse_flag(arg, "--threads", &value)) {
+      threads = static_cast<unsigned>(std::atoi(value.c_str()));
+    } else if (parse_flag(arg, "--duration", &value)) {
+      base.duration = std::atof(value.c_str());
+    } else if (parse_flag(arg, "--seed", &value)) {
+      base.seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
+    } else if (parse_flag(arg, "--only", &value)) {
+      only = value;
+    } else {
+      std::cerr << "burstcamp: unknown option " << arg << "\n\n" << kUsage;
+      return 2;
+    }
+  }
+  if (cache_dir.empty()) cache_dir = out_dir + "/cache";
+
+  std::vector<CampaignSweep> sweeps = paper_figure_campaign(base);
+  if (list) {
+    for (const auto& s : sweeps) {
+      std::cout << s.name << "  (" << s.metric_name << ", "
+                << s.configs.size() << " series x " << s.client_counts.size()
+                << " client counts)\n";
+    }
+    return 0;
+  }
+  if (!only.empty()) {
+    std::vector<CampaignSweep> selected;
+    std::string rest = only;
+    while (!rest.empty()) {
+      const std::size_t comma = rest.find(',');
+      const std::string name = rest.substr(0, comma);
+      rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+      bool found = false;
+      for (const auto& s : sweeps) {
+        if (s.name == name) {
+          selected.push_back(s);
+          found = true;
+        }
+      }
+      if (!found) {
+        std::cerr << "burstcamp: unknown figure '" << name
+                  << "' (try --list)\n";
+        return 2;
+      }
+    }
+    sweeps = std::move(selected);
+  }
+
+  CampaignOptions opts;
+  opts.cache_dir = cache_dir;
+  opts.use_cache = !no_cache;
+  opts.threads = threads;
+  opts.artifact_dir = out_dir;
+  opts.log = quiet ? nullptr : &std::cerr;
+
+  const CampaignOutput out = run_campaign(sweeps, opts);
+
+  if (print_tables) {
+    for (std::size_t s = 0; s < sweeps.size(); ++s) {
+      std::cout << "\n=== " << sweeps[s].name << " ===\n";
+      print_metric_vs_clients(std::cout, out.sweeps[s].second,
+                              sweeps[s].metric_name, sweeps[s].metric);
+    }
+    std::cout << '\n';
+  }
+
+  const CampaignStats& st = out.stats;
+  print_table(std::cout, {"campaign", "value"},
+              {
+                  {"figure sweeps", std::to_string(sweeps.size())},
+                  {"planned points", std::to_string(st.planned)},
+                  {"unique scenarios", std::to_string(st.unique)},
+                  {"cache hits", std::to_string(st.cache_hits)},
+                  {"simulated", std::to_string(st.simulated)},
+                  {"stale/corrupt cache entries",
+                   std::to_string(st.store_skipped)},
+                  {"wall time (s)", fmt(st.wall_s, 2)},
+                  {"artifacts", out_dir},
+                  {"cache", no_cache ? std::string("disabled") : cache_dir},
+              });
+  return 0;
+}

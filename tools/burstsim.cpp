@@ -45,12 +45,18 @@ int main(int argc, char** argv) {
     print_cwnd_traces(std::cout, r.cwnd_traces, sc.duration, 0.1, 40);
   }
   if (!request->csv_path.empty()) {
+    bool csv_ok = true;
     for (const auto& t : r.cwnd_traces) {
       const std::string path =
           request->csv_path + "." + t.name() + ".csv";
-      write_trace_csv(path, t);
+      if (!write_trace_csv(path, t)) {
+        std::cerr << "burstsim: could not write " << path << "\n";
+        csv_ok = false;
+        continue;
+      }
       std::cout << "wrote " << path << "\n";
     }
+    if (!csv_ok) return 1;
   }
   return 0;
 }
