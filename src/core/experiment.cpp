@@ -1,5 +1,7 @@
 #include "src/core/experiment.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <string>
 
 #include "src/core/dumbbell.hpp"
@@ -52,7 +54,17 @@ ExperimentResult run_experiment(const Scenario& scenario,
   }
 
   net.start_sources();
+  const auto wall0 = std::chrono::steady_clock::now();
   sim.run(scenario.duration);
+  result.sim_wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
+  result.sim_events = sim.events_run();
+  result.peak_pending = sim.scheduler().peak_pending();
+  if (result.sim_wall_s > 0.0) {
+    result.events_per_sec =
+        static_cast<double>(result.sim_events) / result.sim_wall_s;
+  }
 
   // --- Collect ----------------------------------------------------------
   const RunningStats bin_stats = arrivals.stats_until(scenario.duration);
@@ -79,9 +91,13 @@ ExperimentResult run_experiment(const Scenario& scenario,
       result.data_pkts_sent += st.data_pkts_sent;
     }
   }
-  if (result.dupacks > 0) {
-    result.timeout_dupack_ratio = static_cast<double>(result.timeouts) /
-                                  static_cast<double>(result.dupacks);
+  // Fig 13 ratio; see the convention note on ExperimentResult. A run with
+  // timeouts but zero dupacks clamps the denominator to 1 so the ratio
+  // degrades to the raw timeout count instead of silently reading 0.
+  if (result.timeouts > 0 || result.dupacks > 0) {
+    result.timeout_dupack_ratio =
+        static_cast<double>(result.timeouts) /
+        static_cast<double>(std::max<std::uint64_t>(result.dupacks, 1));
   }
   result.fairness = jain_fairness(net.per_flow_delivered());
   result.delay = net.pooled_delay();

@@ -42,7 +42,12 @@ struct ExperimentResult {
   std::uint64_t dupacks = 0;        // duplicate ACKs received by senders
   std::uint64_t retransmits = 0;
   std::uint64_t data_pkts_sent = 0;
-  /// The paper's Fig 13 metric. 0 when no duplicate ACKs were seen.
+  /// The paper's Fig 13 metric: timeouts / dupacks. Degenerate-denominator
+  /// convention: 0 when the run saw neither timeouts nor dupacks; when
+  /// timeouts > 0 but dupacks == 0 (dup-ACK starvation — windows too small
+  /// or losses too clustered to ever produce duplicates) the denominator
+  /// clamps to 1, so the ratio degrades to the raw timeout count rather
+  /// than reporting the same 0 as a loss-free run.
   double timeout_dupack_ratio = 0.0;
 
   // Sharing (Sec 3.2.2).
@@ -56,6 +61,15 @@ struct ExperimentResult {
 
   /// Sanity: must be zero in a correctly wired run.
   std::uint64_t routing_errors = 0;
+
+  // --- Substrate performance counters ----------------------------------
+  // sim_events and peak_pending are deterministic (they depend only on the
+  // scenario) and are persisted by the result store; the wall-clock pair
+  // is machine-dependent and is NOT persisted — a cache hit reports 0.
+  std::uint64_t sim_events = 0;    // events executed by the scheduler
+  std::uint64_t peak_pending = 0;  // high-water mark of the event heap
+  double sim_wall_s = 0.0;         // wall-clock seconds inside sim.run()
+  double events_per_sec = 0.0;     // sim_events / sim_wall_s
 };
 
 /// Builds the dumbbell, runs for scenario.duration and collects metrics.

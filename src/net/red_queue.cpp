@@ -28,13 +28,12 @@ void RedQueue::maybe_adapt(Time now) {
   }
 }
 
-bool RedQueue::early_drop() {
+double RedQueue::drop_probability(double avg, std::int64_t count) const {
   const double pb =
-      max_p_ * (avg_ - cfg_.min_th) / (cfg_.max_th - cfg_.min_th);
+      max_p_ * (avg - cfg_.min_th) / (cfg_.max_th - cfg_.min_th);
   const double denom =
-      1.0 - static_cast<double>(std::max<std::int64_t>(count_, 0)) * pb;
-  const double pa = denom <= 0.0 ? 1.0 : std::min(1.0, pb / denom);
-  return rng_.bernoulli(pa);
+      1.0 - static_cast<double>(std::max<std::int64_t>(count, 0)) * pb;
+  return denom <= 0.0 ? 1.0 : std::min(1.0, pb / denom);
 }
 
 bool RedQueue::do_enqueue(Packet& p, Time now) {
@@ -54,8 +53,14 @@ bool RedQueue::do_enqueue(Packet& p, Time now) {
     return false;
   }
   if (avg_ >= cfg_.min_th) {
+    // Floyd–Jacobson: `count` is the number of packets enqueued since the
+    // last drop, *excluding* the arriving one — the first candidate after
+    // a drop sees pa = pb, the n-th pa = pb / (1 - (n-1)·pb), making the
+    // inter-drop gap uniform on {1, ..., 1/pb}. Sampling pa *after* the
+    // increment (the old off-by-one) skewed every gap one packet short.
+    const double pa = drop_probability(avg_, count_);
     ++count_;
-    if (early_drop()) {
+    if (rng_.bernoulli(pa)) {
       if (cfg_.ecn && p.ecn_capable) {
         p.ecn_marked = true;  // mark-instead-of-drop
         ++marks_;

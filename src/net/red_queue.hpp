@@ -8,7 +8,11 @@
 //  * min_th <= avg < max_th: drop with probability pa, where
 //        pb = max_p * (avg - min_th) / (max_th - min_th)
 //        pa = pb / (1 - count * pb)
-//    and `count` is the number of packets enqueued since the last drop.
+//    and `count` is the number of packets enqueued since the last drop,
+//    *excluding* the arriving packet itself: the first candidate after a
+//    drop sees pa = pb, and for fixed avg the gap between drops is
+//    uniform on {1, ..., 1/pb} — the de-clustering property RED's
+//    uniformization is for.
 //  * avg >= max_th         : drop every arrival (non-gentle RED).
 //  * The physical buffer bound still applies (forced drop when full).
 #pragma once
@@ -59,13 +63,19 @@ class RedQueue : public Queue {
   /// Packets ECN-marked (instead of dropped) so far.
   std::uint64_t marks() const { return marks_; }
 
+  /// The uniformized drop probability pa = pb / (1 - count * pb) for an
+  /// arrival seen while the EWMA is @p avg, with @p count packets enqueued
+  /// since the last drop (the arriving packet itself excluded; negative
+  /// values clamp to 0). Exposed so tests can pin the Floyd–Jacobson
+  /// sequence against hand-computed values.
+  double drop_probability(double avg, std::int64_t count) const;
+
  protected:
   bool do_enqueue(Packet& p, Time now) override;
 
  private:
   void update_avg(Time now);
   void maybe_adapt(Time now);
-  bool early_drop();
 
   RedConfig cfg_;
   Random rng_;

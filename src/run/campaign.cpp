@@ -124,7 +124,8 @@ CampaignOutput run_campaign(const std::vector<CampaignSweep>& sweeps,
       if (p.done % stride != 0 && p.done != p.total) return;
       *opts.log << "campaign: " << p.done << "/" << p.total
                 << " simulated, elapsed " << fmt(p.elapsed_s, 1) << " s, ETA "
-                << fmt(p.eta_s, 1) << " s\n";
+                << fmt(p.eta_s, 1) << " s (" << fmt(p.tasks_per_sec, 2)
+                << " runs/s)\n";
     };
     executor.run(
         misses.size(),
@@ -141,6 +142,23 @@ CampaignOutput run_campaign(const std::vector<CampaignSweep>& sweeps,
         *opts.log << "campaign: warning: could not persist result cache to "
                   << store->shard_path() << "\n";
       }
+    }
+    // Aggregate the scheduler perf counters over what was actually run
+    // (cache hits carry no fresh wall-clock data).
+    for (const std::size_t ui : misses) {
+      out.stats.sim_events += results[ui].sim_events;
+      out.stats.peak_pending_max =
+          std::max(out.stats.peak_pending_max, results[ui].peak_pending);
+      out.stats.sim_wall_s += results[ui].sim_wall_s;
+    }
+    if (out.stats.sim_wall_s > 0.0) {
+      out.stats.events_per_sec =
+          static_cast<double>(out.stats.sim_events) / out.stats.sim_wall_s;
+    }
+    if (opts.log && out.stats.sim_events > 0) {
+      *opts.log << "campaign: " << out.stats.sim_events << " events, peak heap "
+                << out.stats.peak_pending_max << ", "
+                << fmt(out.stats.events_per_sec / 1e6, 2) << " M events/s\n";
     }
   }
 
@@ -200,6 +218,10 @@ CampaignOutput run_campaign(const std::vector<CampaignSweep>& sweeps,
          << ", \"cache_hits\": " << out.stats.cache_hits
          << ", \"simulated\": " << out.stats.simulated
          << ", \"store_skipped\": " << out.stats.store_skipped << "},\n"
+         << "  \"perf\": {\"sim_events\": " << out.stats.sim_events
+         << ", \"peak_pending_max\": " << out.stats.peak_pending_max
+         << ", \"sim_wall_s\": " << out.stats.sim_wall_s
+         << ", \"events_per_sec\": " << out.stats.events_per_sec << "},\n"
          << "  \"sweeps\": [\n";
       for (std::size_t s = 0; s < sweeps.size(); ++s) {
         const CampaignSweep& sweep = sweeps[s];

@@ -52,6 +52,13 @@ struct CampaignStats {
   std::size_t simulated = 0;   // unique scenarios actually run
   std::size_t store_skipped = 0;  // corrupt/stale store lines at load
   double wall_s = 0.0;
+
+  // Scheduler perf counters aggregated over the *simulated* (cache-miss)
+  // scenarios of this run; all zero on a fully cached campaign.
+  std::uint64_t sim_events = 0;      // total events executed
+  std::uint64_t peak_pending_max = 0;  // largest heap seen in any run
+  double sim_wall_s = 0.0;           // summed per-run simulation wall time
+  double events_per_sec = 0.0;       // sim_events / sim_wall_s
 };
 
 struct CampaignOutput {

@@ -65,6 +65,8 @@ void Executor::work_on_batch() {
                     : p.elapsed_s *
                           static_cast<double>(p.total - p.done) /
                           static_cast<double>(p.done);
+      p.tasks_per_sec =
+          p.elapsed_s > 0.0 ? static_cast<double>(p.done) / p.elapsed_s : 0.0;
       (*progress_)(p);
     }
     if (finished_ == total) done_cv_.notify_all();

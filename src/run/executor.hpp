@@ -32,6 +32,8 @@ struct ExecutorProgress {
   /// Linear-extrapolation estimate of remaining wall time; 0 until the
   /// first task finishes.
   double eta_s = 0.0;
+  /// Completed tasks per wall second so far; 0 until time has elapsed.
+  double tasks_per_sec = 0.0;
 };
 
 class Executor {

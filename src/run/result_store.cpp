@@ -169,6 +169,10 @@ std::string result_to_json(const ExperimentResult& r) {
   append_field(os, "timeout_dupack_ratio", r.timeout_dupack_ratio);
   append_field(os, "fairness", r.fairness);
   append_field(os, "routing_errors", r.routing_errors);
+  // Deterministic scheduler counters; the wall-clock pair (sim_wall_s,
+  // events_per_sec) is machine-dependent and deliberately not persisted.
+  append_field(os, "sim_events", r.sim_events);
+  append_field(os, "peak_pending", r.peak_pending);
   os << ",\"delay\":{";
   append_field(os, "n", r.delay.count(), /*first=*/true);
   append_field(os, "mean", r.delay.mean());
@@ -222,6 +226,8 @@ bool result_from_json(const std::string& json, ExperimentResult* out) {
   }
   if (!read_double_field(rd, "fairness", &r.fairness)) return false;
   if (!read_u64_field(rd, "routing_errors", &r.routing_errors)) return false;
+  if (!read_u64_field(rd, "sim_events", &r.sim_events)) return false;
+  if (!read_u64_field(rd, "peak_pending", &r.peak_pending)) return false;
 
   // delay accumulator.
   rd.consume(',');

@@ -19,7 +19,10 @@
 namespace burst {
 
 /// Bump whenever ExperimentResult's meaning or serialization changes.
-inline constexpr std::uint32_t kResultSchemaVersion = 1;
+/// v2: RED drop-probability off-by-one and c.o.v. bin-boundary fixes
+///     changed metric values; sim_events/peak_pending joined the
+///     serialized result. v1 entries are stale on all three counts.
+inline constexpr std::uint32_t kResultSchemaVersion = 2;
 
 /// SplitMix64 finalizer: a cheap, well-mixed 64-bit permutation
 /// (Steele et al., "Fast splittable pseudorandom number generators").

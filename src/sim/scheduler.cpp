@@ -5,37 +5,101 @@
 
 namespace burst {
 
-EventId Scheduler::schedule_at(Time at, std::function<void()> fn) {
-  const EventId id = next_seq_++;
-  heap_.push(Item{at, id, std::move(fn)});
-  pending_.insert(id);
-  return id;
+// 4-ary heap layout: children of pos are 4*pos+1 .. 4*pos+4, parent is
+// (pos-1)/4. Entries carry their own (time, seq) key, so a sift touches
+// only the contiguous heap array plus one heap_pos write per move; the
+// Slot bodies (callbacks) never move.
+
+void Scheduler::sift_up(std::uint32_t pos) {
+  const Entry e = heap_[pos];
+  while (pos > 0) {
+    const std::uint32_t parent = (pos - 1) / 4;
+    if (!earlier(e, heap_[parent])) break;
+    place(pos, heap_[parent]);
+    pos = parent;
+  }
+  place(pos, e);
 }
 
-void Scheduler::cancel(EventId id) {
-  // Erasing from pending_ is the cancellation; the heap entry is skipped
-  // lazily when it reaches the top.
-  pending_.erase(id);
+void Scheduler::sift_down(std::uint32_t pos) {
+  const std::uint32_t n = static_cast<std::uint32_t>(heap_.size());
+  const Entry e = heap_[pos];
+  while (true) {
+    const std::uint32_t first_child = 4 * pos + 1;
+    if (first_child >= n) break;
+    std::uint32_t best = first_child;
+    const std::uint32_t last_child =
+        first_child + 3 < n - 1 ? first_child + 3 : n - 1;
+    for (std::uint32_t c = first_child + 1; c <= last_child; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], e)) break;
+    place(pos, heap_[best]);
+    pos = best;
+  }
+  place(pos, e);
 }
 
-void Scheduler::drop_cancelled_head() {
-  while (!heap_.empty() && !pending_.contains(heap_.top().id)) {
-    heap_.pop();
+void Scheduler::remove_heap_entry(std::uint32_t pos) {
+  const std::uint32_t last = static_cast<std::uint32_t>(heap_.size()) - 1;
+  if (pos != last) {
+    place(pos, heap_[last]);
+    heap_.pop_back();
+    // The displaced entry may need to move either direction.
+    if (pos > 0 && earlier(heap_[pos], heap_[(pos - 1) / 4])) {
+      sift_up(pos);
+    } else {
+      sift_down(pos);
+    }
+  } else {
+    heap_.pop_back();
   }
 }
 
-Time Scheduler::next_time() {
-  drop_cancelled_head();
-  return heap_.empty() ? kTimeNever : heap_.top().at;
+void Scheduler::free_slot(std::uint32_t idx) {
+  Slot& s = slots_[idx];
+  ++s.generation;  // retire every outstanding handle to this slot
+  s.heap_pos = kFreePos;
+  free_.push_back(idx);
+}
+
+EventId Scheduler::schedule_at(Time at, SmallFn fn) {
+  std::uint32_t idx;
+  if (!free_.empty()) {
+    idx = free_.back();
+    free_.pop_back();
+  } else {
+    idx = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[idx];
+  s.fn = std::move(fn);
+  const std::uint32_t pos = static_cast<std::uint32_t>(heap_.size());
+  heap_.push_back(Entry{at, next_seq_++, idx});
+  s.heap_pos = pos;
+  sift_up(pos);
+  ++scheduled_count_;
+  if (heap_.size() > peak_pending_) peak_pending_ = heap_.size();
+  return make_id(idx, s.generation);
+}
+
+void Scheduler::cancel(EventId id) {
+  if (!pending(id)) return;
+  const std::uint32_t idx = slot_of(id);
+  slots_[idx].fn.reset();  // release captures now, not at pop time
+  remove_heap_entry(slots_[idx].heap_pos);
+  free_slot(idx);
 }
 
 Scheduler::Ready Scheduler::take_next() {
-  drop_cancelled_head();
   assert(!heap_.empty() && "take_next on empty scheduler");
-  Item item = heap_.top();  // copy out so callbacks may schedule freely
-  heap_.pop();
-  pending_.erase(item.id);
-  return Ready{item.at, std::move(item.fn)};
+  const std::uint32_t idx = heap_[0].slot;
+  // Move the callback out before touching the heap: the caller invokes it
+  // after we return, and it may schedule freely (growing slots_/heap_).
+  Ready ready{heap_[0].at, std::move(slots_[idx].fn)};
+  remove_heap_entry(0);
+  free_slot(idx);
+  return ready;
 }
 
 }  // namespace burst

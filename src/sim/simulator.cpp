@@ -5,12 +5,12 @@
 
 namespace burst {
 
-EventId Simulator::schedule(Time delay, std::function<void()> fn) {
+EventId Simulator::schedule(Time delay, SmallFn fn) {
   assert(delay >= 0.0 && "cannot schedule into the past");
   return scheduler_.schedule_at(now_ + delay, std::move(fn));
 }
 
-EventId Simulator::schedule_at(Time at, std::function<void()> fn) {
+EventId Simulator::schedule_at(Time at, SmallFn fn) {
   assert(at >= now_ && "cannot schedule into the past");
   return scheduler_.schedule_at(at, std::move(fn));
 }

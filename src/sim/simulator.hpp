@@ -6,10 +6,10 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "src/sim/random.hpp"
 #include "src/sim/scheduler.hpp"
+#include "src/sim/small_fn.hpp"
 #include "src/sim/time.hpp"
 
 namespace burst {
@@ -24,10 +24,10 @@ class Simulator {
   Time now() const { return now_; }
 
   /// Schedules @p fn to run @p delay seconds from now (delay >= 0).
-  EventId schedule(Time delay, std::function<void()> fn);
+  EventId schedule(Time delay, SmallFn fn);
 
   /// Schedules @p fn at absolute time @p at (>= now()).
-  EventId schedule_at(Time at, std::function<void()> fn);
+  EventId schedule_at(Time at, SmallFn fn);
 
   /// Cancels a pending event; no-op for fired/invalid ids.
   void cancel(EventId id) { scheduler_.cancel(id); }

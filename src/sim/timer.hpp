@@ -7,17 +7,17 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <utility>
 
 #include "src/sim/simulator.hpp"
+#include "src/sim/small_fn.hpp"
 
 namespace burst {
 
 class Timer {
  public:
   /// @p on_fire is invoked each time the timer expires.
-  Timer(Simulator& sim, std::function<void()> on_fire)
+  Timer(Simulator& sim, SmallFn on_fire)
       : sim_(sim), on_fire_(std::move(on_fire)) {}
 
   Timer(const Timer&) = delete;
@@ -39,7 +39,7 @@ class Timer {
 
  private:
   Simulator& sim_;
-  std::function<void()> on_fire_;
+  SmallFn on_fire_;
   EventId id_ = kInvalidEventId;
   Time expiry_ = kTimeNever;
 };

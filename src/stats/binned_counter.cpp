@@ -1,5 +1,6 @@
 #include "src/stats/binned_counter.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace burst {
@@ -15,7 +16,18 @@ RunningStats BinnedCounter::stats_until(Time end) const {
   RunningStats rs;
   std::size_t total_bins = bins_.size();
   if (end > start_) {
-    total_bins = static_cast<std::size_t>(std::floor((end - start_) / bin_width_));
+    // Number of *complete* bins in [start, end). When end sits on a bin
+    // boundary the quotient is an integer only up to floating-point
+    // rounding — e.g. the paper's default span (20.0 - 2.0) / 0.08
+    // evaluates to 224.999...97, and a bare floor() silently loses the
+    // final bin (or gains one when the error lands high). Snap quotients
+    // within a relative epsilon of an integer before flooring.
+    const double raw = (end - start_) / bin_width_;
+    const double snapped = std::round(raw);
+    const double n = std::abs(raw - snapped) <= 1e-9 * std::max(1.0, raw)
+                         ? snapped
+                         : std::floor(raw);
+    total_bins = static_cast<std::size_t>(n);
   }
   for (std::size_t i = 0; i < total_bins; ++i) {
     rs.add(i < bins_.size() ? static_cast<double>(bins_[i]) : 0.0);

@@ -25,7 +25,10 @@ class BinnedCounter {
   const std::vector<std::uint64_t>& bins() const { return bins_; }
 
   /// Statistics over all bins in [start, end): trailing empty bins up to
-  /// @p end are included, since "no arrivals" is real data.
+  /// @p end are included, since "no arrivals" is real data. An @p end on a
+  /// bin boundary (up to floating-point rounding of (end-start)/width)
+  /// counts exactly that many complete bins; a partial final bin is
+  /// excluded.
   RunningStats stats_until(Time end) const;
 
   Time bin_width() const { return bin_width_; }

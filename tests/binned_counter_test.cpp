@@ -57,6 +57,35 @@ TEST(BinnedCounter, EndBoundaryExcludesPartialBin) {
   EXPECT_EQ(rs.count(), 1u);
 }
 
+TEST(BinnedCounter, PaperSpanBoundaryKeepsFinalBin) {
+  // The paper's default span: (20.0 - 2.0) / 0.08 evaluates to
+  // 224.999...97 in double, so a bare floor() reported 224 bins and
+  // silently dropped the final one from every c.o.v. Exactly 225 complete
+  // bins fit in [2, 20).
+  BinnedCounter c(0.08, /*start=*/2.0);
+  const auto rs = c.stats_until(20.0);
+  EXPECT_EQ(rs.count(), 225u);
+}
+
+TEST(BinnedCounter, BoundaryAtExactMultipleCountsAllBins) {
+  // 0.3 / 0.1 is 2.999...96 in double; the snap must still count all
+  // three complete bins, and the per-bin data must land where expected.
+  BinnedCounter c(0.1);
+  c.record(0.05);
+  c.record(0.25);
+  const auto rs = c.stats_until(0.3);
+  EXPECT_EQ(rs.count(), 3u);
+  EXPECT_NEAR(rs.mean(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(BinnedCounter, BoundarySnapDoesNotSwallowRealPartialBins) {
+  // A genuinely partial final bin (well away from any boundary) is still
+  // excluded after the snap fix.
+  BinnedCounter c(0.08, 2.0);
+  const auto rs = c.stats_until(19.96);  // 224.5 bin-widths past start
+  EXPECT_EQ(rs.count(), 224u);
+}
+
 TEST(BinnedCounter, BinWidthAccessor) {
   BinnedCounter c(0.08);
   EXPECT_DOUBLE_EQ(c.bin_width(), 0.08);

@@ -99,8 +99,38 @@ TEST(Experiment, UdpHasNoTcpCounters) {
 }
 
 TEST(Experiment, TimeoutDupackRatioGuardsZero) {
+  // Loss-free run: neither timeouts nor dupacks -> ratio is 0.
   const auto r = run_experiment(quick(5));
+  EXPECT_EQ(r.timeouts, 0u);
+  EXPECT_EQ(r.dupacks, 0u);
   EXPECT_DOUBLE_EQ(r.timeout_dupack_ratio, 0.0);
+}
+
+TEST(Experiment, TimeoutDupackRatioNormalCase) {
+  // Congested run with dupacks present: the ratio is the plain quotient.
+  const auto r = run_experiment(quick(50));
+  ASSERT_GT(r.dupacks, 0u);
+  EXPECT_DOUBLE_EQ(r.timeout_dupack_ratio,
+                   static_cast<double>(r.timeouts) /
+                       static_cast<double>(r.dupacks));
+}
+
+TEST(Experiment, TimeoutOnlyRatioClampsDenominatorToOne) {
+  // A one-packet window can never generate duplicate ACKs, so every loss
+  // recovers via timeout. The documented convention: with timeouts > 0 and
+  // dupacks == 0 the denominator clamps to 1 (ratio == timeout count),
+  // distinguishing dup-ACK starvation from a loss-free run's 0.
+  // Many one-packet-window flows against a tiny buffer force drops, while
+  // the queueing delay (3 pkts / 240 pps = 12.5 ms) stays far below
+  // min_rto so no spurious retransmit ever manufactures a duplicate ACK.
+  Scenario s = quick(30);
+  s.advertised_window = 1.0;
+  s.bottleneck_bw_bps = 2e6;
+  s.gateway_buffer = 3;
+  const auto r = run_experiment(s);
+  ASSERT_GT(r.timeouts, 0u);
+  ASSERT_EQ(r.dupacks, 0u);
+  EXPECT_DOUBLE_EQ(r.timeout_dupack_ratio, static_cast<double>(r.timeouts));
 }
 
 class ExperimentTransportMatrix

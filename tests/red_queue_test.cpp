@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 namespace burst {
@@ -106,6 +107,58 @@ TEST_P(RedDropProbTest, DropRateIncreasesWithOccupancy) {
 
 INSTANTIATE_TEST_SUITE_P(Occupancies, RedDropProbTest,
                          ::testing::Values(7, 9, 11, 13));
+
+TEST(RedQueue, DropProbabilityMatchesHandComputedSequence) {
+  // Floyd–Jacobson, pa = pb / (1 - count * pb) with `count` the packets
+  // enqueued since the last drop (arriving packet excluded). With
+  // min_th=5, max_th=15, max_p=0.1 and avg=10: pb = 0.1 * 5/10 = 0.05.
+  RedQueue q(small_config(), Random(1));
+  EXPECT_NEAR(q.drop_probability(10.0, 0), 0.05, 1e-15);        // = pb
+  EXPECT_NEAR(q.drop_probability(10.0, 1), 0.05 / 0.95, 1e-15); // 1/19
+  EXPECT_NEAR(q.drop_probability(10.0, 10), 0.1, 1e-15);        // pb/(1/2)
+  EXPECT_NEAR(q.drop_probability(10.0, 18), 0.5, 1e-12);        // pb/(1/10)
+  // At count = 1/pb - 1 = 19 the drop becomes certain (clamped at 1).
+  EXPECT_DOUBLE_EQ(q.drop_probability(10.0, 19), 1.0);
+  EXPECT_DOUBLE_EQ(q.drop_probability(10.0, 20), 1.0);  // denom <= 0
+  // Fresh phase (count = -1) clamps to count = 0.
+  EXPECT_NEAR(q.drop_probability(10.0, -1), 0.05, 1e-15);
+  // pb endpoints: 0 at min_th, max_p at max_th.
+  EXPECT_DOUBLE_EQ(q.drop_probability(5.0, 0), 0.0);
+  EXPECT_NEAR(q.drop_probability(15.0, 0), 0.1, 1e-15);
+}
+
+TEST(RedQueue, InterDropGapBoundedByInversePb) {
+  // Hold avg pinned at 10 with weight=1 (avg == instantaneous size on
+  // every arrival) and max_p=1.0, so pb = 0.5 at occupancy 10. Then the
+  // uniformized sequence is hand-computable: after a drop the first
+  // candidate sees pa = 0.5 and the second pa = 0.5/(1-0.5) = 1 — a
+  // certain drop. Gaps between early drops are therefore uniform on
+  // {1, 2}: never two consecutive accepts, yet accepts do happen (the
+  // pre-fix off-by-one made the *first* candidate certain, dropping 100%).
+  RedConfig cfg = small_config();
+  cfg.weight = 1.0;
+  cfg.max_p = 1.0;
+  cfg.capacity = 1000;
+  RedQueue q(cfg, Random(7));
+  while (q.len() < 10) q.enqueue(pkt(), 0.0);
+  const std::uint64_t early0 = q.stats().early_drops;
+  int accepted = 0, run_len = 0, max_run = 0;
+  const int kArrivals = 2000;
+  for (int i = 0; i < kArrivals; ++i) {
+    if (q.enqueue(pkt(), 0.0)) {
+      q.dequeue(0.0);  // hold occupancy at 10
+      ++accepted;
+      max_run = std::max(max_run, ++run_len);
+    } else {
+      run_len = 0;
+    }
+  }
+  EXPECT_GT(accepted, 0);     // old off-by-one: everything dropped
+  EXPECT_EQ(max_run, 1);      // pa hits 1 on the second candidate
+  // Gap uniform on {1,2} -> acceptance rate 1/3; allow generous slack.
+  EXPECT_NEAR(static_cast<double>(accepted) / kArrivals, 1.0 / 3.0, 0.05);
+  EXPECT_GT(q.stats().early_drops, early0);
+}
 
 TEST(RedQueue, IdleDecayReducesAverage) {
   RedConfig cfg = small_config();

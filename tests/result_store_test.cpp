@@ -29,6 +29,8 @@ ExperimentResult sample_result() {
   r.timeout_dupack_ratio = 52.0 / 1234.0;
   r.fairness = 0.98765432109876543;
   r.routing_errors = 0;
+  r.sim_events = 368516;
+  r.peak_pending = 73;
   for (double d : {0.081, 0.0912, 0.1203, 0.0805}) r.delay.add(d);
   TraceSeries t("client 3");
   t.record(0.1, 1.0);
@@ -55,6 +57,8 @@ void expect_bit_identical(const ExperimentResult& a, const ExperimentResult& b) 
   EXPECT_EQ(a.timeout_dupack_ratio, b.timeout_dupack_ratio);
   EXPECT_EQ(a.fairness, b.fairness);
   EXPECT_EQ(a.routing_errors, b.routing_errors);
+  EXPECT_EQ(a.sim_events, b.sim_events);
+  EXPECT_EQ(a.peak_pending, b.peak_pending);
   EXPECT_EQ(a.delay.count(), b.delay.count());
   EXPECT_EQ(a.delay.mean(), b.delay.mean());
   EXPECT_EQ(a.delay.m2(), b.delay.m2());

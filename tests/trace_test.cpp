@@ -58,5 +58,73 @@ TEST(TraceSeries, DownsampleZeroReturnsEmpty) {
   EXPECT_TRUE(t.downsample(0).empty());
 }
 
+TEST(TraceSeries, DownsampleEmptySeriesReturnsEmpty) {
+  TraceSeries t("x");
+  EXPECT_TRUE(t.downsample(100).empty());
+  EXPECT_TRUE(t.downsample(0).empty());
+}
+
+TEST(TraceSeries, DownsampleMaxPointsEqualToSizeIsIdentity) {
+  TraceSeries t("x");
+  for (int i = 0; i < 10; ++i) {
+    t.record(static_cast<Time>(i), static_cast<double>(i));
+  }
+  // stride = size / max_points = 1: every point survives, none duplicated.
+  const auto d = t.downsample(10);
+  ASSERT_EQ(d.size(), 10u);
+  EXPECT_EQ(d, t.points());
+}
+
+TEST(TraceSeries, DownsampleRetainsFinalSampleOffStride) {
+  TraceSeries t("x");
+  // 7 points, max 3 -> stride 2 visits indices 0,2,4,6; the last point IS
+  // on-stride here, so build an off-stride case too: 8 points, stride 2
+  // visits 0,2,4,6 and must append index 7 explicitly.
+  for (int i = 0; i < 8; ++i) {
+    t.record(static_cast<Time>(i), static_cast<double>(10 * i));
+  }
+  const auto d = t.downsample(4);
+  ASSERT_GE(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.back().first, 7.0);
+  EXPECT_DOUBLE_EQ(d.back().second, 70.0);
+  // Monotone time order must survive the final-sample append.
+  for (std::size_t i = 1; i < d.size(); ++i) {
+    EXPECT_LT(d[i - 1].first, d[i].first);
+  }
+}
+
+TEST(TraceSeries, DownsampleSinglePoint) {
+  TraceSeries t("x");
+  t.record(2.5, 9.0);
+  const auto d = t.downsample(1);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_DOUBLE_EQ(d.front().first, 2.5);
+  EXPECT_DOUBLE_EQ(d.front().second, 9.0);
+}
+
+TEST(TraceSeries, ValueAtExactlyFirstAndBetweenPoints) {
+  TraceSeries t("x");
+  t.record(1.0, 10.0);
+  t.record(3.0, 30.0);
+  // Exactly at the first sample: the step function is right-continuous,
+  // so t = first time yields the first value, not the fallback.
+  EXPECT_DOUBLE_EQ(t.value_at(1.0, -1.0), 10.0);
+  // Just before it: fallback.
+  EXPECT_DOUBLE_EQ(t.value_at(0.9999999999, -1.0), -1.0);
+  // Repeated queries between samples are stable.
+  EXPECT_DOUBLE_EQ(t.value_at(2.0), 10.0);
+  EXPECT_DOUBLE_EQ(t.value_at(2.0), 10.0);
+}
+
+TEST(TraceSeries, ValueAtDuplicateTimestampsUsesLatest) {
+  // Two records at the same instant (e.g. cwnd halved then slow-start
+  // reset within one event): the step function exposes the last write.
+  TraceSeries t("x");
+  t.record(1.0, 10.0);
+  t.record(1.0, 5.0);
+  EXPECT_DOUBLE_EQ(t.value_at(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(t.value_at(1.5), 5.0);
+}
+
 }  // namespace
 }  // namespace burst
