@@ -1,0 +1,23 @@
+// PacketChannel: the routing-layer abstraction a Node transmits into.
+//
+// A channel accepts packets and (eventually) delivers them somewhere —
+// usually a SimplexLink that models bandwidth, propagation and queueing,
+// but the testkit substitutes a scripted channel that delivers, delays,
+// drops, reorders or ECN-marks individual segments at exact simulated
+// times. Nodes route to channels, so the two are interchangeable without
+// the transport layer noticing.
+#pragma once
+
+namespace burst {
+
+struct Packet;
+
+class PacketChannel {
+ public:
+  virtual ~PacketChannel() = default;
+
+  /// Offers a packet for transmission. The channel may drop it.
+  virtual void send(const Packet& p) = 0;
+};
+
+}  // namespace burst

@@ -9,12 +9,13 @@
 #include <functional>
 #include <memory>
 
+#include "src/net/channel.hpp"
 #include "src/net/queue.hpp"
 #include "src/sim/simulator.hpp"
 
 namespace burst {
 
-class SimplexLink {
+class SimplexLink : public PacketChannel {
  public:
   /// @p queue buffers packets awaiting transmission; @p bandwidth_bps and
   /// @p prop_delay describe the wire.
@@ -30,7 +31,7 @@ class SimplexLink {
   }
 
   /// Offers a packet for transmission (may be dropped by the queue).
-  void send(const Packet& p);
+  void send(const Packet& p) override;
 
   Queue& queue() { return *queue_; }
   const Queue& queue() const { return *queue_; }

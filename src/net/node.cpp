@@ -4,9 +4,9 @@
 
 namespace burst {
 
-void Node::add_route(NodeId dst, SimplexLink* link) {
-  assert(link != nullptr);
-  routes_[dst] = link;
+void Node::add_route(NodeId dst, PacketChannel* channel) {
+  assert(channel != nullptr);
+  routes_[dst] = channel;
 }
 
 void Node::attach(FlowId flow, PacketHandler* handler) {

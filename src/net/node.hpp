@@ -2,13 +2,16 @@
 //
 // A node delivers packets addressed to it to the local agent registered
 // for the packet's flow, and forwards everything else along its static
-// route table (dest node -> outgoing link). The dumbbell topology of the
+// route table (dest node -> outgoing channel). Routes point at the
+// PacketChannel abstraction, so a simulated SimplexLink and the testkit's
+// scripted channel are interchangeable. The dumbbell topology of the
 // paper needs nothing fancier, and static routes keep runs deterministic.
 #pragma once
 
 #include <cstdint>
 #include <unordered_map>
 
+#include "src/net/channel.hpp"
 #include "src/net/link.hpp"
 #include "src/net/packet.hpp"
 
@@ -30,9 +33,9 @@ class Node {
 
   NodeId id() const { return id_; }
 
-  /// Installs "to reach @p dst, transmit on @p link". A default route can
-  /// be installed with dst = kDefaultRoute.
-  void add_route(NodeId dst, SimplexLink* link);
+  /// Installs "to reach @p dst, transmit on @p channel". A default route
+  /// can be installed with dst = kDefaultRoute.
+  void add_route(NodeId dst, PacketChannel* channel);
 
   /// Registers the local consumer for packets of @p flow addressed here.
   void attach(FlowId flow, PacketHandler* handler);
@@ -51,7 +54,7 @@ class Node {
 
  private:
   NodeId id_;
-  std::unordered_map<NodeId, SimplexLink*> routes_;
+  std::unordered_map<NodeId, PacketChannel*> routes_;
   std::unordered_map<FlowId, PacketHandler*> handlers_;
   std::uint64_t routing_errors_ = 0;
 };

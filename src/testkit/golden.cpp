@@ -1,0 +1,111 @@
+#include "src/testkit/golden.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#ifndef BURST_GOLDEN_DEFAULT_DIR
+#define BURST_GOLDEN_DEFAULT_DIR "tests/conformance/golden"
+#endif
+
+namespace burst::testkit {
+namespace {
+
+std::string env_or(const char* var, const char* fallback) {
+  const char* v = std::getenv(var);
+  return (v && *v) ? v : fallback;
+}
+
+bool regen_requested() {
+  const char* v = std::getenv("BURST_REGEN_GOLDEN");
+  return v && *v && std::string(v) != "0";
+}
+
+std::vector<std::string> read_lines(const std::string& path, bool& exists) {
+  std::vector<std::string> out;
+  std::ifstream in(path);
+  exists = in.good();
+  std::string line;
+  while (std::getline(in, line)) out.push_back(line);
+  return out;
+}
+
+void write_lines(const std::string& path,
+                 const std::vector<std::string>& lines) {
+  std::ofstream out(path, std::ios::trunc);
+  for (const std::string& l : lines) out << l << '\n';
+}
+
+/// First-divergence diff with a little context; compact enough for a
+/// test failure message, complete enough to act on.
+std::string render_diff(const std::vector<std::string>& expected,
+                        const std::vector<std::string>& actual) {
+  std::size_t i = 0;
+  while (i < expected.size() && i < actual.size() && expected[i] == actual[i])
+    ++i;
+  std::ostringstream os;
+  os << "first divergence at line " << (i + 1) << " (expected "
+     << expected.size() << " lines, got " << actual.size() << ")\n";
+  const std::size_t lo = i >= 2 ? i - 2 : 0;
+  for (std::size_t k = lo; k < i; ++k) os << "  " << expected[k] << '\n';
+  for (std::size_t k = i; k < std::min(expected.size(), i + 4); ++k)
+    os << "- " << expected[k] << '\n';
+  for (std::size_t k = i; k < std::min(actual.size(), i + 4); ++k)
+    os << "+ " << actual[k] << '\n';
+  return os.str();
+}
+
+}  // namespace
+
+std::string golden_dir() {
+  return env_or("BURST_GOLDEN_DIR", BURST_GOLDEN_DEFAULT_DIR);
+}
+
+GoldenResult check_golden(const std::string& name,
+                          const std::vector<std::string>& lines) {
+  namespace fs = std::filesystem;
+  const std::string path = golden_dir() + "/" + name + ".trace";
+  GoldenResult r;
+
+  if (regen_requested()) {
+    fs::create_directories(golden_dir());
+    write_lines(path, lines);
+    r.ok = true;
+    r.regenerated = true;
+    r.message = "regenerated " + path;
+    return r;
+  }
+
+  bool exists = false;
+  const std::vector<std::string> expected = read_lines(path, exists);
+  if (!exists) {
+    r.message = "golden file missing: " + path +
+                " (run with BURST_REGEN_GOLDEN=1 to create it)";
+    return r;
+  }
+  if (expected == lines) {
+    r.ok = true;
+    return r;
+  }
+
+  // Mismatch: drop artifacts for CI and point the developer at them.
+  const std::string diff_dir =
+      env_or("BURST_GOLDEN_DIFF_DIR", "conformance-diffs");
+  std::error_code ec;
+  fs::create_directories(diff_dir, ec);
+  std::string note;
+  if (!ec) {
+    write_lines(diff_dir + "/" + name + ".actual", lines);
+    std::ofstream diff(diff_dir + "/" + name + ".diff", std::ios::trunc);
+    diff << render_diff(expected, lines);
+    note = "artifacts in " + diff_dir + "/" + name + ".{actual,diff}\n";
+  }
+  r.message = "golden trace '" + name + "' diverged:\n" +
+              render_diff(expected, lines) + note +
+              "(intentional? regenerate with BURST_REGEN_GOLDEN=1 and "
+              "justify the diff in the PR)";
+  return r;
+}
+
+}  // namespace burst::testkit

@@ -1,0 +1,40 @@
+// Golden-trace comparison for the conformance suite.
+//
+// A golden file is the checked-in line-for-line expected trace of one
+// scripted scenario (tests/conformance/golden/<name>.trace). Policy:
+//
+//  * The suite fails on ANY line diff. A diff means per-event transport
+//    dynamics changed — that is the point of the fence.
+//  * A bugfix that legitimately changes dynamics re-generates its traces
+//    with BURST_REGEN_GOLDEN=1 and justifies the diff in the PR (same
+//    rule as the pinned hashes in tests/result_identity_test.cpp).
+//  * On mismatch the actual trace and a unified-style diff are written to
+//    $BURST_GOLDEN_DIFF_DIR (default ./conformance-diffs), which CI
+//    uploads as an artifact.
+//
+// Environment:
+//   BURST_GOLDEN_DIR       override the golden directory (default is the
+//                          compiled-in source-tree path)
+//   BURST_REGEN_GOLDEN=1   rewrite golden files instead of comparing
+//   BURST_GOLDEN_DIFF_DIR  where mismatch artifacts go
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace burst::testkit {
+
+struct GoldenResult {
+  bool ok = false;           // matched, or regenerated on request
+  bool regenerated = false;  // the golden file was (re)written
+  std::string message;       // human-readable failure/diff summary
+};
+
+/// Compares @p lines against the golden file @p name (no extension).
+GoldenResult check_golden(const std::string& name,
+                          const std::vector<std::string>& lines);
+
+/// The directory golden files are read from (env override applied).
+std::string golden_dir();
+
+}  // namespace burst::testkit

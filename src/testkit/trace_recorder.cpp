@@ -1,0 +1,64 @@
+#include "src/testkit/trace_recorder.hpp"
+
+#include <cstdio>
+
+namespace burst::testkit {
+namespace {
+
+const char* kind_name(TcpSenderEvent::Kind k) {
+  switch (k) {
+    case TcpSenderEvent::Kind::kSend: return "send";
+    case TcpSenderEvent::Kind::kNewAck: return "ack";
+    case TcpSenderEvent::Kind::kDupAck: return "dupack";
+    case TcpSenderEvent::Kind::kRto: return "rto";
+    case TcpSenderEvent::Kind::kEcnEcho: return "ecn-echo";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void TraceRecorder::on_sender_event(const TcpSenderEvent& e) {
+  events_.push_back(e);
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "%.6f %-8s seq=%lld rexmit=%d cwnd=%.10g ssthresh=%.10g "
+                "state=%.*s una=%lld nxt=%lld flight=%lld dups=%d rtts=%llu",
+                e.time, kind_name(e.kind),
+                static_cast<long long>(e.seq), e.retransmit ? 1 : 0, e.cwnd,
+                e.ssthresh, static_cast<int>(e.state.size()), e.state.data(),
+                static_cast<long long>(e.snd_una),
+                static_cast<long long>(e.snd_nxt),
+                static_cast<long long>(e.flight), e.dupacks,
+                static_cast<unsigned long long>(e.rtt_samples));
+  lines_.emplace_back(buf);
+}
+
+void TraceRecorder::record_ack(Time now, const Packet& p) {
+  char buf[256];
+  int n = std::snprintf(buf, sizeof buf,
+                        "%.6f ack-rx   ack=%lld ts=%.6f rexmit=%d ece=%d",
+                        now, static_cast<long long>(p.ack), p.ts_echo,
+                        p.retransmit ? 1 : 0, p.ece ? 1 : 0);
+  for (int i = 0; i < p.sack_count && n < static_cast<int>(sizeof buf); ++i) {
+    n += std::snprintf(buf + n, sizeof buf - n, " sack=[%lld,%lld)",
+                       static_cast<long long>(p.sack[i].lo),
+                       static_cast<long long>(p.sack[i].hi));
+  }
+  lines_.emplace_back(buf);
+}
+
+void TraceRecorder::note(const std::string& text) {
+  lines_.push_back("# " + text);
+}
+
+std::vector<TcpSenderEvent> TraceRecorder::events_of(
+    TcpSenderEvent::Kind kind) const {
+  std::vector<TcpSenderEvent> out;
+  for (const TcpSenderEvent& e : events_) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace burst::testkit

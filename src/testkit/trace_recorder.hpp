@@ -1,0 +1,42 @@
+// TraceRecorder: turns a TcpSender's event stream (and, optionally, the
+// ACK packets flowing back to it) into a canonical, line-oriented text
+// trace suitable for golden-file comparison.
+//
+// One line per event, fixed field order, fixed formatting (%.6f times,
+// %.10g windows), so a trace is byte-stable across runs and platforms and
+// any change to per-event window dynamics shows up as a line diff.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/net/packet.hpp"
+#include "src/transport/tcp_sender.hpp"
+
+namespace burst::testkit {
+
+class TraceRecorder : public TcpSenderObserver {
+ public:
+  void on_sender_event(const TcpSenderEvent& e) override;
+
+  /// Appends an "ack-rx" line for an ACK packet observed at @p now (the
+  /// harness taps the reverse channel with this). Captures ack number,
+  /// echoed timestamp, Karn taint flag and SACK blocks — the fields the
+  /// delayed-ACK/Karn conformance scripts pin down.
+  void record_ack(Time now, const Packet& p);
+
+  /// Appends a free-form "# ..." comment line (script phase markers).
+  void note(const std::string& text);
+
+  const std::vector<std::string>& lines() const { return lines_; }
+  const std::vector<TcpSenderEvent>& events() const { return events_; }
+
+  /// Events of one kind, in order (for structural assertions).
+  std::vector<TcpSenderEvent> events_of(TcpSenderEvent::Kind kind) const;
+
+ private:
+  std::vector<std::string> lines_;
+  std::vector<TcpSenderEvent> events_;
+};
+
+}  // namespace burst::testkit

@@ -16,6 +16,10 @@ class TcpReno : public TcpSender {
 
   bool in_fast_recovery() const { return in_recovery_; }
 
+  std::string_view cc_state() const override {
+    return in_recovery_ ? "fast-recovery" : TcpSender::cc_state();
+  }
+
  protected:
   void on_new_ack(std::int64_t acked, std::int64_t ack_seq) override;
   void on_dup_ack() override;

@@ -29,6 +29,10 @@ class TcpSack : public TcpSender {
   /// Sequences currently reported held by the receiver (above snd_una).
   std::size_t scoreboard_size() const { return sacked_.size(); }
 
+  std::string_view cc_state() const override {
+    return in_recovery_ ? "sack-recovery" : TcpSender::cc_state();
+  }
+
  protected:
   void on_ack_info(const Packet& p) override;
   void on_new_ack(std::int64_t acked, std::int64_t ack_seq) override;

@@ -19,6 +19,25 @@ void TcpSender::set_cwnd_trace(TraceSeries* trace) {
   if (cwnd_trace_) cwnd_trace_->record(sim_.now(), cwnd_);
 }
 
+void TcpSender::notify(TcpSenderEvent::Kind kind, std::int64_t seq,
+                       bool retransmit) {
+  if (!observer_) return;
+  TcpSenderEvent e;
+  e.kind = kind;
+  e.time = sim_.now();
+  e.seq = seq;
+  e.retransmit = retransmit;
+  e.cwnd = cwnd_;
+  e.ssthresh = ssthresh_;
+  e.snd_una = snd_una_;
+  e.snd_nxt = snd_nxt_;
+  e.flight = flight();
+  e.dupacks = dupacks_;
+  e.rtt_samples = stats_.rtt_samples;
+  e.state = cc_state();
+  observer_->on_sender_event(e);
+}
+
 void TcpSender::set_cwnd(double v) {
   cwnd_ = std::max(1.0, v);
   if (cwnd_trace_) cwnd_trace_->record(sim_.now(), cwnd_);
@@ -72,6 +91,7 @@ void TcpSender::send_seq(std::int64_t seq) {
   if (p.retransmit) ++stats_.retransmits;
   transmit(p);
   if (!rto_timer_.pending()) rto_timer_.schedule(estimator_.rto());
+  notify(TcpSenderEvent::Kind::kSend, seq, p.retransmit);
 }
 
 void TcpSender::retransmit_una() { send_seq(snd_una_); }
@@ -112,6 +132,7 @@ void TcpSender::handle(const Packet& p) {
     if (last_ecn_cut_ < 0.0 || sim_.now() - last_ecn_cut_ > guard) {
       last_ecn_cut_ = sim_.now();
       on_ecn_echo();
+      notify(TcpSenderEvent::Kind::kEcnEcho, p.ack, false);
     }
   }
 
@@ -139,6 +160,7 @@ void TcpSender::handle(const Packet& p) {
     } else {
       restart_rto_timer();
     }
+    notify(TcpSenderEvent::Kind::kNewAck, p.ack, false);
     try_send();
     return;
   }
@@ -152,6 +174,7 @@ void TcpSender::handle(const Packet& p) {
       send_new_segment();  // RFC 3042: keep the dup-ACK clock alive
     }
     on_dup_ack();
+    notify(TcpSenderEvent::Kind::kDupAck, snd_una_, false);
     try_send();  // recovery inflation may have opened the window
   }
 }
@@ -165,6 +188,7 @@ void TcpSender::on_rto() {
   snd_nxt_ = snd_una_;  // go-back-N recovery from the hole
   on_timeout_window();
   rto_timer_.schedule(estimator_.rto());
+  notify(TcpSenderEvent::Kind::kRto, snd_una_, false);
   try_send();
 }
 

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <unordered_map>
 
 #include "src/sim/trace.hpp"
@@ -56,6 +57,40 @@ struct TcpSenderStats {
   std::uint64_t ecn_reductions = 0;  // window cuts taken in response
 };
 
+/// A point-in-time snapshot of the sender, emitted at every protocol
+/// event. The conformance testkit serializes these into golden traces;
+/// anything that reshapes per-event window dynamics shows up as a diff.
+struct TcpSenderEvent {
+  enum class Kind : std::uint8_t {
+    kSend,     // a data segment left the sender (seq, retransmit)
+    kNewAck,   // a cumulative ACK advanced snd_una (seq = ack)
+    kDupAck,   // a duplicate ACK was processed (seq = snd_una)
+    kRto,      // the retransmission timer fired (seq = snd_una)
+    kEcnEcho,  // an ECN congestion echo triggered a window cut
+  };
+  Kind kind;
+  Time time = 0.0;
+  std::int64_t seq = 0;     // see Kind
+  bool retransmit = false;  // kSend: segment carried the Karn taint flag
+  // Post-event sender state (policy hooks have already run).
+  double cwnd = 0.0;
+  double ssthresh = 0.0;
+  std::int64_t snd_una = 0;
+  std::int64_t snd_nxt = 0;
+  std::int64_t flight = 0;
+  int dupacks = 0;
+  std::uint64_t rtt_samples = 0;  // cumulative clean (Karn-valid) samples
+  std::string_view state;         // policy-reported phase (cc_state())
+};
+
+/// Receives every TcpSenderEvent of one sender. Observation must not
+/// perturb the simulation; observers only read.
+class TcpSenderObserver {
+ public:
+  virtual ~TcpSenderObserver() = default;
+  virtual void on_sender_event(const TcpSenderEvent& e) = 0;
+};
+
 class TcpSender : public Agent {
  public:
   TcpSender(Simulator& sim, Node& node, FlowId flow, NodeId peer,
@@ -82,6 +117,17 @@ class TcpSender : public Agent {
 
   /// If set, every congestion-window change is recorded (Figs 5-12).
   void set_cwnd_trace(TraceSeries* trace);
+
+  /// If set, every protocol event (send, ack, dup ack, timeout, ECN echo)
+  /// is reported with a post-event state snapshot. Test-only hook; the
+  /// hot path pays one null check per event when unset.
+  void set_observer(TcpSenderObserver* observer) { observer_ = observer; }
+
+  /// Human-readable congestion-control phase for traces ("slow-start",
+  /// "cong-avoid"; policies override to expose recovery/Vegas phases).
+  virtual std::string_view cc_state() const {
+    return cwnd_ < ssthresh_ ? "slow-start" : "cong-avoid";
+  }
 
  protected:
   // --- Policy hooks ----------------------------------------------------
@@ -135,6 +181,8 @@ class TcpSender : public Agent {
   void on_rto();
   void send_seq(std::int64_t seq);
   double effective_window() const;
+  /// Reports a post-event snapshot to the observer, if any.
+  void notify(TcpSenderEvent::Kind kind, std::int64_t seq, bool retransmit);
 
   TcpConfig cfg_;
   RtoEstimator estimator_;
@@ -150,6 +198,7 @@ class TcpSender : public Agent {
   Time last_ecn_cut_ = -1.0;
   std::unordered_map<std::int64_t, Time> sent_at_;
   TraceSeries* cwnd_trace_ = nullptr;
+  TcpSenderObserver* observer_ = nullptr;
 };
 
 }  // namespace burst

@@ -83,13 +83,7 @@ void TcpSink::handle(const Packet& p) {
     }
     if (!ooo_.empty()) {
       // Still a hole above us: ACK immediately (fast-retransmit support).
-      if (delack_pending_) {
-        delack_timer_.cancel();
-        delack_pending_ = false;
-      }
-      echo_ts_ = p.ts_echo;
-      echo_rexmit_ = p.retransmit;
-      send_ack();
+      flush_immediate(p);
     } else {
       arm_or_flush_delack(p);
     }
@@ -104,13 +98,24 @@ void TcpSink::handle(const Packet& p) {
     ++stats_.duplicate_packets;
   }
   // Out-of-order or duplicate: immediate (duplicate) ACK.
+  ++stats_.dup_acks_sent;
+  flush_immediate(p);
+}
+
+void TcpSink::flush_immediate(const Packet& p) {
   if (delack_pending_) {
+    // The ACK going out also covers the segment whose ACK was being
+    // delayed, so the RFC 7323 delayed-ACK rule applies: echo the *older*
+    // timestamp (the held one), not @p p's — overwriting it with the new
+    // arrival's timestamp yields optimistically small RTT samples. Karn's
+    // taint is the conservative OR of both segments' retransmit flags.
     delack_timer_.cancel();
     delack_pending_ = false;
+    echo_rexmit_ = echo_rexmit_ || p.retransmit;
+  } else {
+    echo_ts_ = p.ts_echo;
+    echo_rexmit_ = p.retransmit;
   }
-  echo_ts_ = p.ts_echo;
-  echo_rexmit_ = p.retransmit;
-  ++stats_.dup_acks_sent;
   send_ack();
 }
 

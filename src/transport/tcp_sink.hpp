@@ -49,6 +49,9 @@ class TcpSink : public Agent {
  private:
   void send_ack();
   void arm_or_flush_delack(const Packet& p);
+  /// Sends an immediate ACK triggered by @p p, folding in (not
+  /// clobbering) the echo state of a pending delayed ACK.
+  void flush_immediate(const Packet& p);
 
   TcpSinkConfig cfg_;
   Timer delack_timer_;

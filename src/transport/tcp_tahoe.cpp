@@ -14,7 +14,9 @@ void TcpTahoe::on_dup_ack() {
   set_ssthresh(std::max(static_cast<double>(flight()) / 2.0, 2.0));
   rewind_to_una();   // Tahoe re-slow-starts from the hole
   set_cwnd(1.0);
-  retransmit_una();
+  // The retransmission itself comes from the caller's try_send() after the
+  // rewind, exactly like the RTO path: an explicit retransmit_una() here
+  // would send the hole twice (once unrewound, once via try_send).
   restart_rto_timer();
 }
 

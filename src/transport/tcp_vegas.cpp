@@ -15,14 +15,16 @@ void TcpVegas::on_rtt_sample(Time rtt) {
 
 void TcpVegas::reset_epoch() {
   epoch_start_ = now();
-  epoch_sent_start_ = stats_.data_pkts_sent;
+  epoch_una_start_ = snd_una();
   epoch_rtt_cnt_ = 0;
 }
 
 void TcpVegas::per_rtt_decision(Time epoch_len) {
-  const double actual = static_cast<double>(stats_.data_pkts_sent -
-                                            epoch_sent_start_) /
-                        epoch_len;                  // pkts/s transmitted
+  // Actual = useful (delivered) throughput: cumulative-ACK progress over
+  // the round. Transmissions would double-count retransmitted holes and
+  // inflate Actual exactly when the path is dropping.
+  const double actual = static_cast<double>(snd_una() - epoch_una_start_) /
+                        epoch_len;                  // pkts/s delivered
   const double expected = cwnd() / base_rtt_;       // pkts/s the window allows
   const double diff = (expected - actual) * base_rtt_;
   last_diff_ = diff;
@@ -57,7 +59,7 @@ void TcpVegas::on_new_ack(std::int64_t /*acked*/, std::int64_t /*ack_seq*/) {
   // head of the window has already exceeded the fine-grained timeout, it
   // was lost too — retransmit without waiting for dup ACKs or the coarse
   // timer. This is what keeps Vegas's timeout count near zero (Fig 13).
-  if (flight() > 0 && una_expired()) {
+  if (flight() > 0 && una_expired() && snd_una() != last_fine_rexmit_) {
     loss_retransmit();
   }
 
@@ -81,6 +83,7 @@ void TcpVegas::on_new_ack(std::int64_t /*acked*/, std::int64_t /*ack_seq*/) {
 
 void TcpVegas::loss_retransmit() {
   ++stats_.fast_retransmits;
+  last_fine_rexmit_ = snd_una();
   retransmit_una();
   in_ss_ = false;
   // Window reduction at most once per round-trip (Brakmo), and gentler
@@ -97,7 +100,11 @@ void TcpVegas::loss_retransmit() {
 
 void TcpVegas::on_dup_ack() {
   // Fine-grained check: even on the first or second dup ACK, retransmit
-  // if the oldest outstanding packet has exceeded srtt + 4*rttvar.
+  // if the oldest outstanding packet has exceeded srtt + 4*rttvar. A hole
+  // is resent at most once per loss detection (Brakmo): without the
+  // last_fine_rexmit_ guard, slow dup ACKs re-expire the just-resent
+  // head and the first *and* second dup ACK both retransmit it.
+  if (snd_una() == last_fine_rexmit_) return;
   if (dupacks() >= config().dupack_threshold ||
       (una_expired() && dupacks() <= 2)) {
     // Re-retransmitting the same hole on every later dup ACK would flood
@@ -122,6 +129,7 @@ void TcpVegas::on_timeout_window() {
   ss_grow_round_ = true;
   epoch_start_ = kTimeNever;
   epoch_rtt_cnt_ = 0;
+  last_fine_rexmit_ = -1;  // go-back-N resends the head; re-arm the check
   set_cwnd(2.0);
 }
 

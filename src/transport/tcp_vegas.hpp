@@ -1,11 +1,11 @@
 // TCP Vegas (Brakmo & Peterson, 1995): proactive congestion avoidance.
 //
 // Once per round-trip Vegas compares the Expected throughput (cwnd /
-// baseRTT) with the Actual throughput — packets actually transmitted over
-// the last round-trip divided by its duration. The difference, scaled by
-// baseRTT, estimates how many of this stream's packets sit queued in the
-// gateway (for a fully utilized window it reduces to the familiar
-// cwnd * (RTT - baseRTT) / RTT):
+// baseRTT) with the Actual throughput — packets *delivered* (cumulatively
+// acknowledged) over the last round-trip divided by its duration. The
+// difference, scaled by baseRTT, estimates how many of this stream's
+// packets sit queued in the gateway (for a fully utilized window it
+// reduces to the familiar cwnd * (RTT - baseRTT) / RTT):
 //
 //     diff = (Expected - Actual) * baseRTT
 //
@@ -17,7 +17,10 @@
 // Using the *measured* Actual matters for the paper's workload: a Poisson
 // application often leaves the window under-used, and cwnd-derived
 // "actual" estimates would let the window balloon far beyond what the
-// flow uses, re-creating Reno-style bursts.
+// flow uses, re-creating Reno-style bursts. Actual counts delivered
+// packets, not transmissions: counting retransmissions would inflate
+// Actual during loss episodes and defer the very decrease the episode
+// calls for (Brakmo's diff is defined on useful throughput).
 //
 // Slow start doubles only every *other* RTT and ends when diff exceeds
 // gamma. Loss recovery uses Reno-style fast retransmit plus Vegas's
@@ -46,6 +49,10 @@ class TcpVegas : public TcpSender {
   /// Last computed diff (queued-packet estimate), for tests/analysis.
   double last_diff() const { return last_diff_; }
 
+  std::string_view cc_state() const override {
+    return in_ss_ ? "vegas-ss" : "vegas-ca";
+  }
+
  protected:
   void on_new_ack(std::int64_t acked, std::int64_t ack_seq) override;
   void on_dup_ack() override;
@@ -66,12 +73,15 @@ class TcpVegas : public TcpSender {
   // Per-round bookkeeping: a decision fires once per smoothed round-trip
   // of wall-clock (simulated) time.
   Time epoch_start_ = kTimeNever;
-  std::uint64_t epoch_sent_start_ = 0;  // data_pkts_sent at epoch start
+  std::int64_t epoch_una_start_ = 0;  // snd_una at epoch start (delivered)
   int epoch_rtt_cnt_ = 0;
   bool in_ss_ = true;
   bool ss_grow_round_ = true;  // doubling happens every other round
   Time last_cut_ = -1.0;       // time of the last window reduction
   double last_diff_ = 0.0;
+  // Head-of-window sequence already resent by the fine-grained check;
+  // guards against retransmitting the same hole on both early dup ACKs.
+  std::int64_t last_fine_rexmit_ = -1;
 };
 
 }  // namespace burst

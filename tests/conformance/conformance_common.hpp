@@ -1,0 +1,49 @@
+// Shared glue for the packet-script conformance suite.
+//
+// Every scenario drives ONE live sender/sink pair over ScriptChannels,
+// records the sender's event stream (and optionally the raw ACKs) with a
+// TraceRecorder, asserts the protocol-conformance facts the scenario was
+// designed to pin down, and finally compares the full trace against a
+// checked-in golden file (tests/conformance/golden/<name>.trace).
+//
+// Regenerate goldens after an intentional dynamics change with:
+//   BURST_REGEN_GOLDEN=1 ctest -L conformance
+// and justify the diff in the PR (see DESIGN.md, "Conformance testkit").
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "src/testkit/golden.hpp"
+#include "src/testkit/script_harness.hpp"
+#include "src/testkit/trace_recorder.hpp"
+
+namespace burst::testkit {
+
+/// EXPECTs @p rec's trace to match the golden file @p name.
+inline void ExpectGolden(const std::string& name, const TraceRecorder& rec) {
+  const GoldenResult r = check_golden(name, rec.lines());
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+/// Transmissions of @p seq in the trace (first send + retransmissions).
+inline int TransmissionsOf(const TraceRecorder& rec, std::int64_t seq) {
+  int n = 0;
+  for (const TcpSenderEvent& e : rec.events()) {
+    if (e.kind == TcpSenderEvent::Kind::kSend && e.seq == seq) ++n;
+  }
+  return n;
+}
+
+/// Total segments sent carrying the retransmit (Karn taint) flag.
+inline int Retransmissions(const TraceRecorder& rec) {
+  int n = 0;
+  for (const TcpSenderEvent& e : rec.events()) {
+    if (e.kind == TcpSenderEvent::Kind::kSend && e.retransmit) ++n;
+  }
+  return n;
+}
+
+}  // namespace burst::testkit

@@ -1,0 +1,50 @@
+// NewReno conformance: partial-ACK recovery (RFC 2582). Two drops in the
+// same window would stall classic Reno into a timeout; NewReno's partial
+// ACK retransmits the next hole immediately and recovery survives until
+// the cumulative ACK covers `recover`.
+
+#include <gtest/gtest.h>
+
+#include "src/transport/tcp_newreno.hpp"
+#include "tests/conformance/conformance_common.hpp"
+
+namespace burst::testkit {
+namespace {
+
+TEST(NewRenoConformance, PartialAckRetransmitsNextHole) {
+  ScriptHarness h;
+  h.fwd.drop_seq(10).drop_seq(12);  // both in the t=0.3 send cluster
+  auto* tcp = h.make_sender<TcpNewReno>();
+  h.sender->app_send(60);
+  h.sim.run(10.0);
+
+  EXPECT_EQ(tcp->snd_una(), 60);
+  EXPECT_EQ(tcp->stats().timeouts, 0u);
+  // One recovery episode covering both holes; each resent exactly once.
+  EXPECT_EQ(tcp->stats().fast_retransmits, 1u);
+  EXPECT_EQ(TransmissionsOf(h.recorder, 10), 2);
+  EXPECT_EQ(TransmissionsOf(h.recorder, 12), 2);
+  EXPECT_EQ(Retransmissions(h.recorder), 2);
+
+  // The second hole's retransmission is driven by a PARTIAL ACK (a new
+  // ACK processed while still in fast recovery), not by dup ACKs.
+  const auto& ev = h.recorder.events();
+  bool partial_ack_rexmit = false;
+  for (std::size_t i = 0; i + 1 < ev.size(); ++i) {
+    if (ev[i].kind == TcpSenderEvent::Kind::kSend && ev[i].retransmit &&
+        ev[i].seq == 12) {
+      // Emitted from on_new_ack: the following ACK event is the partial
+      // ACK that triggered it, still inside recovery.
+      ASSERT_EQ(ev[i + 1].kind, TcpSenderEvent::Kind::kNewAck);
+      EXPECT_EQ(ev[i + 1].seq, 12);
+      EXPECT_EQ(ev[i + 1].state, "fast-recovery");
+      partial_ack_rexmit = true;
+    }
+  }
+  EXPECT_TRUE(partial_ack_rexmit);
+  EXPECT_FALSE(tcp->in_fast_recovery());
+  ExpectGolden("newreno_partial_ack", h.recorder);
+}
+
+}  // namespace
+}  // namespace burst::testkit

@@ -1,0 +1,132 @@
+// Reno conformance scripts: fast recovery with window inflation,
+// reordering tolerance below the dup-ACK threshold, RFC 3042 limited
+// transmit, and the ECN one-cut-per-RTT rule.
+
+#include <gtest/gtest.h>
+
+#include "src/transport/tcp_reno.hpp"
+#include "tests/conformance/conformance_common.hpp"
+
+namespace burst::testkit {
+namespace {
+
+// Single mid-window loss. Reno must: fast-retransmit on the third dup
+// ACK, set cwnd = ssthresh + 3 (inflation), add one packet per further
+// dup ACK, and deflate to ssthresh on the recovery ACK — with no timeout.
+TEST(RenoConformance, FastRecoveryInflatesAndDeflates) {
+  ScriptHarness h;
+  h.fwd.drop_seq(10);
+  auto* tcp = h.make_sender<TcpReno>();
+  h.sender->app_send(60);
+  h.sim.run(10.0);
+
+  EXPECT_EQ(tcp->snd_una(), 60);
+  EXPECT_EQ(tcp->stats().fast_retransmits, 1u);
+  EXPECT_EQ(tcp->stats().timeouts, 0u);
+  EXPECT_EQ(TransmissionsOf(h.recorder, 10), 2);
+  EXPECT_EQ(Retransmissions(h.recorder), 1);
+
+  // The dup-ACK that crossed the threshold leaves the sender in fast
+  // recovery with the inflated window ssthresh + 3 (the kSend of the
+  // retransmission itself is emitted mid-hook, before inflation).
+  bool saw_entry = false;
+  for (const TcpSenderEvent& e :
+       h.recorder.events_of(TcpSenderEvent::Kind::kDupAck)) {
+    if (e.dupacks == 3) {
+      saw_entry = true;
+      EXPECT_EQ(e.state, "fast-recovery");
+      EXPECT_DOUBLE_EQ(e.cwnd, e.ssthresh + 3.0);
+    }
+  }
+  EXPECT_TRUE(saw_entry);
+  EXPECT_FALSE(tcp->in_fast_recovery());
+  ExpectGolden("reno_fast_recovery", h.recorder);
+}
+
+// Reordering below the threshold: seq 12 (sent in the 0.3 cluster with
+// 13 and 14) is delayed by 70 ms, so exactly two duplicate ACKs arrive
+// before the late segment fills the hole at the sink. Two dup ACKs must
+// not trigger any retransmission or window cut.
+TEST(RenoConformance, ReorderBelowThresholdNoSpuriousRetransmit) {
+  ScriptHarness h;
+  h.fwd.delay_seq(12, 0.07);
+  auto* tcp = h.make_sender<TcpReno>();
+  h.sender->app_send(40);
+  h.sim.run(10.0);
+
+  EXPECT_EQ(tcp->snd_una(), 40);
+  EXPECT_EQ(Retransmissions(h.recorder), 0);
+  EXPECT_EQ(tcp->stats().fast_retransmits, 0u);
+  EXPECT_EQ(tcp->stats().timeouts, 0u);
+  // The episode produced duplicate ACKs, but never a third.
+  int max_dups = 0;
+  for (const TcpSenderEvent& e :
+       h.recorder.events_of(TcpSenderEvent::Kind::kDupAck)) {
+    max_dups = std::max(max_dups, e.dupacks);
+  }
+  EXPECT_EQ(max_dups, 2);
+  ExpectGolden("reno_reorder_below_threshold", h.recorder);
+}
+
+// RFC 3042 limited transmit on a thin flow. Dropping seq 2 of an
+// 8-packet transfer leaves only seqs 3-4 above the hole — two dup ACKs,
+// one short of fast retransmit, so stock Reno would sit out an RTO.
+// Limited transmit sends one NEW segment on each of the first two dup
+// ACKs (no cwnd growth); their ACKs provide the third duplicate and
+// recovery proceeds without the timeout.
+TEST(RenoConformance, LimitedTransmitAvoidsTimeout) {
+  ScriptHarnessConfig cfg;
+  ScriptHarness h(cfg);
+  h.fwd.drop_seq(2);
+  TcpConfig tc;
+  tc.limited_transmit = true;
+  auto* tcp = h.make_sender<TcpReno>(tc);
+  h.sender->app_send(8);
+  h.sim.run(10.0);
+
+  EXPECT_EQ(tcp->snd_una(), 8);
+  EXPECT_EQ(tcp->stats().timeouts, 0u);
+  EXPECT_EQ(tcp->stats().fast_retransmits, 1u);
+  EXPECT_EQ(TransmissionsOf(h.recorder, 2), 2);
+
+  // The segments shipped on dup ACKs 1 and 2 are new data (not
+  // retransmissions) and must not have grown the window.
+  int lt_sends = 0;
+  const auto& ev = h.recorder.events();
+  for (std::size_t i = 0; i + 1 < ev.size(); ++i) {
+    if (ev[i].kind == TcpSenderEvent::Kind::kSend && ev[i].dupacks >= 1 &&
+        ev[i].dupacks <= 2 && !ev[i].retransmit) {
+      ++lt_sends;
+      EXPECT_DOUBLE_EQ(ev[i].cwnd, 3.0);  // unchanged by the dup ACKs
+    }
+  }
+  EXPECT_EQ(lt_sends, 2);
+  ExpectGolden("reno_limited_transmit", h.recorder);
+}
+
+// ECN: seqs 8 and 9 travel in the same send cluster and both get CE
+// marks. Their ECE echoes reach the sender at the same instant; RFC 2481
+// era behavior is at most one window cut per round-trip, with no
+// retransmission at all (nothing was lost).
+TEST(RenoConformance, EcnOneCutPerRttNoRetransmit) {
+  ScriptHarnessConfig cfg;
+  cfg.record_acks = true;
+  ScriptHarness h(cfg);
+  h.fwd.mark_seq(8).mark_seq(9);
+  TcpConfig tc;
+  tc.ecn = true;
+  auto* tcp = h.make_sender<TcpReno>(tc);
+  h.sender->app_send(30);
+  h.sim.run(10.0);
+
+  EXPECT_EQ(tcp->snd_una(), 30);
+  EXPECT_EQ(tcp->stats().ecn_echoes, 2u);
+  EXPECT_EQ(tcp->stats().ecn_reductions, 1u);
+  EXPECT_EQ(h.recorder.events_of(TcpSenderEvent::Kind::kEcnEcho).size(), 1u);
+  EXPECT_EQ(Retransmissions(h.recorder), 0);
+  EXPECT_EQ(tcp->stats().timeouts, 0u);
+  ExpectGolden("reno_ecn_one_cut_per_rtt", h.recorder);
+}
+
+}  // namespace
+}  // namespace burst::testkit

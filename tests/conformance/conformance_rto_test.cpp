@@ -1,0 +1,100 @@
+// Retransmission-timer conformance: Karn's rule through a delayed-ACK
+// receiver, exponential RTO backoff, and the cancel/restart discipline
+// at the snd_una == snd_nxt boundary.
+
+#include <gtest/gtest.h>
+
+#include "src/transport/tcp_reno.hpp"
+#include "tests/conformance/conformance_common.hpp"
+
+namespace burst::testkit {
+namespace {
+
+// Karn's rule across a delayed ACK: after fast retransmit fills the
+// hole, the sink's delayed ACK covers the RETRANSMITTED segment together
+// with a clean one. The combined ACK must carry the taint (OR of both
+// flags), so the sender takes NO RTT sample from it — one optimistic
+// sample would poison srtt for the rest of the connection.
+TEST(RtoConformance, KarnTaintSurvivesDelayedAckCoalescing) {
+  ScriptHarnessConfig cfg;
+  cfg.record_acks = true;
+  cfg.sink.delayed_ack = true;
+  ScriptHarness h(cfg);
+  h.fwd.drop_seq(10);
+  auto* tcp = h.make_sender<TcpReno>();
+  h.sender->app_send(40);
+  h.sim.run(10.0);
+
+  EXPECT_EQ(tcp->snd_una(), 40);
+  EXPECT_EQ(tcp->stats().timeouts, 0u);
+  EXPECT_EQ(TransmissionsOf(h.recorder, 10), 2);
+
+  // The first ACK advancing snd_una past the hole is tainted: the clean
+  // sample counter must not move across it.
+  const auto& ev = h.recorder.events();
+  std::uint64_t samples_before = 0;
+  bool checked = false;
+  for (const TcpSenderEvent& e : ev) {
+    if (!checked && e.kind == TcpSenderEvent::Kind::kNewAck && e.seq > 10) {
+      EXPECT_EQ(e.rtt_samples, samples_before)
+          << "recovery ACK covering a retransmission produced an RTT sample";
+      checked = true;
+    }
+    samples_before = e.rtt_samples;
+  }
+  EXPECT_TRUE(checked);
+  // Sampling resumes on later clean ACKs.
+  EXPECT_GT(tcp->stats().rtt_samples, 0u);
+  ExpectGolden("karn_delack_taint", h.recorder);
+}
+
+// Tail loss with the retransmissions ALSO lost: successive timeouts must
+// back the timer off exponentially (x2 per expiry), and none of the
+// tainted recovery ACKs may feed the estimator.
+TEST(RtoConformance, BackoffDoublesPerTimeout) {
+  ScriptHarness h;
+  h.fwd.drop_seq(5, 1).drop_seq(5, 2).drop_seq(5, 3);
+  auto* tcp = h.make_sender<TcpReno>();
+  h.sender->app_send(6);
+  h.sim.run(20.0);
+
+  EXPECT_EQ(tcp->snd_una(), 6);
+  EXPECT_EQ(tcp->stats().timeouts, 3u);
+  EXPECT_EQ(TransmissionsOf(h.recorder, 5), 4);
+
+  const auto rtos = h.recorder.events_of(TcpSenderEvent::Kind::kRto);
+  ASSERT_EQ(rtos.size(), 3u);
+  const Time gap1 = rtos[1].time - rtos[0].time;
+  const Time gap2 = rtos[2].time - rtos[1].time;
+  EXPECT_NEAR(gap2, 2.0 * gap1, 1e-9);  // exponential backoff
+  // Each expiry collapses to go-back-N slow start.
+  for (const TcpSenderEvent& e : rtos) EXPECT_DOUBLE_EQ(e.cwnd, 1.0);
+  ExpectGolden("rto_backoff_doubles", h.recorder);
+}
+
+// The snd_una == snd_nxt boundary: once everything is acknowledged and
+// no backlog remains, the timer must be cancelled — an idle connection
+// never times out — and a later burst re-arms it from scratch.
+TEST(RtoConformance, TimerCancelledWhenIdleRearmedOnNewData) {
+  ScriptHarness h;
+  auto* tcp = h.make_sender<TcpReno>();
+  h.sender->app_send(4);
+  h.sim.schedule_at(10.0, [tcp] { tcp->app_send(4); });
+  h.sim.run(30.0);
+
+  EXPECT_EQ(tcp->snd_una(), 8);
+  EXPECT_EQ(tcp->stats().timeouts, 0u);
+  EXPECT_TRUE(h.recorder.events_of(TcpSenderEvent::Kind::kRto).empty());
+  EXPECT_EQ(Retransmissions(h.recorder), 0);
+  // The second burst really did start after the idle gap.
+  bool idle_send = false;
+  for (const TcpSenderEvent& e :
+       h.recorder.events_of(TcpSenderEvent::Kind::kSend)) {
+    if (e.time >= 10.0) idle_send = true;
+  }
+  EXPECT_TRUE(idle_send);
+  ExpectGolden("rto_timer_cancel_idle", h.recorder);
+}
+
+}  // namespace
+}  // namespace burst::testkit

@@ -1,0 +1,54 @@
+// SACK conformance: three drops in one window. The receiver reports the
+// buffered runs as SACK blocks; the sender's scoreboard + pipe algorithm
+// fills exactly the holes (each once) and recovery never needs the
+// coarse timer — the scenario classic Reno cannot survive.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/transport/tcp_sack.hpp"
+#include "src/transport/tcp_sink.hpp"
+#include "tests/conformance/conformance_common.hpp"
+
+namespace burst::testkit {
+namespace {
+
+TEST(SackConformance, MultipleDropsRecoverWithoutTimeout) {
+  ScriptHarnessConfig cfg;
+  cfg.record_acks = true;  // the golden pins the SACK blocks on the wire
+  cfg.sink.sack = true;
+  ScriptHarness h(cfg);
+  h.fwd.drop_seq(10).drop_seq(13).drop_seq(16);  // all in the 0.3 cluster
+  auto* tcp = h.make_sender<TcpSack>(TcpConfig{});
+  h.sender->app_send(60);
+  h.sim.run(10.0);
+
+  EXPECT_EQ(tcp->snd_una(), 60);
+  EXPECT_EQ(tcp->stats().timeouts, 0u);
+  EXPECT_EQ(tcp->stats().fast_retransmits, 1u);  // one recovery episode
+  EXPECT_EQ(TransmissionsOf(h.recorder, 10), 2);
+  EXPECT_EQ(TransmissionsOf(h.recorder, 13), 2);
+  EXPECT_EQ(TransmissionsOf(h.recorder, 16), 2);
+  // SACKed data is never resent. The pipe algorithm DOES resend the two
+  // tail segments (19, 20) whose SACKs are still in flight when the pipe
+  // drains — this sender fills the pipe with the next un-SACKed sequence
+  // rather than implementing RFC 3517's IsLost() reordering check. The
+  // golden pins that policy; five retransmissions total, three of them
+  // true holes.
+  EXPECT_EQ(TransmissionsOf(h.recorder, 19), 2);
+  EXPECT_EQ(TransmissionsOf(h.recorder, 20), 2);
+  EXPECT_EQ(Retransmissions(h.recorder), 5);
+
+  // Duplicate ACKs actually carried SACK blocks.
+  const auto& lines = h.recorder.lines();
+  EXPECT_TRUE(std::any_of(lines.begin(), lines.end(), [](const auto& l) {
+    return l.find("sack=[") != std::string::npos;
+  }));
+  EXPECT_FALSE(tcp->in_fast_recovery());
+  EXPECT_EQ(tcp->scoreboard_size(), 0u);
+  ExpectGolden("sack_multi_drop", h.recorder);
+}
+
+}  // namespace
+}  // namespace burst::testkit

@@ -1,0 +1,189 @@
+// TcpSink conformance: delayed-ACK echo-timestamp and Karn-taint rules
+// (RFC 1122 delayed ACKs + the RFC 7323 "echo the OLDER timestamp when
+// one ACK covers two segments" rule).
+//
+// These scripts inject data segments directly into a sink at exact times
+// and capture every ACK it emits. The seeded bug: the immediate-ACK
+// paths (out-of-order/duplicate arrivals, and in-order arrivals below a
+// hole) clobbered the held delayed-ACK echo state with the NEW arrival's
+// timestamp, yielding optimistically small RTT samples at the sender.
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "src/net/node.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/transport/tcp_reno.hpp"
+#include "src/transport/tcp_sink.hpp"
+#include "tests/conformance/conformance_common.hpp"
+
+namespace burst::testkit {
+namespace {
+
+/// A zero-delay ACK capture: records every ACK the sink emits, both as
+/// (time, packet) for assertions and as ack-rx trace lines for goldens.
+struct SinkScript {
+  explicit SinkScript(TcpSinkConfig cfg) : sink(sim, node, 0, 0, cfg) {
+    tap.owner = this;
+    node.add_route(Node::kDefaultRoute, &tap);
+  }
+
+  /// Schedules a data segment to hit the sink at @p at. @p ts plays the
+  /// sender transmission timestamp; @p rexmit the Karn taint flag.
+  void inject(Time at, std::int64_t seq, Time ts, bool rexmit = false) {
+    sim.schedule_at(at, [this, seq, ts, rexmit] {
+      Packet p;
+      p.type = PacketType::kData;
+      p.seq = seq;
+      p.ts_echo = ts;
+      p.retransmit = rexmit;
+      sink.handle(p);
+    });
+  }
+
+  struct Tap : PacketChannel {
+    SinkScript* owner = nullptr;
+    void send(const Packet& p) override {
+      owner->acks.emplace_back(owner->sim.now(), p);
+      owner->recorder.record_ack(owner->sim.now(), p);
+    }
+  };
+
+  Simulator sim{1};
+  Node node{1};
+  Tap tap;
+  TraceRecorder recorder;
+  TcpSink sink;
+  std::vector<std::pair<Time, Packet>> acks;
+};
+
+TcpSinkConfig Delack() {
+  TcpSinkConfig cfg;
+  cfg.delayed_ack = true;
+  return cfg;
+}
+
+// Seq 0 arrives and its ACK is delayed; seq 2 arrives out of order 30 ms
+// later. The immediate duplicate ACK covers BOTH segments, so it must
+// echo seq 0's (older) timestamp, and the pending delayed ACK must be
+// cancelled, not left to fire a second ACK.
+TEST(SinkConformance, OutOfOrderAckKeepsHeldEchoTimestamp) {
+  SinkScript s(Delack());
+  s.inject(0.00, 0, /*ts=*/0.00);
+  s.inject(0.03, 2, /*ts=*/0.03);
+  s.sim.run(1.0);
+
+  ASSERT_EQ(s.acks.size(), 1u);
+  EXPECT_NEAR(s.acks[0].first, 0.03, 1e-12);
+  EXPECT_EQ(s.acks[0].second.ack, 1);
+  EXPECT_DOUBLE_EQ(s.acks[0].second.ts_echo, 0.00);  // older, not 0.03
+  EXPECT_FALSE(s.acks[0].second.retransmit);
+  EXPECT_EQ(s.sink.stats().dup_acks_sent, 1u);
+  ExpectGolden("sink_ooo_echo_preserved", s.recorder);
+}
+
+// Karn taint is the OR of both covered segments, whichever side carried
+// the retransmit flag.
+TEST(SinkConformance, OutOfOrderAckTaintsFromEitherSegment) {
+  {
+    SinkScript s(Delack());  // the NEW (out-of-order) segment is tainted
+    s.inject(0.00, 0, 0.00, /*rexmit=*/false);
+    s.inject(0.03, 2, 0.03, /*rexmit=*/true);
+    s.sim.run(1.0);
+    ASSERT_EQ(s.acks.size(), 1u);
+    EXPECT_TRUE(s.acks[0].second.retransmit);
+    EXPECT_DOUBLE_EQ(s.acks[0].second.ts_echo, 0.00);
+    ExpectGolden("sink_ooo_taint_new_segment", s.recorder);
+  }
+  {
+    SinkScript s(Delack());  // the HELD segment is tainted
+    s.inject(0.00, 0, 0.00, /*rexmit=*/true);
+    s.inject(0.03, 2, 0.03, /*rexmit=*/false);
+    s.sim.run(1.0);
+    ASSERT_EQ(s.acks.size(), 1u);
+    EXPECT_TRUE(s.acks[0].second.retransmit);
+    ExpectGolden("sink_ooo_taint_held_segment", s.recorder);
+  }
+}
+
+// The classic second-in-order-segment flush: one ACK covering both, with
+// the older echo timestamp, and nothing left on the timer.
+TEST(SinkConformance, SecondSegmentFlushKeepsOlderEcho) {
+  SinkScript s(Delack());
+  s.inject(0.00, 0, 0.00);
+  s.inject(0.04, 1, 0.04);
+  s.sim.run(1.0);
+
+  ASSERT_EQ(s.acks.size(), 1u);
+  EXPECT_NEAR(s.acks[0].first, 0.04, 1e-12);
+  EXPECT_EQ(s.acks[0].second.ack, 2);
+  EXPECT_DOUBLE_EQ(s.acks[0].second.ts_echo, 0.00);
+  ExpectGolden("sink_second_segment_flush", s.recorder);
+}
+
+// A lone segment is acknowledged by the 100 ms timer with its own echo.
+TEST(SinkConformance, DelackTimerFlushesAfterInterval) {
+  SinkScript s(Delack());
+  s.inject(0.00, 0, 0.00);
+  s.sim.run(1.0);
+
+  ASSERT_EQ(s.acks.size(), 1u);
+  EXPECT_NEAR(s.acks[0].first, 0.10, 1e-12);
+  EXPECT_EQ(s.acks[0].second.ack, 1);
+  EXPECT_DOUBLE_EQ(s.acks[0].second.ts_echo, 0.00);
+  ExpectGolden("sink_delack_timer_flush", s.recorder);
+}
+
+// In-order arrival below a buffered hole: ACK immediately (the sender's
+// fast-retransmit signal depends on it), with the filling segment's own
+// echo when no delayed ACK is pending; the final drain re-arms the
+// delayed-ACK machinery normally.
+TEST(SinkConformance, HoleAbovePartialFillAcksImmediately) {
+  SinkScript s(Delack());
+  s.inject(0.00, 0, 0.00);  // ACK delayed
+  s.inject(0.02, 3, 0.02);  // out of order: dup ACK, held echo ts=0.00
+  s.inject(0.04, 1, 0.04);  // in order below the hole: immediate ACK
+  s.inject(0.06, 2, 0.06);  // fills the hole: drain, delack re-armed
+  s.sim.run(1.0);
+
+  ASSERT_EQ(s.acks.size(), 3u);
+  EXPECT_NEAR(s.acks[0].first, 0.02, 1e-12);
+  EXPECT_EQ(s.acks[0].second.ack, 1);
+  EXPECT_DOUBLE_EQ(s.acks[0].second.ts_echo, 0.00);  // held echo wins
+
+  EXPECT_NEAR(s.acks[1].first, 0.04, 1e-12);
+  EXPECT_EQ(s.acks[1].second.ack, 2);
+  EXPECT_DOUBLE_EQ(s.acks[1].second.ts_echo, 0.04);  // nothing pending
+
+  EXPECT_NEAR(s.acks[2].first, 0.16, 1e-12);  // delack timer, re-armed
+  EXPECT_EQ(s.acks[2].second.ack, 4);
+  EXPECT_DOUBLE_EQ(s.acks[2].second.ts_echo, 0.06);
+  ExpectGolden("sink_hole_above_partial_fill", s.recorder);
+}
+
+// End-to-end delayed-ACK cadence against a live Reno sender: every ACK
+// covers up to two segments with the older timestamp echoed, lone
+// segments flush on the 100 ms timer, and the whole interleaving is
+// byte-stable (the golden pins it).
+TEST(SinkConformance, RenoDelackFlushOrdering) {
+  ScriptHarnessConfig cfg;
+  cfg.record_acks = true;
+  cfg.sink.delayed_ack = true;
+  ScriptHarness h(cfg);
+  auto* tcp = h.make_sender<TcpReno>();
+  h.sender->app_send(21);
+  h.sim.run(10.0);
+
+  EXPECT_EQ(tcp->snd_una(), 21);
+  EXPECT_EQ(tcp->stats().timeouts, 0u);
+  EXPECT_EQ(tcp->stats().dupacks, 0u);
+  EXPECT_EQ(Retransmissions(h.recorder), 0);
+  // Delayed ACKs actually coalesced: fewer ACKs than segments.
+  EXPECT_LT(h.sink->stats().acks_sent, h.sink->stats().unique_packets);
+  ExpectGolden("reno_delack_flush_ordering", h.recorder);
+}
+
+}  // namespace
+}  // namespace burst::testkit

@@ -1,0 +1,86 @@
+// Tahoe conformance scripts.
+//
+// Timing model (ScriptHarness defaults): a segment sent at t arrives at
+// the sink at t + 0.05 and its ACK is back at the sender at t + 0.10.
+// With zero serialization time, slow start sends in exact clusters:
+// seq 0 at t=0, seqs 1-2 at 0.1, seqs 3-6 at 0.2, seqs 7-14 at 0.3, ...
+
+#include <gtest/gtest.h>
+
+#include "src/transport/tcp_tahoe.hpp"
+#include "tests/conformance/conformance_common.hpp"
+
+namespace burst::testkit {
+namespace {
+
+// Drop seq 3 (sent in the 0.2 cluster). Seqs 4-6 arrive above the hole,
+// their three duplicate ACKs land together at t=0.3, and Tahoe must:
+// halve ssthresh, rewind to the hole, collapse cwnd to 1, and resend the
+// hole EXACTLY ONCE. The seeded bug paired an explicit retransmit_una()
+// with the rewind, so the caller's try_send() shipped the same head a
+// second time back-to-back.
+TEST(TahoeConformance, FastRetransmitResendsHoleOnce) {
+  ScriptHarness h;
+  h.fwd.drop_seq(3);
+  auto* tcp = h.make_sender<TcpTahoe>();
+  h.sender->app_send(40);
+  h.sim.run(5.0);
+
+  EXPECT_EQ(tcp->snd_una(), 40);  // transfer completed
+  EXPECT_EQ(tcp->stats().fast_retransmits, 1u);
+  EXPECT_EQ(tcp->stats().timeouts, 0u);
+  // The whole point: one original + one retransmission, never two.
+  EXPECT_EQ(TransmissionsOf(h.recorder, 3), 2);
+  EXPECT_EQ(Retransmissions(h.recorder), 1);
+
+  // The retransmission happens at the threshold crossing with the window
+  // already collapsed (Tahoe re-slow-starts from the hole).
+  for (const TcpSenderEvent& e : h.recorder.events()) {
+    if (e.kind == TcpSenderEvent::Kind::kSend && e.retransmit) {
+      EXPECT_DOUBLE_EQ(e.cwnd, 1.0);
+      EXPECT_EQ(e.dupacks, 3);
+    }
+  }
+  ExpectGolden("tahoe_fast_retransmit", h.recorder);
+}
+
+// Drop the LAST segment of an 8-packet transfer: nothing follows it, so
+// no duplicate ACKs can form and the coarse timer is the only recovery.
+// Pins (a) go-back-N from the hole with cwnd=1, (b) the RTO firing
+// relative to the LAST timer restart (the final new ACK at t=0.3), not
+// the segment's first transmission, and (c) Karn's rule: the ACK of the
+// retransmitted segment is tainted and must not produce an RTT sample.
+TEST(TahoeConformance, RtoGoBackNAfterTailLoss) {
+  ScriptHarness h;
+  h.fwd.drop_seq(7);
+  auto* tcp = h.make_sender<TcpTahoe>();
+  h.sender->app_send(8);
+  h.sim.run(10.0);
+
+  EXPECT_EQ(tcp->snd_una(), 8);
+  EXPECT_EQ(tcp->stats().timeouts, 1u);
+  EXPECT_EQ(tcp->stats().fast_retransmits, 0u);
+  EXPECT_EQ(TransmissionsOf(h.recorder, 7), 2);
+
+  const auto rtos = h.recorder.events_of(TcpSenderEvent::Kind::kRto);
+  ASSERT_EQ(rtos.size(), 1u);
+  // Last new ACK before the timeout restarted the timer; with seven
+  // clean samples srtt+4*rttvar rounds up to one 0.1 tick, clamped to
+  // the 0.2 coarse minimum.
+  const auto acks = h.recorder.events_of(TcpSenderEvent::Kind::kNewAck);
+  Time last_ack_before = 0.0;
+  for (const TcpSenderEvent& a : acks) {
+    if (a.time < rtos[0].time) last_ack_before = a.time;
+  }
+  EXPECT_NEAR(rtos[0].time - last_ack_before, 0.2, 1e-9);
+  EXPECT_DOUBLE_EQ(rtos[0].cwnd, 1.0);
+
+  // Karn: the recovery ACK covers a retransmitted segment, so the clean
+  // sample count must not advance after the timeout.
+  const std::uint64_t samples_at_rto = rtos[0].rtt_samples;
+  EXPECT_EQ(tcp->stats().rtt_samples, samples_at_rto);
+  ExpectGolden("tahoe_rto_go_back_n", h.recorder);
+}
+
+}  // namespace
+}  // namespace burst::testkit

@@ -1,0 +1,126 @@
+// Vegas conformance: the fine-grained retransmit check, its
+// once-per-loss-detection guard, and the delivered-packet Actual in the
+// per-RTT decision.
+//
+// Setup shared by the fine-grained scripts (advertised window 4,
+// min_rto=2.0 to park the coarse timer): with a constant 100 ms RTT every
+// clean sample decays rttvar by 3/4, so by seq 30 the fine-grained
+// timeout srtt + 4*rttvar has collapsed to ~= srtt = 0.1 s. Seq 30 goes
+// out at t=0.9; its successors 31-33 leave a full RTT later (t=1.0), so
+// the first duplicate ACK lands at t=1.1 — 0.2 s after the hole was
+// sent, past the fine-grained timeout.
+
+#include <gtest/gtest.h>
+
+#include "src/transport/tcp_vegas.hpp"
+#include "tests/conformance/conformance_common.hpp"
+
+namespace burst::testkit {
+namespace {
+
+TcpConfig FineGrainedConfig() {
+  TcpConfig tc;
+  tc.advertised_window = 4.0;
+  tc.rto.min_rto = 2.0;  // keep the coarse timer out of the script window
+  return tc;
+}
+
+// Brakmo's fine-grained check: an EARLY duplicate ACK (below the Reno
+// threshold of three) retransmits the hole, because the head of the
+// window has already exceeded srtt + 4*rttvar. In this script seq 30
+// leaves with seq 31 at t=1.0, so dup ACK 1 (t=1.1) finds the head
+// exactly one RTT old — not yet expired — and dup ACK 2 (t=1.2, from
+// seq 32 sent a round later) triggers the fine-grained retransmit.
+TEST(VegasConformance, FineGrainedRetransmitOnEarlyDupAck) {
+  ScriptHarness h;
+  h.fwd.drop_seq(30);
+  auto* tcp = h.make_sender<TcpVegas>(FineGrainedConfig());
+  h.sender->app_send(60);
+  h.sim.run(10.0);
+
+  EXPECT_EQ(tcp->snd_una(), 60);
+  EXPECT_EQ(tcp->stats().timeouts, 0u);
+  EXPECT_EQ(TransmissionsOf(h.recorder, 30), 2);
+  EXPECT_EQ(Retransmissions(h.recorder), 1);
+
+  // The retransmission was issued below the Reno dup-ACK threshold.
+  bool fine = false;
+  for (const TcpSenderEvent& e : h.recorder.events()) {
+    if (e.kind == TcpSenderEvent::Kind::kSend && e.retransmit) {
+      EXPECT_LT(e.dupacks, 3);
+      fine = true;
+    }
+  }
+  EXPECT_TRUE(fine);
+  ExpectGolden("vegas_fine_early_dupack", h.recorder);
+}
+
+// The guard against resending the same hole once per dup ACK. The
+// retransmission of seq 30 is delayed 300 ms in flight, and dup ACKs 2
+// and 3 are delayed so they arrive after the resent head has ITSELF
+// exceeded the fine-grained timeout again (and dup ACK 3 crosses the
+// Reno threshold). The seeded bug retransmitted the hole on each of
+// them; the guard allows exactly one resend per loss detection.
+TEST(VegasConformance, HoleResentOncePerLossDetection) {
+  ScriptHarness h;
+  h.fwd.drop_seq(30);
+  h.fwd.delay_seq(30, 0.3, 2);   // retransmission delivered at t=1.45
+  h.rev.delay_seq(30, 0.15, 3);  // dup ACK 2 arrives t=1.25 (head expired)
+  h.rev.delay_seq(30, 0.25, 4);  // dup ACK 3 arrives t=1.35 (threshold)
+  auto* tcp = h.make_sender<TcpVegas>(FineGrainedConfig());
+  h.sender->app_send(60);
+  h.sim.run(10.0);
+
+  EXPECT_EQ(tcp->snd_una(), 60);
+  EXPECT_EQ(tcp->stats().timeouts, 0u);
+  // The whole point: one retransmission despite three dup ACKs, two of
+  // which found the (resent) head expired again.
+  EXPECT_EQ(TransmissionsOf(h.recorder, 30), 2);
+  EXPECT_EQ(Retransmissions(h.recorder), 1);
+  ExpectGolden("vegas_no_double_fine_retransmit", h.recorder);
+}
+
+// Actual = DELIVERED packets per round-trip. During a loss episode the
+// per-RTT decision at the recovery ACK must be computed from cumulative
+// ACK progress; the seeded bug fed data_pkts_sent (transmissions incl.
+// the retransmission) into Actual, skewing the decision exactly when the
+// path is dropping. The golden pins the post-loss cwnd trajectory; the
+// structural check: the window never grows between loss detection and
+// the recovery ACK.
+TEST(VegasConformance, ActualCountsDeliveredNotTransmitted) {
+  TcpConfig tc;
+  tc.advertised_window = 8.0;
+  ScriptHarness h;
+  h.fwd.drop_seq(40);
+  auto* tcp = h.make_sender<TcpVegas>(tc);
+  h.sender->app_send(80);
+  h.sim.run(10.0);
+
+  EXPECT_EQ(tcp->snd_una(), 80);
+  EXPECT_EQ(tcp->stats().timeouts, 0u);
+  EXPECT_EQ(TransmissionsOf(h.recorder, 40), 2);
+
+  const auto& ev = h.recorder.events();
+  std::size_t rexmit = ev.size(), recovery = ev.size();
+  for (std::size_t i = 0; i < ev.size(); ++i) {
+    if (rexmit == ev.size() && ev[i].kind == TcpSenderEvent::Kind::kSend &&
+        ev[i].retransmit) {
+      rexmit = i;
+    }
+    if (rexmit < ev.size() && ev[i].kind == TcpSenderEvent::Kind::kNewAck &&
+        ev[i].seq > 40) {
+      recovery = i;
+      break;
+    }
+  }
+  ASSERT_LT(rexmit, ev.size());
+  ASSERT_LT(recovery, ev.size());
+  for (std::size_t i = rexmit; i <= recovery; ++i) {
+    EXPECT_LE(ev[i].cwnd, ev[rexmit].cwnd + 1e-9)
+        << "window grew mid-recovery at event " << i;
+  }
+  ExpectGolden("vegas_actual_delivered", h.recorder);
+}
+
+}  // namespace
+}  // namespace burst::testkit

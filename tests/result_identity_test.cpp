@@ -23,6 +23,17 @@
 //  * Re-pinned once more when sim_events/peak_pending joined the
 //    canonical rendering (all five hashes moved; the underlying metrics
 //    did not).
+//  * Re-pinned two scenarios for the PR 3 transport bugfixes (the other
+//    three are byte-identical). vegas_droptail_n30: Vegas now measures
+//    Actual from delivered (cumulatively acked) packets instead of
+//    data_pkts_sent — transmissions count retransmissions, which inflated
+//    Actual exactly during loss episodes — and guards the fine-grained
+//    retransmit so one hole is resent at most once per loss detection.
+//    reno_delack_n45_traced: the delayed-ACK sink's immediate-ACK paths
+//    no longer overwrite a held segment's older echo timestamp or OR in
+//    the new segment's Karn taint (RFC 7323: echo the timestamp of the
+//    last segment that advanced the window), which shifts RTT samples and
+//    hence RTO/srtt trajectories in every delack scenario.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -117,14 +128,14 @@ std::vector<Pin> pins() {
                "fce5818603088c9e"});
   p.push_back({"vegas_droptail_n30",
                pinned(30, Transport::kVegas, GatewayQueue::kDropTail), {},
-               "a09fa25e20416a57"});
+               "dcafa26e68d0b548"});
   p.push_back({"udp_droptail_n25",
                pinned(25, Transport::kUdp, GatewayQueue::kDropTail), {},
                "18760fd6e5e9fb5b"});
   // Traces + periodic sampling exercise the timer/callback path end to end.
   Pin traced{"reno_delack_n45_traced",
              pinned(45, Transport::kReno, GatewayQueue::kDropTail), {},
-             "5a1095cbaa7f4a7c"};
+             "7ff31a02308c5520"};
   traced.scenario.delayed_ack = true;
   traced.options.trace_clients = {0, 9};
   traced.options.cwnd_sample_period = 0.1;

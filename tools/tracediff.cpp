@@ -1,0 +1,120 @@
+// tracediff: line diff of two conformance traces, tuned for the golden
+// workflow. Prints the first divergence with context and a summary of
+// which trace fields changed on that line; exit status 0 iff identical.
+//
+//   tracediff golden/reno_fast_recovery.trace conformance-diffs/reno_fast_recovery.actual
+//
+// A conformance failure writes <name>.actual next to the goldens' diff
+// artifacts (see src/testkit/golden.hpp), so the usual loop is: run the
+// suite, tracediff the pair it names, decide whether the dynamics change
+// is intended, and only then regenerate with BURST_REGEN_GOLDEN=1.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+std::vector<std::string> read_lines(const char* path, bool& ok) {
+  std::ifstream in(path);
+  ok = in.good();
+  std::vector<std::string> out;
+  std::string line;
+  while (std::getline(in, line)) out.push_back(line);
+  return out;
+}
+
+/// Splits a canonical trace line into whitespace-separated fields.
+std::vector<std::string> fields_of(const std::string& line) {
+  std::istringstream is(line);
+  std::vector<std::string> f;
+  std::string tok;
+  while (is >> tok) f.push_back(tok);
+  return f;
+}
+
+/// Names the fields that differ between two trace lines ("cwnd=..", the
+/// timestamp, the event kind), so the divergence is readable at a
+/// glance without manual column counting.
+std::string changed_fields(const std::string& a, const std::string& b) {
+  const auto fa = fields_of(a), fb = fields_of(b);
+  std::string out;
+  const std::size_t n = std::max(fa.size(), fb.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string* va = i < fa.size() ? &fa[i] : nullptr;
+    const std::string* vb = i < fb.size() ? &fb[i] : nullptr;
+    if (va && vb && *va == *vb) continue;
+    std::string name;
+    if (i == 0) {
+      name = "time";
+    } else if (i == 1) {
+      name = "event";
+    } else {
+      const std::string& ref = va ? *va : *vb;
+      const auto eq = ref.find('=');
+      name = eq == std::string::npos ? ref : ref.substr(0, eq);
+    }
+    if (!out.empty()) out += ", ";
+    out += name + " (" + (va ? *va : "<missing>") + " -> " +
+           (vb ? *vb : "<missing>") + ")";
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: tracediff <expected.trace> <actual.trace>\n");
+    return 2;
+  }
+  bool ok_a = false, ok_b = false;
+  const auto expected = read_lines(argv[1], ok_a);
+  const auto actual = read_lines(argv[2], ok_b);
+  if (!ok_a || !ok_b) {
+    std::fprintf(stderr, "tracediff: cannot read %s\n",
+                 !ok_a ? argv[1] : argv[2]);
+    return 2;
+  }
+
+  std::size_t i = 0;
+  while (i < expected.size() && i < actual.size() &&
+         expected[i] == actual[i]) {
+    ++i;
+  }
+  if (i == expected.size() && i == actual.size()) {
+    std::printf("identical (%zu lines)\n", expected.size());
+    return 0;
+  }
+
+  std::printf("first divergence at line %zu (expected %zu lines, actual %zu)\n",
+              i + 1, expected.size(), actual.size());
+  const std::size_t lo = i >= 3 ? i - 3 : 0;
+  for (std::size_t k = lo; k < i; ++k) {
+    std::printf("  %s\n", expected[k].c_str());
+  }
+  for (std::size_t k = i; k < std::min(expected.size(), i + 5); ++k) {
+    std::printf("- %s\n", expected[k].c_str());
+  }
+  for (std::size_t k = i; k < std::min(actual.size(), i + 5); ++k) {
+    std::printf("+ %s\n", actual[k].c_str());
+  }
+  if (i < expected.size() && i < actual.size()) {
+    std::printf("changed: %s\n",
+                changed_fields(expected[i], actual[i]).c_str());
+  }
+  // How far the traces re-converge is often diagnostic: a one-line blip
+  // (e.g. a timestamp) vs a wholesale divergence (a dynamics change).
+  std::size_t diff_count = 0;
+  const std::size_t n = std::max(expected.size(), actual.size());
+  for (std::size_t k = 0; k < n; ++k) {
+    const bool same = k < expected.size() && k < actual.size() &&
+                      expected[k] == actual[k];
+    if (!same) ++diff_count;
+  }
+  std::printf("%zu/%zu lines differ\n", diff_count, n);
+  return 1;
+}
