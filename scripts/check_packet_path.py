@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Gate the packet-path benchmark against a committed baseline.
+
+Usage: check_packet_path.py CURRENT.json [--baseline PATH] [--threshold F]
+
+Two kinds of checks, per row shared by the current run and the baseline:
+
+* Deterministic counters (``events_per_hop``): these are exact properties
+  of the event machinery — 1 scheduler event per hop on an idle link,
+  ~2 on a saturated one — and must not creep up. Budget: 2% (the smoke
+  workload's shorter runs shift the start-up fraction slightly).
+
+* Wall time (``ns_per_op``), normalized by the ``calib_sched_pop_d64``
+  row: the calibration row is a pure scheduler schedule+pop loop that the
+  link/timer code never touches, so the ratio row/calib cancels the
+  machine (CI runners differ wildly run to run). Budget: --threshold
+  (default 25%) over the baseline's ratio.
+
+The baseline is full-mode; CI runs --smoke. ops counts differ, but
+events-per-hop and normalized ns/op are workload-size invariant, which is
+what makes the comparison meaningful across modes.
+
+Exit code 0 = within budget, 1 = regression, 2 = bad invocation/input.
+"""
+
+import argparse
+import json
+import sys
+
+CALIB_ROW = "calib_sched_pop_d64"
+COUNTER_TOLERANCE = 0.02
+
+
+def load_rows(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"check_packet_path: cannot read {path}: {e}")
+    if doc.get("bench") != "packet_path":
+        sys.exit(f"check_packet_path: {path} is not a packet_path result")
+    return {row["name"]: row for row in doc.get("results", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("current", help="freshly measured BENCH_packet_path.json")
+    ap.add_argument(
+        "--baseline",
+        default="bench/baselines/BENCH_packet_path_post_fusion.json",
+        help="committed reference run (default: %(default)s)",
+    )
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed fractional regression in normalized wall time "
+        "(default: %(default)s)",
+    )
+    args = ap.parse_args()
+
+    cur = load_rows(args.current)
+    base = load_rows(args.baseline)
+    for rows, path in ((cur, args.current), (base, args.baseline)):
+        if CALIB_ROW not in rows:
+            sys.exit(f"check_packet_path: {path} lacks the {CALIB_ROW} row")
+
+    cur_calib = cur[CALIB_ROW]["ns_per_op"]
+    base_calib = base[CALIB_ROW]["ns_per_op"]
+    print(
+        f"calibration: current {cur_calib:.1f} ns/op, "
+        f"baseline {base_calib:.1f} ns/op "
+        f"(machine factor {cur_calib / base_calib:.2f}x)"
+    )
+
+    failures = []
+    for name, cur_row in sorted(cur.items()):
+        base_row = base.get(name)
+        if base_row is None or name == CALIB_ROW:
+            continue
+
+        if cur_row.get("events_per_hop", -1) >= 0 and base_row.get(
+            "events_per_hop", -1
+        ) >= 0:
+            c, b = cur_row["events_per_hop"], base_row["events_per_hop"]
+            ok = c <= b * (1 + COUNTER_TOLERANCE)
+            print(
+                f"  {name}: events/hop {c:.4f} vs baseline {b:.4f}"
+                f" {'ok' if ok else 'REGRESSION'}"
+            )
+            if not ok:
+                failures.append(
+                    f"{name}: events/hop {c:.4f} > {b:.4f} "
+                    f"(+{(c / b - 1) * 100:.1f}%)"
+                )
+
+        c_ratio = cur_row["ns_per_op"] / cur_calib
+        b_ratio = base_row["ns_per_op"] / base_calib
+        ok = c_ratio <= b_ratio * (1 + args.threshold)
+        print(
+            f"  {name}: normalized {c_ratio:.3f} vs baseline {b_ratio:.3f}"
+            f" ({(c_ratio / b_ratio - 1) * 100:+.1f}%)"
+            f" {'ok' if ok else 'REGRESSION'}"
+        )
+        if not ok:
+            failures.append(
+                f"{name}: normalized wall {c_ratio:.3f} exceeds baseline "
+                f"{b_ratio:.3f} by more than {args.threshold * 100:.0f}%"
+            )
+
+    if failures:
+        print("\npacket-path regression gate FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("packet-path regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

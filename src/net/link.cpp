@@ -22,23 +22,73 @@ void SimplexLink::send(const Packet& p) {
 }
 
 void SimplexLink::try_transmit() {
-  if (busy_) return;
-  auto next = queue_->dequeue(sim_.now());
+  const Time now = sim_.now();
+  if (now < free_at_ || (now == free_at_ && tx_open_)) {
+    // Transmitter occupied — or we are AT the completion instant but the
+    // transmission's place in the event order (the old tx-complete event,
+    // now the drain) has not been reached yet. Deferring the dequeue to
+    // the drain keeps it at exactly the old tx-complete's rank: an arrival
+    // landing at precisely free_at_ must not jump ahead of other
+    // same-instant arrivals whose events sort before that rank. Whatever
+    // just arrived waits in the queue; a single drain at free_at_ picks
+    // it up.
+    if (!drain_pending_ && !queue_->queue_empty()) schedule_drain();
+    return;
+  }
+  auto next = queue_->dequeue(now);
   if (!next) return;
-  busy_ = true;
-  const Packet pkt = *next;
-  const Time tx = transmission_time(pkt.size_bytes, bandwidth_bps_);
-  // Last bit leaves at now+tx; it arrives prop_delay later.
-  sim_.schedule(tx, [this, pkt] {
-    busy_ = false;
-    sim_.schedule(prop_delay_, [this, pkt] {
-      ++delivered_;
-      bytes_delivered_ += static_cast<std::uint64_t>(pkt.size_bytes);
-      assert(receiver_ && "SimplexLink has no receiver attached");
-      receiver_(pkt);
-    });
+  const Time tx = transmission_time(next->size_bytes, bandwidth_bps_);
+  // Last bit leaves at now+tx; it arrives prop_delay later. Evaluated as
+  // (now + tx) + prop_delay — the same association as the old tx-complete
+  // -> propagate event pair — so delivery timestamps are bit-identical.
+  tx_start_ = now;
+  free_at_ = now + tx;
+  tx_open_ = true;
+  // Reserve the drain's same-instant rank now: the unfused design's
+  // tx-complete event was always inserted here, so a drain armed later
+  // (by a mid-transmission arrival) must still sort as if inserted here
+  // or same-instant drains on sibling links fire in a different order.
+  drain_order_ = sim_.reserve_order();
+  const PacketSlab::Handle h = slab_.put(*next);
+  auto deliver = [this, h] {
+    const Packet pkt = slab_.take(h);
+    ++delivered_;
+    bytes_delivered_ += static_cast<std::uint64_t>(pkt.size_bytes);
+    assert(receiver_ && "SimplexLink has no receiver attached");
+    receiver_(pkt);
+  };
+  static_assert(SmallFn::stores_inline<decltype(deliver)>(),
+                "the per-hop delivery closure must fit SmallFn's inline "
+                "buffer (park bulky state in the PacketSlab, not captures)");
+  // Tie-break as of free_at_: the unfused design inserted the delivery
+  // from a tx-complete event at free_at_, so among same-instant arrivals
+  // (ubiquitous with uniform packet sizes) the fused event must sort as
+  // if inserted there, not at transmission start.
+  sim_.schedule_at_as_of(free_at_ + prop_delay_, free_at_,
+                         std::move(deliver));
+  // A backlog at transmission start needs a drain event at tx end. (An
+  // arrival during the transmission arms it from the busy branch above.)
+  if (!queue_->queue_empty()) schedule_drain();
+}
+
+void SimplexLink::schedule_drain() {
+  drain_pending_ = true;
+  auto drain = [this] {
+    // This event IS the transmission's tx-complete position: past it the
+    // transmitter is genuinely free, so a later same-instant arrival may
+    // dequeue inline (as it did in the unfused design once tx-complete
+    // had run).
+    drain_pending_ = false;
+    tx_open_ = false;
     try_transmit();
-  });
+  };
+  static_assert(SmallFn::stores_inline<decltype(drain)>(),
+                "the drain closure must fit SmallFn's inline buffer");
+  // Rank as of (tx_start_, drain_order_): the unfused tx-complete event
+  // this drain replaces was always inserted at transmission start, even
+  // when the drain is only armed by a mid-transmission arrival.
+  sim_.schedule_at_reserved(free_at_, tx_start_, drain_order_,
+                            std::move(drain));
 }
 
 }  // namespace burst

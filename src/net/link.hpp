@@ -3,6 +3,15 @@
 // Packets offered while the transmitter is busy wait in the queue (or are
 // dropped by its discipline). A full-duplex link is simply two simplex
 // links. Delivery order on a link is FIFO by construction.
+//
+// Hot-path design (DESIGN.md §6): each transmitted packet costs ONE fused
+// scheduler event — delivery at (dequeue + tx) + prop — instead of the
+// classic tx-complete + propagate pair. Transmitter occupancy is a lazy
+// `free_at_` timestamp checked in try_transmit(); a separate drain event
+// at tx end exists only while the queue is backlogged, so an idle-queue
+// link (the whole ACK direction of the dumbbell) runs 1 event/packet and
+// a saturated one 2. In-flight packets are parked in a PacketSlab so the
+// delivery closure is 16 bytes and never heap-allocates.
 #pragma once
 
 #include <cstdint>
@@ -10,6 +19,7 @@
 #include <memory>
 
 #include "src/net/channel.hpp"
+#include "src/net/packet_slab.hpp"
 #include "src/net/queue.hpp"
 #include "src/sim/simulator.hpp"
 
@@ -37,7 +47,13 @@ class SimplexLink : public PacketChannel {
   const Queue& queue() const { return *queue_; }
   double bandwidth_bps() const { return bandwidth_bps_; }
   Time prop_delay() const { return prop_delay_; }
-  bool busy() const { return busy_; }
+  /// True while a transmission is in progress (the transmitter is
+  /// occupied until free_at_; there is no unconditional tx-complete
+  /// event). At exactly free_at_ the transmitter still counts as busy
+  /// until the drain event holding the tx-complete's rank has run.
+  bool busy() const {
+    return sim_.now() < free_at_ || (sim_.now() == free_at_ && tx_open_);
+  }
 
   /// Packets handed to the receiver so far.
   std::uint64_t delivered() const { return delivered_; }
@@ -45,14 +61,24 @@ class SimplexLink : public PacketChannel {
   std::uint64_t bytes_delivered() const { return bytes_delivered_; }
 
  private:
+  /// Starts transmitting the head-of-line packet if the transmitter is
+  /// free; otherwise makes sure a drain event is armed for tx end.
   void try_transmit();
+  /// Schedules the (single) queue-drain event at free_at_.
+  void schedule_drain();
 
   Simulator& sim_;
   std::unique_ptr<Queue> queue_;
   double bandwidth_bps_;
   Time prop_delay_;
   std::function<void(const Packet&)> receiver_;
-  bool busy_ = false;
+  PacketSlab slab_;            // packets between dequeue and delivery
+  Time tx_start_ = 0.0;        // when the current transmission began
+  Time free_at_ = 0.0;         // transmitter is busy until this instant
+  std::uint64_t drain_order_ = 0;  // FIFO rank reserved at tx start
+  bool drain_pending_ = false; // a drain event is armed at free_at_
+  bool tx_open_ = false;       // current tx's completion rank not yet run;
+                               // only consulted when now == free_at_
   std::uint64_t delivered_ = 0;
   std::uint64_t bytes_delivered_ = 0;
 };

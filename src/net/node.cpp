@@ -1,40 +1,68 @@
 #include "src/net/node.hpp"
 
 #include <cassert>
+#include <cstddef>
 
 namespace burst {
 
+namespace {
+
+// Direct-indexed upsert / lookup shared by both tables. Ids come from the
+// topology builders and are small (clients + gateways + servers), so a
+// vector indexed by id is both the fastest and the simplest table.
+template <typename V>
+void upsert(std::vector<V*>& table, int key, V* value) {
+  assert(key >= 0);
+  if (static_cast<std::size_t>(key) >= table.size()) {
+    table.resize(static_cast<std::size_t>(key) + 1, nullptr);
+  }
+  table[static_cast<std::size_t>(key)] = value;
+}
+
+template <typename V>
+V* lookup(const std::vector<V*>& table, int key) {
+  const auto idx = static_cast<std::size_t>(key);
+  // A single unsigned compare also rejects negative keys.
+  return idx < table.size() ? table[idx] : nullptr;
+}
+
+}  // namespace
+
 void Node::add_route(NodeId dst, PacketChannel* channel) {
   assert(channel != nullptr);
-  routes_[dst] = channel;
+  if (dst == kDefaultRoute) {
+    default_route_ = channel;
+    return;
+  }
+  upsert(routes_, dst, channel);
 }
 
 void Node::attach(FlowId flow, PacketHandler* handler) {
   assert(handler != nullptr);
-  handlers_[flow] = handler;
+  upsert(handlers_, flow, handler);
 }
 
 void Node::receive(const Packet& p) {
   if (p.dst == id_) {
-    auto it = handlers_.find(p.flow);
-    if (it == handlers_.end()) {
+    PacketHandler* h = lookup(handlers_, p.flow);
+    if (h == nullptr) {
       ++routing_errors_;
       return;
     }
-    it->second->handle(p);
+    h->handle(p);
     return;
   }
   send(p);  // transit traffic: forward
 }
 
 void Node::send(const Packet& p) {
-  auto it = routes_.find(p.dst);
-  if (it == routes_.end()) it = routes_.find(kDefaultRoute);
-  if (it == routes_.end()) {
+  PacketChannel* ch = lookup(routes_, p.dst);
+  if (ch == nullptr) ch = default_route_;
+  if (ch == nullptr) {
     ++routing_errors_;
     return;
   }
-  it->second->send(p);
+  ch->send(p);
 }
 
 }  // namespace burst

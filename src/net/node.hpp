@@ -9,7 +9,7 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 #include "src/net/channel.hpp"
 #include "src/net/link.hpp"
@@ -54,8 +54,13 @@ class Node {
 
  private:
   NodeId id_;
-  std::unordered_map<NodeId, PacketChannel*> routes_;
-  std::unordered_map<FlowId, PacketHandler*> handlers_;
+  // Direct-indexed tables: node and flow ids are small dense non-negative
+  // ints assigned by the topology builders, so a route/handler lookup —
+  // once per packet per hop — is a single bounds-checked load instead of
+  // a hash or search. The default route is hoisted out of the table.
+  std::vector<PacketChannel*> routes_;    // indexed by destination NodeId
+  std::vector<PacketHandler*> handlers_;  // indexed by FlowId
+  PacketChannel* default_route_ = nullptr;
   std::uint64_t routing_errors_ = 0;
 };
 

@@ -1,16 +1,22 @@
 #include "src/net/packet.hpp"
 
-#include <sstream>
+#include <cstdio>
 
 namespace burst {
 
+int Packet::describe_to(char* buf, std::size_t size) const {
+  return std::snprintf(
+      buf, size, "%s uid=%llu flow=%d %d->%d seq=%lld ack=%lld size=%d%s",
+      type == PacketType::kData ? "DATA" : "ACK",
+      static_cast<unsigned long long>(uid), flow, src, dst,
+      static_cast<long long>(seq), static_cast<long long>(ack), size_bytes,
+      retransmit ? " rexmt" : "");
+}
+
 std::string Packet::describe() const {
-  std::ostringstream os;
-  os << (type == PacketType::kData ? "DATA" : "ACK") << " uid=" << uid
-     << " flow=" << flow << " " << src << "->" << dst << " seq=" << seq
-     << " ack=" << ack << " size=" << size_bytes
-     << (retransmit ? " rexmt" : "");
-  return os.str();
+  char buf[kDescribeBufSize];
+  describe_to(buf, sizeof buf);
+  return buf;
 }
 
 }  // namespace burst

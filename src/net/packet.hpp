@@ -6,6 +6,7 @@
 // (ns-2 style), which is what the paper's simulations used.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -52,6 +53,15 @@ struct Packet {
   SackBlock sack[kMaxSackBlocks] = {};
   int sack_count = 0;
 
+  /// Formats a one-line human-readable summary into @p buf (snprintf
+  /// semantics: always NUL-terminated, returns the would-be length).
+  /// Allocation-free, so tracing hooks can call it per packet without
+  /// perturbing the heap; kDescribeBufSize never truncates.
+  static constexpr std::size_t kDescribeBufSize = 160;
+  int describe_to(char* buf, std::size_t size) const;
+
+  /// Convenience wrapper for describe_to(). Builds a std::string — only
+  /// for diagnostics/tests, never on the packet hot path.
   std::string describe() const;
 };
 

@@ -6,24 +6,27 @@
 namespace burst {
 
 // 4-ary heap layout: children of pos are 4*pos+1 .. 4*pos+4, parent is
-// (pos-1)/4. Entries carry their own (time, seq) key, so a sift touches
-// only the contiguous heap array plus one heap_pos write per move; the
-// Slot bodies (callbacks) never move.
+// (pos-1)/4. The (time, tie-time, seq) keys live in keys_, the owning slot
+// index in the parallel heap_slot_ array, so a sift's comparisons touch
+// only the contiguous key array plus one heap_pos write per move; the Slot
+// bodies (callbacks) never move.
 
 void Scheduler::sift_up(std::uint32_t pos) {
-  const Entry e = heap_[pos];
+  const Key k = keys_[pos];
+  const std::uint32_t slot = heap_slot_[pos];
   while (pos > 0) {
     const std::uint32_t parent = (pos - 1) / 4;
-    if (!earlier(e, heap_[parent])) break;
-    place(pos, heap_[parent]);
+    if (!earlier(k, keys_[parent])) break;
+    place(pos, keys_[parent], heap_slot_[parent]);
     pos = parent;
   }
-  place(pos, e);
+  place(pos, k, slot);
 }
 
 void Scheduler::sift_down(std::uint32_t pos) {
-  const std::uint32_t n = static_cast<std::uint32_t>(heap_.size());
-  const Entry e = heap_[pos];
+  const std::uint32_t n = static_cast<std::uint32_t>(keys_.size());
+  const Key k = keys_[pos];
+  const std::uint32_t slot = heap_slot_[pos];
   while (true) {
     const std::uint32_t first_child = 4 * pos + 1;
     if (first_child >= n) break;
@@ -31,28 +34,63 @@ void Scheduler::sift_down(std::uint32_t pos) {
     const std::uint32_t last_child =
         first_child + 3 < n - 1 ? first_child + 3 : n - 1;
     for (std::uint32_t c = first_child + 1; c <= last_child; ++c) {
-      if (earlier(heap_[c], heap_[best])) best = c;
+      if (earlier(keys_[c], keys_[best])) best = c;
     }
-    if (!earlier(heap_[best], e)) break;
-    place(pos, heap_[best]);
+    if (!earlier(keys_[best], k)) break;
+    place(pos, keys_[best], heap_slot_[best]);
     pos = best;
   }
-  place(pos, e);
+  place(pos, k, slot);
+}
+
+void Scheduler::remove_root() {
+  const std::uint32_t n = static_cast<std::uint32_t>(keys_.size());
+  if (n == 1) {
+    keys_.pop_back();
+    heap_slot_.pop_back();
+    return;
+  }
+  // Floyd's bottom-up deletion: walk the hole down the min-child path all
+  // the way to a leaf — promoting children without comparing against the
+  // displaced element — then drop the last element into the hole and sift
+  // it up. The last element came from the deepest layer, so the sift-up
+  // nearly always stops immediately; this trades the sift-down's
+  // per-level fourth comparison for one or two at the end.
+  const std::uint32_t last = n - 1;
+  std::uint32_t hole = 0;
+  while (true) {
+    const std::uint32_t first_child = 4 * hole + 1;
+    if (first_child >= last) break;  // the hole reached leaf territory
+    std::uint32_t best = first_child;
+    const std::uint32_t last_child =
+        first_child + 3 < last - 1 ? first_child + 3 : last - 1;
+    for (std::uint32_t c = first_child + 1; c <= last_child; ++c) {
+      if (earlier(keys_[c], keys_[best])) best = c;
+    }
+    place(hole, keys_[best], heap_slot_[best]);
+    hole = best;
+  }
+  place(hole, keys_[last], heap_slot_[last]);
+  keys_.pop_back();
+  heap_slot_.pop_back();
+  sift_up(hole);
 }
 
 void Scheduler::remove_heap_entry(std::uint32_t pos) {
-  const std::uint32_t last = static_cast<std::uint32_t>(heap_.size()) - 1;
+  const std::uint32_t last = static_cast<std::uint32_t>(keys_.size()) - 1;
   if (pos != last) {
-    place(pos, heap_[last]);
-    heap_.pop_back();
+    place(pos, keys_[last], heap_slot_[last]);
+    keys_.pop_back();
+    heap_slot_.pop_back();
     // The displaced entry may need to move either direction.
-    if (pos > 0 && earlier(heap_[pos], heap_[(pos - 1) / 4])) {
+    if (pos > 0 && earlier(keys_[pos], keys_[(pos - 1) / 4])) {
       sift_up(pos);
     } else {
       sift_down(pos);
     }
   } else {
-    heap_.pop_back();
+    keys_.pop_back();
+    heap_slot_.pop_back();
   }
 }
 
@@ -63,7 +101,12 @@ void Scheduler::free_slot(std::uint32_t idx) {
   free_.push_back(idx);
 }
 
-EventId Scheduler::schedule_at(Time at, SmallFn fn) {
+EventId Scheduler::schedule_at(Time at, SmallFn fn, Time tie_time) {
+  return schedule_at_reserved(at, tie_time, next_seq_++, std::move(fn));
+}
+
+EventId Scheduler::schedule_at_reserved(Time at, Time tie_time,
+                                        std::uint64_t order, SmallFn fn) {
   std::uint32_t idx;
   if (!free_.empty()) {
     idx = free_.back();
@@ -74,12 +117,13 @@ EventId Scheduler::schedule_at(Time at, SmallFn fn) {
   }
   Slot& s = slots_[idx];
   s.fn = std::move(fn);
-  const std::uint32_t pos = static_cast<std::uint32_t>(heap_.size());
-  heap_.push_back(Entry{at, next_seq_++, idx});
+  const std::uint32_t pos = static_cast<std::uint32_t>(keys_.size());
+  keys_.push_back(Key{at, tie_time, order});
+  heap_slot_.push_back(idx);
   s.heap_pos = pos;
   sift_up(pos);
   ++scheduled_count_;
-  if (heap_.size() > peak_pending_) peak_pending_ = heap_.size();
+  if (keys_.size() > peak_pending_) peak_pending_ = keys_.size();
   return make_id(idx, s.generation);
 }
 
@@ -92,12 +136,12 @@ void Scheduler::cancel(EventId id) {
 }
 
 Scheduler::Ready Scheduler::take_next() {
-  assert(!heap_.empty() && "take_next on empty scheduler");
-  const std::uint32_t idx = heap_[0].slot;
+  assert(!keys_.empty() && "take_next on empty scheduler");
+  const std::uint32_t idx = heap_slot_[0];
   // Move the callback out before touching the heap: the caller invokes it
-  // after we return, and it may schedule freely (growing slots_/heap_).
-  Ready ready{heap_[0].at, std::move(slots_[idx].fn)};
-  remove_heap_entry(0);
+  // after we return, and it may schedule freely (growing slots_/keys_).
+  Ready ready{keys_[0].at, std::move(slots_[idx].fn)};
+  remove_root();
   free_slot(idx);
   return ready;
 }

@@ -1,10 +1,16 @@
-// Event scheduler: an indexed 4-ary min-heap of (time, sequence) ordered
-// events with generation-tagged handles.
+// Event scheduler: an indexed 4-ary min-heap of (time, tie-time, sequence)
+// ordered events with generation-tagged handles.
 //
 // Two events scheduled for the same instant fire in the order they were
 // scheduled (FIFO tie-break via a monotone sequence number), which keeps
-// runs bit-for-bit deterministic. The heap stores slot indices and every
-// slot knows its heap position, so:
+// runs bit-for-bit deterministic. A caller that *fuses* several logical
+// events into one insert (see SimplexLink) can pass an explicit tie-break
+// time: events with the same `at` order by (tie_time, seq), so a fused
+// event inserted early can still claim the heap position its unfused
+// ancestor would have had. Since seq is monotone in insertion (and hence
+// in simulated time), tie_time == insertion time reproduces plain FIFO
+// exactly — which is what Simulator passes by default. The heap stores
+// slot indices and every slot knows its heap position, so:
 //
 //  * pending() is an O(1) generation check (no shadow hash set),
 //  * cancel() is a true O(log n) removal that frees the callback
@@ -12,11 +18,14 @@
 //  * callbacks live in SmallFn's inline buffer, so the common
 //    timer/packet-arrival event never heap-allocates.
 //
-// The 4-ary layout halves the tree depth of a binary heap and keeps the
-// child scan inside one cache line of 4-byte indices — measurably faster
-// than both the old std::priority_queue<Item> (which sifted 80-byte items
-// holding std::functions) for the schedule/pop mix that dominates runs
-// (see bench/sched_events).
+// The 4-ary layout halves the tree depth of a binary heap; sort keys and
+// slot indices live in separate parallel arrays so the child scan reads
+// nothing but contiguous 24-byte keys, and the root is removed with
+// Floyd's bottom-up deletion (sift the hole to a leaf, then sift the
+// displaced last element up). Measurably faster than the old
+// std::priority_queue<Item> (which sifted 80-byte items holding
+// std::functions) for the schedule/pop mix that dominates runs (see
+// bench/sched_events and bench/packet_path).
 #pragma once
 
 #include <cstdint>
@@ -44,8 +53,25 @@ class Scheduler {
   Scheduler& operator=(const Scheduler&) = delete;
 
   /// Schedules @p fn to run at absolute time @p at. Returns a handle that
-  /// can be passed to cancel().
-  EventId schedule_at(Time at, SmallFn fn);
+  /// can be passed to cancel(). Among events with equal @p at, order is
+  /// (tie_time, insertion order); pass the simulated insertion instant as
+  /// @p tie_time (Simulator does) for plain FIFO, or an explicit virtual
+  /// instant to splice a fused event into the order an unfused event
+  /// inserted at that instant would have had.
+  EventId schedule_at(Time at, SmallFn fn, Time tie_time = 0.0);
+
+  /// Reserves the FIFO position the next schedule_at call would receive,
+  /// without inserting anything. A fused caller burns one of these at the
+  /// instant its unfused ancestor *would* have scheduled (SimplexLink does
+  /// at every transmission start) and redeems it later via
+  /// schedule_at_reserved() — the event then sorts exactly where the
+  /// ancestor's would have, even though it was inserted later.
+  std::uint64_t reserve_order() { return next_seq_++; }
+
+  /// Schedules @p fn at @p at with an explicit (tie_time, order) rank from
+  /// reserve_order(). Events with equal @p at order by (tie_time, order).
+  EventId schedule_at_reserved(Time at, Time tie_time, std::uint64_t order,
+                               SmallFn fn);
 
   /// Cancels a pending event, releasing its callback immediately.
   /// Cancelling an already-fired, already-cancelled, or invalid id is a
@@ -60,13 +86,13 @@ class Scheduler {
   }
 
   /// True if no events remain.
-  bool empty() const { return heap_.empty(); }
+  bool empty() const { return keys_.empty(); }
 
   /// Number of events currently pending.
-  std::size_t size() const { return heap_.size(); }
+  std::size_t size() const { return keys_.size(); }
 
   /// Time of the earliest event, or kTimeNever if none.
-  Time next_time() const { return heap_.empty() ? kTimeNever : heap_[0].at; }
+  Time next_time() const { return keys_.empty() ? kTimeNever : keys_[0].at; }
 
   /// A popped event, ready to invoke. The caller advances its clock to
   /// `at` *before* invoking `fn`, so callbacks observe the correct time.
@@ -90,13 +116,15 @@ class Scheduler {
     std::uint32_t generation = 0;
     std::uint32_t heap_pos = kFreePos;
   };
-  /// A heap entry carries the full (time, seq) sort key, so sifting never
-  /// dereferences slots_ for comparisons — the child scan stays inside the
-  /// contiguous heap array.
-  struct Entry {
+  /// The full (time, tie-time, seq) sort key. Keys live in their own
+  /// contiguous array, separate from the slot indices, so the sift-down
+  /// child scan — the single hottest loop in a simulation — reads pure
+  /// 24-byte keys: a 4-child scan touches 96 bytes instead of the 160 a
+  /// combined key+slot entry would.
+  struct Key {
     Time at;
-    std::uint64_t seq;       // FIFO tie-break among equal-time events
-    std::uint32_t slot;
+    Time tie_time;           // virtual insertion instant (see schedule_at)
+    std::uint64_t seq;       // FIFO tie-break among equal-(at, tie_time)
   };
   static constexpr std::uint32_t kFreePos = 0xffffffffu;
 
@@ -111,24 +139,35 @@ class Scheduler {
            (static_cast<EventId>(idx) + 1);
   }
 
-  static bool earlier(const Entry& a, const Entry& b) {
+  static bool earlier(const Key& a, const Key& b) {
     if (a.at != b.at) return a.at < b.at;
+    if (a.tie_time != b.tie_time) return a.tie_time < b.tie_time;
     return a.seq < b.seq;
   }
 
-  void place(std::uint32_t pos, const Entry& e) {
-    heap_[pos] = e;
-    slots_[e.slot].heap_pos = pos;
+  void place(std::uint32_t pos, const Key& k, std::uint32_t slot) {
+    keys_[pos] = k;
+    heap_slot_[pos] = slot;
+    slots_[slot].heap_pos = pos;
   }
   void sift_up(std::uint32_t pos);
   void sift_down(std::uint32_t pos);
+  /// Removes the root: sifts the hole down along the min-child path to a
+  /// leaf, then sifts the displaced last element up from there (Floyd's
+  /// bottom-up deletion — the last element almost always belongs near the
+  /// bottom, so this skips the per-level compare against it that a plain
+  /// top-down sift pays).
+  void remove_root();
   /// Removes the heap entry at @p pos (the slot itself is freed by the
   /// caller) and restores the heap property.
   void remove_heap_entry(std::uint32_t pos);
   void free_slot(std::uint32_t idx);
 
   std::vector<Slot> slots_;   // stable storage for pending callbacks
-  std::vector<Entry> heap_;   // 4-ary min-heap keyed on (at, seq)
+  // 4-ary min-heap on (at, tie_time, seq); keys_ and heap_slot_ are
+  // parallel arrays (see Key).
+  std::vector<Key> keys_;
+  std::vector<std::uint32_t> heap_slot_;
   std::vector<std::uint32_t> free_;  // recycled slot indices
   std::uint64_t next_seq_ = 1;
   std::uint64_t scheduled_count_ = 0;

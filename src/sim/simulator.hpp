@@ -29,6 +29,28 @@ class Simulator {
   /// Schedules @p fn at absolute time @p at (>= now()).
   EventId schedule_at(Time at, SmallFn fn);
 
+  /// Schedules @p fn at absolute time @p at, ordered among same-time
+  /// events *as if* it had been inserted at instant @p tie_time
+  /// (<= @p at). This is how a fused event (one insert standing in for a
+  /// chain of two, see SimplexLink) lands in exactly the heap position
+  /// the unfused chain's final event would have had, keeping runs
+  /// bit-identical across the fusion. Plain schedule_at() is the
+  /// tie_time == now() special case.
+  EventId schedule_at_as_of(Time at, Time tie_time, SmallFn fn);
+
+  /// Reserves the same-instant FIFO rank the next scheduled event would
+  /// receive, without inserting one. Redeem it with
+  /// schedule_at_reserved(): the event sorts among same-time peers as the
+  /// event that *would* have been scheduled at reservation point — this
+  /// is how a lazily-armed fused event (SimplexLink's queue drain) keeps
+  /// the heap position of the eager event it replaces.
+  std::uint64_t reserve_order() { return scheduler_.reserve_order(); }
+
+  /// Schedules @p fn at @p at ranked by (@p tie_time, @p order) among
+  /// same-time events, where @p order came from reserve_order().
+  EventId schedule_at_reserved(Time at, Time tie_time, std::uint64_t order,
+                               SmallFn fn);
+
   /// Cancels a pending event; no-op for fired/invalid ids.
   void cancel(EventId id) { scheduler_.cancel(id); }
 

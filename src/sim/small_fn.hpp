@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstring>
 #include <new>
 #include <type_traits>
 #include <utility>
@@ -19,8 +20,18 @@ class SmallFn {
  public:
   /// Callables at most this large (and nothrow-move-constructible) are
   /// stored inline. 48 bytes = 6 captured pointers, which covers every
-  /// timer/packet event in the simulator.
+  /// timer/packet event in the simulator (links park in-flight packets in
+  /// a PacketSlab and capture a 4-byte handle instead of the ~120-byte
+  /// Packet, precisely so their closures stay under this limit).
   static constexpr std::size_t kInlineSize = 48;
+
+  /// True if callables of type @p F live in the inline buffer (no heap).
+  /// Hot-path call sites static_assert this so a capture-list growth that
+  /// would silently reintroduce per-event allocation fails to compile.
+  template <typename F>
+  static constexpr bool stores_inline() {
+    return fits_inline<std::decay_t<F>>();
+  }
 
   SmallFn() noexcept = default;
 
@@ -33,7 +44,17 @@ class SmallFn {
     if constexpr (fits_inline<D>()) {
       ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
       invoke_ = &inline_invoke<D>;
-      manage_ = &inline_manage<D>;
+      // Trivially-copyable, trivially-destructible callables (every
+      // hot-path lambda: captures are pointers, handles, doubles) need no
+      // manager at all — moves become a plain buffer copy and destruction
+      // a no-op, skipping an indirect call on each of the two moves every
+      // scheduled event makes (into its slot, then out at pop).
+      if constexpr (std::is_trivially_copyable_v<D> &&
+                    std::is_trivially_destructible_v<D>) {
+        manage_ = nullptr;
+      } else {
+        manage_ = &inline_manage<D>;
+      }
     } else {
       *reinterpret_cast<D**>(buf_) = new D(std::forward<F>(f));
       invoke_ = &heap_invoke<D>;
@@ -64,9 +85,11 @@ class SmallFn {
   /// some later heap pop — this is what makes Scheduler::cancel eager).
   void reset() noexcept {
     if (invoke_ != nullptr) {
-      manage_(Op::kDestroy, buf_, nullptr);
+      if (manage_ != nullptr) {
+        manage_(Op::kDestroy, buf_, nullptr);
+        manage_ = nullptr;
+      }
       invoke_ = nullptr;
-      manage_ = nullptr;
     }
   }
 
@@ -112,11 +135,18 @@ class SmallFn {
 
   void move_from(SmallFn& other) noexcept {
     if (other.invoke_ != nullptr) {
-      other.manage_(Op::kMove, buf_, other.buf_);
+      if (other.manage_ != nullptr) {
+        other.manage_(Op::kMove, buf_, other.buf_);
+        manage_ = other.manage_;
+        other.manage_ = nullptr;
+      } else {
+        // Trivially-relocatable payload: the callable's size is unknown
+        // here, but copying the whole (small, aligned) buffer is cheaper
+        // than an indirect call to a type-aware mover.
+        std::memcpy(buf_, other.buf_, kInlineSize);
+      }
       invoke_ = other.invoke_;
-      manage_ = other.manage_;
       other.invoke_ = nullptr;
-      other.manage_ = nullptr;
     }
   }
 

@@ -10,7 +10,9 @@ TcpSender::TcpSender(Simulator& sim, Node& node, FlowId flow, NodeId peer,
     : Agent(sim, node, flow, peer),
       cfg_(cfg),
       estimator_(cfg.rto),
-      rto_timer_(sim, [this] { on_rto(); }),
+      // Lazy mode: the RTO deadline is pushed forward by every ACK; a
+      // soft-deadline timer turns that churn into a field write.
+      rto_timer_(sim, [this] { on_rto(); }, Timer::Mode::kLazy),
       cwnd_(cfg.initial_cwnd),
       ssthresh_(cfg.initial_ssthresh) {}
 

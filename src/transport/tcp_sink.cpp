@@ -6,10 +6,16 @@ TcpSink::TcpSink(Simulator& sim, Node& node, FlowId flow, NodeId peer,
                  TcpSinkConfig cfg)
     : Agent(sim, node, flow, peer),
       cfg_(cfg),
-      delack_timer_(sim, [this] {
-        delack_pending_ = false;
-        send_ack();
-      }) {}
+      delack_timer_(
+          sim,
+          [this] {
+            delack_pending_ = false;
+            send_ack();
+          },
+          // Lazy mode: armed/cancelled once per held segment, so cancels
+          // (the common case — the second segment flushes the ACK) are
+          // free instead of a heap cancel each.
+          Timer::Mode::kLazy) {}
 
 void TcpSink::send_ack() {
   Packet a;

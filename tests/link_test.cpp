@@ -111,6 +111,48 @@ TEST(SimplexLink, PropertiesExposed) {
   EXPECT_TRUE(h.link->busy());
 }
 
+TEST(SimplexLink, FusedDeliveryTimeEqualsTxThenPropToTheLastUlp) {
+  // The fused single delivery event must land at (start + tx) + prop —
+  // with exactly that floating-point association, since that is what the
+  // old tx-complete -> propagate event pair computed. Deliberately awkward
+  // values make (start + tx) + prop differ from start + (tx + prop) in the
+  // last ulp, so EXPECT_EQ (not NEAR) would catch a re-association.
+  const double bw = 9.7e6;
+  const Time prop = 0.0137;
+  const int bytes = 1033;
+  Harness h(bw, prop);
+  for (int i = 0; i < 7; ++i) h.link->send(pkt(bytes, i));
+  h.sim.run();
+  ASSERT_EQ(h.delivered.size(), 7u);
+  const Time tx = transmission_time(bytes, bw);
+  Time busy_until = 0.0;
+  for (int i = 0; i < 7; ++i) {
+    busy_until = busy_until + tx;  // successive transmission starts
+    EXPECT_EQ(h.delivered[static_cast<size_t>(i)].first, busy_until + prop)
+        << "packet " << i << " delivery time re-associated";
+  }
+}
+
+TEST(SimplexLink, ArrivalExactlyAtTxEndKeepsFifoAndTiming) {
+  // An arrival landing at precisely the instant the transmitter frees up
+  // is the boundary the lazy free_at_ check must get right: the link
+  // counts as busy through that instant (the drain owns the dequeue), so
+  // the newcomer queues behind nothing and still ships immediately.
+  Harness h(8e6, 0.010);        // tx(1000B) = 1 ms
+  h.link->send(pkt(1000, 0));
+  const Time tx = transmission_time(1000, 8e6);
+  h.sim.schedule_at(tx, [&] {
+    EXPECT_TRUE(h.link->busy());  // still busy AT the completion instant
+    h.link->send(pkt(1000, 1));
+  });
+  h.sim.run();
+  ASSERT_EQ(h.delivered.size(), 2u);
+  EXPECT_EQ(h.delivered[0].second.seq, 0);
+  EXPECT_EQ(h.delivered[1].second.seq, 1);
+  // The second transmission starts at tx end regardless of the deferral.
+  EXPECT_EQ(h.delivered[1].first, (tx + tx) + 0.010);
+}
+
 TEST(SimplexLink, DeliveryOrderIsFifoEvenWithZeroPropDelay) {
   Harness h(1e9, 0.0);
   for (int i = 0; i < 50; ++i) h.link->send(pkt(100, i));

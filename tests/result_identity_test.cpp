@@ -34,6 +34,12 @@
 //    the new segment's Karn taint (RFC 7323: echo the timestamp of the
 //    last segment that advanced the window), which shifts RTT samples and
 //    hence RTO/srtt trajectories in every delack scenario.
+//  * PR 4 (link-event fusion + lazy timers) split the pin in two: the
+//    metrics hash below no longer folds in sim_events/peak_pending;
+//    those are pinned as explicit per-scenario values instead, so a
+//    hot-path rewrite that legitimately changes the *event count* while
+//    leaving every packet-timing-derived metric bit-identical shows up
+//    as exactly that — a counter delta with the metrics hash unchanged.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -78,11 +84,9 @@ std::string canonical_metrics(const ExperimentResult& r) {
   append_double(os, r.delay.min());
   append_double(os, r.delay.max());
   append_u64(os, r.routing_errors);
-  // The scheduler counters are deterministic too: pinning them makes the
-  // guard catch hot-path rewrites that run a different number of events
-  // even when every metric above happens to agree.
-  append_u64(os, r.sim_events);
-  append_u64(os, r.peak_pending);
+  // sim_events / peak_pending are intentionally NOT part of this hash:
+  // they are pinned separately (expected_events / expected_peak below),
+  // so event-count-only changes are distinguishable from timing changes.
   for (const TraceSeries& t : r.cwnd_traces) {
     os << t.name() << ';';
     for (const auto& [time, value] : t.points()) {
@@ -115,27 +119,34 @@ struct Pin {
   const char* label;
   Scenario scenario;
   ExperimentOptions options;
-  const char* expected_hash;
+  const char* expected_hash;      // packet-timing metrics, counters excluded
+  std::uint64_t expected_events;  // sim_events (scheduler events executed)
+  std::uint64_t expected_peak;    // peak_pending (event-heap high-water mark)
 };
 
 std::vector<Pin> pins() {
   std::vector<Pin> p;
+  // Event counts dropped ~18-35% (and peaks shifted by a few slots) when
+  // link delivery was fused to one event per transmitted packet and the
+  // RTO/delayed-ACK timers went lazy; the metrics hashes were unchanged
+  // across that transition (packet timing is bit-identical, see
+  // DESIGN.md §6).
   p.push_back({"reno_droptail_n20", pinned(20, Transport::kReno,
                                            GatewayQueue::kDropTail),
-               {}, "864eeb2b5620516b"});
+               {}, "7023dcc814884fc6", 70740, 315});
   p.push_back({"reno_red_n50",
                pinned(50, Transport::kReno, GatewayQueue::kRed), {},
-               "fce5818603088c9e"});
+               "e7e29fa4019e631f", 126299, 434});
   p.push_back({"vegas_droptail_n30",
                pinned(30, Transport::kVegas, GatewayQueue::kDropTail), {},
-               "dcafa26e68d0b548"});
+               "e8812cbed9161a44", 109421, 395});
   p.push_back({"udp_droptail_n25",
                pinned(25, Transport::kUdp, GatewayQueue::kDropTail), {},
-               "18760fd6e5e9fb5b"});
+               "09f22cb5ab59cf30", 56023, 164});
   // Traces + periodic sampling exercise the timer/callback path end to end.
   Pin traced{"reno_delack_n45_traced",
              pinned(45, Transport::kReno, GatewayQueue::kDropTail), {},
-             "7ff31a02308c5520"};
+             "58adc366b915eda1", 118425, 398};
   traced.scenario.delayed_ack = true;
   traced.options.trace_clients = {0, 9};
   traced.options.cwnd_sample_period = 0.1;
@@ -149,6 +160,14 @@ TEST(ResultIdentity, PinnedScenariosAreByteIdentical) {
     EXPECT_EQ(result_hash(r), pin.expected_hash)
         << pin.label << ": metrics changed bit-for-bit. If intentional, "
         << "re-pin with the hash above and document why.";
+    EXPECT_EQ(r.sim_events, pin.expected_events)
+        << pin.label << ": scheduler executed a different number of events. "
+        << "Expected after an intentional event-count change (fusion, timer "
+        << "laziness); update the pin and document the delta.";
+    EXPECT_EQ(r.peak_pending, pin.expected_peak)
+        << pin.label << ": event-heap high-water mark changed. Update the "
+        << "pin if the hot-path change intentionally reshapes event "
+        << "lifetimes.";
   }
 }
 

@@ -1,9 +1,18 @@
 // Randomized differential test: the heap-based Scheduler against a naive
-// reference model (sorted multimap), over thousands of interleaved
-// schedule/cancel/run operations.
+// reference model (sorted map), over thousands of interleaved schedule /
+// reserve / cancel / run operations.
+//
+// The model mirrors the full ordering contract: events pop by
+// (at, tie_time, seq), where seq is the scheduler's monotone insertion
+// counter — consumed by schedule_at() AND reserve_order() alike — so the
+// fused-event machinery (explicit tie times, ranks reserved early and
+// redeemed later; see SimplexLink) is exercised against the same oracle
+// as plain FIFO scheduling.
 #include <gtest/gtest.h>
 
 #include <map>
+#include <tuple>
+#include <vector>
 
 #include "src/sim/random.hpp"
 #include "src/sim/scheduler.hpp"
@@ -11,25 +20,29 @@
 namespace burst {
 namespace {
 
-struct Reference {
-  // (time, seq) -> id ; mirrors the scheduler's ordering contract.
-  std::map<std::pair<Time, EventId>, EventId> pending;
+using Key = std::tuple<Time, Time, std::uint64_t>;  // (at, tie_time, seq)
 
-  void schedule(Time at, EventId id) { pending[{at, id}] = id; }
-  bool cancel(EventId id) {
-    for (auto it = pending.begin(); it != pending.end(); ++it) {
-      if (it->second == id) {
-        pending.erase(it);
-        return true;
-      }
-    }
-    return false;
+struct Reference {
+  std::map<Key, int> pending;  // key -> label
+  std::map<EventId, Key> by_id;
+
+  void schedule(Key key, EventId id, int label) {
+    pending[key] = label;
+    by_id[id] = key;
   }
-  EventId pop() {
+  bool is_pending(EventId id) const {
+    auto it = by_id.find(id);
+    return it != by_id.end() && pending.count(it->second) > 0;
+  }
+  void cancel(EventId id) {
+    auto it = by_id.find(id);
+    if (it != by_id.end()) pending.erase(it->second);
+  }
+  int pop() {
     auto it = pending.begin();
-    EventId id = it->second;
+    const int label = it->second;
     pending.erase(it);
-    return id;
+    return label;
   }
 };
 
@@ -40,52 +53,86 @@ TEST_P(SchedulerFuzz, MatchesReferenceModel) {
   Scheduler sched;
   Reference ref;
   std::vector<EventId> live_ids;
+  // (order, tie_time) pairs reserved but not yet redeemed.
+  std::vector<std::pair<std::uint64_t, Time>> reservations;
+  std::vector<int> fired;  // labels, in execution order
   Time now = 0.0;
+  // Mirrors the scheduler's internal seq counter (starts at 1); validated
+  // against reserve_order()'s return values below.
+  std::uint64_t model_seq = 1;
+  int next_label = 0;
+
+  auto make_fn = [&fired](int label) {
+    return [&fired, label] { fired.push_back(label); };
+  };
 
   for (int step = 0; step < 5000; ++step) {
     const double op = rng.uniform();
-    if (op < 0.5) {
-      // Schedule at a (possibly duplicated) future time.
+    if (op < 0.40) {
+      // Plain schedule: tie_time == "now", the Simulator default — FIFO.
       const Time at = now + rng.uniform(0.0, 10.0);
-      const EventId id = sched.schedule_at(at, [] {});
-      ref.schedule(at, id);
+      const int label = next_label++;
+      const std::uint64_t seq = model_seq++;
+      const EventId id = sched.schedule_at(at, make_fn(label), now);
+      ref.schedule({at, now, seq}, id, label);
       live_ids.push_back(id);
-    } else if (op < 0.65 && !live_ids.empty()) {
+    } else if (op < 0.50) {
+      // Fused-style schedule: an explicit virtual insertion instant in
+      // the past splices the event ahead of same-time FIFO peers.
+      const Time at = now + rng.uniform(0.0, 10.0);
+      const Time tie = rng.uniform(0.0, now == 0.0 ? 1e-9 : now);
+      const int label = next_label++;
+      const std::uint64_t seq = model_seq++;
+      const EventId id = sched.schedule_at(at, make_fn(label), tie);
+      ref.schedule({at, tie, seq}, id, label);
+      live_ids.push_back(id);
+    } else if (op < 0.55) {
+      // Reserve a rank now, redeem it later (possibly much later).
+      const std::uint64_t order = sched.reserve_order();
+      EXPECT_EQ(order, model_seq);  // the counters must track in lockstep
+      ++model_seq;
+      reservations.emplace_back(order, now);
+    } else if (op < 0.62 && !reservations.empty()) {
+      // Redeem the oldest reservation: the event must sort as if it had
+      // been inserted back when the rank was reserved.
+      const auto [order, tie] = reservations.front();
+      reservations.erase(reservations.begin());
+      const Time at = now + rng.uniform(0.0, 10.0);
+      const int label = next_label++;
+      const EventId id =
+          sched.schedule_at_reserved(at, tie, order, make_fn(label));
+      ref.schedule({at, tie, order}, id, label);
+      live_ids.push_back(id);
+    } else if (op < 0.72 && !live_ids.empty()) {
       // Cancel a random id (possibly already fired -> no-op both sides).
       const auto idx = static_cast<std::size_t>(rng.uniform_int(
           0, static_cast<std::int64_t>(live_ids.size()) - 1));
       const EventId id = live_ids[idx];
-      const bool was_pending_model = [&] {
-        for (const auto& [key, v] : ref.pending) {
-          if (v == id) return true;
-        }
-        return false;
-      }();
-      EXPECT_EQ(sched.pending(id), was_pending_model);
+      EXPECT_EQ(sched.pending(id), ref.is_pending(id));
       ref.cancel(id);
       sched.cancel(id);
     } else if (!sched.empty()) {
       // Run one event; the model must agree on which one.
-      EXPECT_FALSE(ref.pending.empty());
+      ASSERT_FALSE(ref.pending.empty());
       const Time t = sched.next_time();
       EXPECT_GE(t, now);
       now = t;
-      const EventId expected = ref.pop();
+      const int expected = ref.pop();
       auto ready = sched.take_next();
       EXPECT_DOUBLE_EQ(ready.at, t);
-      // Identify which event ran by checking the model's choice was at the
-      // same (time) position; ids match because both pop smallest
-      // (time, seq).
-      (void)expected;
       ready.fn();
+      ASSERT_FALSE(fired.empty());
+      EXPECT_EQ(fired.back(), expected)
+          << "scheduler popped a different event than the model at t=" << t;
     }
     EXPECT_EQ(sched.size(), ref.pending.size());
   }
-  // Drain.
+  // Drain; execution order must match the model to the end.
   while (!sched.empty()) {
     ASSERT_FALSE(ref.pending.empty());
-    ref.pop();
+    const int expected = ref.pop();
     sched.take_next().fn();
+    EXPECT_EQ(fired.back(), expected);
   }
   EXPECT_TRUE(ref.pending.empty());
 }
