@@ -21,6 +21,13 @@
 //                         (the per-ACK RTO restart pattern)
 //   fig02_n60_reno_red    full N=60 Reno/RED experiment (the paper's
 //                         heavy-congestion regime), ns per executed event
+//   fig02_n60_reno_red_traced    same run with a TraceSink attached to
+//                         every tap (the observability overhead row; the
+//                         CI gate keeps its wall ratio honest)
+//   fig02_n60_reno_red_profiled  same run with a Profiler installed;
+//                         reports per-phase wall shares (dispatch /
+//                         transport / queue). Ungated: the two clock
+//                         reads per scope are the quantity under test
 //
 // Modes:
 //   (default)  full runs: ~4e6 hops / 10 s simulated experiment
@@ -39,6 +46,8 @@
 #include "src/core/experiment.hpp"
 #include "src/net/drop_tail_queue.hpp"
 #include "src/net/link.hpp"
+#include "src/obs/profile.hpp"
+#include "src/obs/trace.hpp"
 #include "src/sim/scheduler.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/sim/timer.hpp"
@@ -63,6 +72,9 @@ struct BenchRow {
   double events_per_hop = -1.0;  // scheduler events per packet hop
   std::uint64_t sim_events = 0;  // events executed (end-to-end rows)
   std::uint64_t delivered = 0;   // packets delivered (end-to-end rows)
+  std::uint64_t trace_records = 0;  // TraceSink records (traced row)
+  bool profiled = false;            // phase_s below is meaningful
+  std::array<double, kProfilePhases> phase_s{};  // per-phase self time
 };
 
 BenchRow finish(std::string name, std::uint64_t ops, double best_wall) {
@@ -225,6 +237,72 @@ BenchRow bench_fig02_point(double duration, int repeat) {
   return r;
 }
 
+// The same heavy-congestion point with a TraceSink attached to every tap:
+// what full observability costs per event. The deterministic counters
+// (sim_events, delivered) must match the untraced row exactly — tracing
+// adds no scheduler events and consumes no RNG.
+BenchRow bench_fig02_traced(double duration, int repeat) {
+  Scenario sc = Scenario::paper_default();
+  sc.num_clients = 60;
+  sc.transport = Transport::kReno;
+  sc.gateway = GatewayQueue::kRed;
+  sc.duration = duration;
+  double best = 1e99;
+  std::uint64_t events = 0, delivered = 0, records = 0;
+  for (int rep = 0; rep < repeat; ++rep) {
+    TraceSink sink;  // ring allocated outside the timed region
+    ExperimentOptions opts;
+    opts.trace = &sink;
+    const double t0 = now_s();
+    const ExperimentResult r = run_experiment(sc, opts);
+    best = std::min(best, now_s() - t0);
+    events = r.sim_events ? r.sim_events : 1;
+    delivered = r.delivered;
+    records = sink.emitted();
+  }
+  BenchRow r = finish("fig02_n60_reno_red_traced", events, best);
+  r.sim_events = events;
+  r.delivered = delivered;
+  r.trace_records = records;
+  return r;
+}
+
+// The same point with a Profiler installed: per-phase wall attribution.
+// Ungated — the scope clock reads shift absolute wall time, which is the
+// price this row exists to report.
+BenchRow bench_fig02_profiled(double duration, int repeat) {
+  Scenario sc = Scenario::paper_default();
+  sc.num_clients = 60;
+  sc.transport = Transport::kReno;
+  sc.gateway = GatewayQueue::kRed;
+  sc.duration = duration;
+  double best = 1e99;
+  std::uint64_t events = 0, delivered = 0;
+  Profiler best_prof;
+  for (int rep = 0; rep < repeat; ++rep) {
+    Profiler prof;
+    Profiler* prev = Profiler::install(&prof);
+    const double t0 = now_s();
+    const ExperimentResult r = run_experiment(sc);
+    const double wall = now_s() - t0;
+    Profiler::install(prev);
+    if (wall < best) {
+      best = wall;
+      best_prof = prof;
+    }
+    events = r.sim_events ? r.sim_events : 1;
+    delivered = r.delivered;
+  }
+  BenchRow r = finish("fig02_n60_reno_red_profiled", events, best);
+  r.sim_events = events;
+  r.delivered = delivered;
+  r.profiled = true;
+  for (std::size_t ph = 0; ph < kProfilePhases; ++ph) {
+    r.phase_s[ph] = best_prof.seconds(static_cast<ProfilePhase>(ph));
+  }
+  return r;
+}
+
 void write_json(const std::string& path, const std::vector<BenchRow>& rows,
                 bool smoke) {
   std::ofstream out(path, std::ios::trunc);
@@ -243,6 +321,18 @@ void write_json(const std::string& path, const std::vector<BenchRow>& rows,
     if (r.sim_events > 0) {
       out << ", \"sim_events\": " << r.sim_events << ", \"delivered\": "
           << r.delivered;
+    }
+    if (r.trace_records > 0) {
+      out << ", \"trace_records\": " << r.trace_records;
+    }
+    if (r.profiled) {
+      out << ", \"phase_seconds\": {";
+      for (std::size_t ph = 0; ph < kProfilePhases; ++ph) {
+        out << (ph ? ", " : "") << "\""
+            << to_string(static_cast<ProfilePhase>(ph))
+            << "\": " << r.phase_s[ph];
+      }
+      out << "}";
     }
     out << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
@@ -283,6 +373,8 @@ int main(int argc, char** argv) {
   rows.push_back(bench_link_idle(hops, repeat));
   rows.push_back(bench_timer_rearm(hops, repeat));
   rows.push_back(bench_fig02_point(exp_duration, repeat));
+  rows.push_back(bench_fig02_traced(exp_duration, repeat));
+  rows.push_back(bench_fig02_profiled(exp_duration, repeat));
 
   for (const BenchRow& r : rows) {
     std::cout << r.name << ": " << r.ns_per_op << " ns/op  ("
@@ -291,7 +383,21 @@ int main(int argc, char** argv) {
     if (r.events_per_hop >= 0.0) {
       std::cout << ", " << r.events_per_hop << " events/hop";
     }
+    if (r.trace_records > 0) {
+      std::cout << ", " << r.trace_records << " trace records";
+    }
     std::cout << ")\n";
+    if (r.profiled) {
+      double total = 0.0;
+      for (const double s : r.phase_s) total += s;
+      std::cout << "  phases:";
+      for (std::size_t ph = 0; ph < kProfilePhases; ++ph) {
+        std::cout << " " << to_string(static_cast<ProfilePhase>(ph)) << " "
+                  << (total > 0.0 ? 100.0 * r.phase_s[ph] / total : 0.0)
+                  << "%";
+      }
+      std::cout << "\n";
+    }
   }
   write_json(out_path, rows, smoke);
   return 0;

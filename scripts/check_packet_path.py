@@ -5,10 +5,12 @@ Usage: check_packet_path.py CURRENT.json [--baseline PATH] [--threshold F]
 
 Two kinds of checks, per row shared by the current run and the baseline:
 
-* Deterministic counters (``events_per_hop``): these are exact properties
-  of the event machinery — 1 scheduler event per hop on an idle link,
-  ~2 on a saturated one — and must not creep up. Budget: 2% (the smoke
-  workload's shorter runs shift the start-up fraction slightly).
+* Deterministic counters (``events_per_hop``, and ``trace_records`` per
+  event on traced rows): these are exact properties of the event
+  machinery — 1 scheduler event per hop on an idle link, ~2 on a
+  saturated one, ~0.95 trace records per event on the traced fig02
+  workload — and must not creep up. Budget: 2% (the smoke workload's
+  shorter runs shift the start-up fraction slightly).
 
 * Wall time (``ns_per_op``), normalized by the ``calib_sched_pop_d64``
   row: the calibration row is a pure scheduler schedule+pop loop that the
@@ -91,6 +93,22 @@ def main():
             if not ok:
                 failures.append(
                     f"{name}: events/hop {c:.4f} > {b:.4f} "
+                    f"(+{(c / b - 1) * 100:.1f}%)"
+                )
+
+        if cur_row.get("trace_records", -1) >= 0 and base_row.get(
+            "trace_records", -1
+        ) >= 0:
+            c = cur_row["trace_records"] / cur_row["ops"]
+            b = base_row["trace_records"] / base_row["ops"]
+            ok = c <= b * (1 + COUNTER_TOLERANCE)
+            print(
+                f"  {name}: trace records/event {c:.4f} vs baseline {b:.4f}"
+                f" {'ok' if ok else 'REGRESSION'}"
+            )
+            if not ok:
+                failures.append(
+                    f"{name}: trace records/event {c:.4f} > {b:.4f} "
                     f"(+{(c / b - 1) * 100:.1f}%)"
                 )
 

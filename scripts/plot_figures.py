@@ -15,7 +15,29 @@ import pathlib
 import sys
 
 
-def plot_file(path: pathlib.Path, out: pathlib.Path) -> None:
+def numeric_columns(header, data):
+    """Indices of columns where every non-empty cell parses as a float.
+
+    Campaign artifact dirs mix figure CSVs with other schema versions'
+    exports (metrics.csv has a hex scenario key first, and later schemas
+    may append columns), so plotting selects numeric columns instead of
+    assuming positions.
+    """
+    cols = []
+    for col in range(len(header)):
+        cells = [r[col] for r in data if col < len(r) and r[col] != ""]
+        if not cells:
+            continue
+        try:
+            for cell in cells:
+                float(cell)
+        except ValueError:
+            continue
+        cols.append(col)
+    return cols
+
+
+def plot_file(path: pathlib.Path, out: pathlib.Path) -> bool:
     try:
         import matplotlib
     except ModuleNotFoundError:
@@ -27,31 +49,43 @@ def plot_file(path: pathlib.Path, out: pathlib.Path) -> None:
 
     with path.open() as f:
         rows = list(csv.reader(f))
+    if len(rows) < 2:
+        print(f"skipping {path}: no data rows", file=sys.stderr)
+        return False
     header, data = rows[0], rows[1:]
-    xs = [float(r[0]) for r in data]
+    cols = numeric_columns(header, data)
+    if len(cols) < 2:
+        print(f"skipping {path}: fewer than two numeric columns",
+              file=sys.stderr)
+        return False
+    xcol, ycols = cols[0], cols[1:]
+    xs = [float(r[xcol]) for r in data]
     fig, ax = plt.subplots(figsize=(7, 4.5))
-    for col in range(1, len(header)):
+    for col in ycols:
         ax.plot(xs, [float(r[col]) for r in data], marker="o", ms=3,
                 label=header[col])
-    ax.set_xlabel("number of clients")
+    ax.set_xlabel(header[xcol] if header[xcol] else "number of clients")
     ax.set_ylabel(path.stem.replace("_", " "))
     ax.legend(fontsize=8)
     ax.grid(True, alpha=0.3)
     fig.tight_layout()
     fig.savefig(out)
     print(f"wrote {out}")
+    return True
 
 
 def main() -> int:
     directory = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".")
-    csvs = sorted(directory.glob("*.csv"))
+    # metrics.csv is the campaign's wide per-run metrics table, not a
+    # figure series.
+    csvs = [p for p in sorted(directory.glob("*.csv"))
+            if p.name != "metrics.csv"]
     if not csvs:
         print(f"no CSV files in {directory}; run the benches with "
               "BURST_CSV_DIR set first", file=sys.stderr)
         return 1
-    for path in csvs:
-        plot_file(path, path.with_suffix(".png"))
-    return 0
+    plotted = sum(plot_file(path, path.with_suffix(".png")) for path in csvs)
+    return 0 if plotted else 1
 
 
 if __name__ == "__main__":

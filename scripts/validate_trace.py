@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Validate a burstsim JSONL trace against scripts/trace_event.schema.json.
+
+Usage:
+    python3 scripts/validate_trace.py TRACE.jsonl [--max-errors=N]
+
+Implements the schema's contract with no third-party dependencies (the
+repository is dependency-free beyond the C++ toolchain): required keys,
+no unknown keys, per-field types/ranges, the type-token enum, the
+cc_state_change <-> "state" pairing, and nondecreasing timestamps (the
+export is sorted by simulated time). Exits 0 when the trace is valid.
+
+CI runs this on a small traced scenario; see .github/workflows/ci.yml.
+"""
+import json
+import pathlib
+import sys
+
+SCHEMA_PATH = pathlib.Path(__file__).resolve().parent / "trace_event.schema.json"
+
+REQUIRED = ("t", "type", "site", "flow", "seq", "value", "aux", "detail")
+OPTIONAL = ("state",)
+
+
+def load_type_tokens():
+    """The TraceEventType enum, read from the schema so the two files
+    cannot drift apart silently."""
+    with SCHEMA_PATH.open() as f:
+        schema = json.load(f)
+    tokens = schema["properties"]["type"]["enum"]
+    assert tokens, "schema lost its type enum"
+    return set(tokens)
+
+
+def check_record(rec, tokens):
+    """Yields error strings for one parsed record."""
+    if not isinstance(rec, dict):
+        yield "record is not a JSON object"
+        return
+    for key in REQUIRED:
+        if key not in rec:
+            yield f"missing required key '{key}'"
+    for key in rec:
+        if key not in REQUIRED and key not in OPTIONAL:
+            yield f"unknown key '{key}'"
+
+    t = rec.get("t")
+    if not isinstance(t, (int, float)) or isinstance(t, bool):
+        yield "'t' is not a number"
+    elif t < 0:
+        yield f"'t' is negative ({t})"
+
+    typ = rec.get("type")
+    if not isinstance(typ, str):
+        yield "'type' is not a string"
+    elif typ not in tokens:
+        yield f"unknown type token '{typ}'"
+
+    site = rec.get("site")
+    if not isinstance(site, str) or not site:
+        yield "'site' is not a non-empty string"
+
+    for key, lo, hi in (("flow", -1, None), ("seq", -1, None),
+                        ("detail", 0, 65535)):
+        v = rec.get(key)
+        if not isinstance(v, int) or isinstance(v, bool):
+            yield f"'{key}' is not an integer"
+            continue
+        if v < lo or (hi is not None and v > hi):
+            yield f"'{key}' out of range ({v})"
+
+    for key in ("value", "aux"):
+        v = rec.get(key)
+        if not isinstance(v, (int, float)) or isinstance(v, bool):
+            yield f"'{key}' is not a number"
+
+    state = rec.get("state")
+    if state is not None:
+        if typ != "cc_state_change":
+            yield f"'state' present on a '{typ}' record"
+        elif not isinstance(state, str) or not state:
+            yield "'state' is not a non-empty string"
+
+
+def validate(path, max_errors):
+    tokens = load_type_tokens()
+    errors = 0
+    records = 0
+    prev_t = None
+
+    def report(line_no, msg):
+        nonlocal errors
+        errors += 1
+        if errors <= max_errors:
+            print(f"{path}:{line_no}: {msg}", file=sys.stderr)
+
+    with open(path) as f:
+        for line_no, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                report(line_no, "blank line")
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as e:
+                report(line_no, f"not valid JSON: {e}")
+                continue
+            records += 1
+            for msg in check_record(rec, tokens):
+                report(line_no, msg)
+            t = rec.get("t") if isinstance(rec, dict) else None
+            if isinstance(t, (int, float)) and not isinstance(t, bool):
+                if prev_t is not None and t < prev_t:
+                    report(line_no,
+                           f"timestamps not sorted ({t} after {prev_t})")
+                prev_t = t
+
+    if records == 0:
+        print(f"{path}: no records", file=sys.stderr)
+        return 1
+    if errors > max_errors:
+        print(f"{path}: ... {errors - max_errors} further errors suppressed",
+              file=sys.stderr)
+    if errors:
+        print(f"{path}: INVALID ({errors} errors in {records} records)",
+              file=sys.stderr)
+        return 1
+    print(f"{path}: OK ({records} records)")
+    return 0
+
+
+def main():
+    args = [a for a in sys.argv[1:]]
+    max_errors = 20
+    paths = []
+    for a in args:
+        if a.startswith("--max-errors="):
+            max_errors = int(a.split("=", 1)[1])
+        elif a in ("-h", "--help"):
+            print(__doc__)
+            return 0
+        else:
+            paths.append(a)
+    if not paths:
+        print(__doc__, file=sys.stderr)
+        return 2
+    rc = 0
+    for p in paths:
+        rc |= validate(p, max_errors)
+    return rc
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,6 +23,14 @@ void PoissonSource::schedule_next() {
   next_event_ = sim_.schedule(rng_.exponential(mean_), [this] {
     if (!running_) return;
     ++generated_;
+    if (trace_) {
+      TraceRecord r;
+      r.time = sim_.now();
+      r.type = TraceEventType::kSourceEmit;
+      r.flow = trace_flow_;
+      r.seq = static_cast<std::int64_t>(generated_);
+      trace_->emit(r);
+    }
     agent_.app_send(1);
     schedule_next();
   });

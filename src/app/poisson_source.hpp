@@ -5,6 +5,7 @@
 #pragma once
 
 #include "src/app/traffic_generator.hpp"
+#include "src/obs/trace.hpp"
 #include "src/sim/random.hpp"
 #include "src/sim/simulator.hpp"
 
@@ -20,8 +21,17 @@ class PoissonSource : public TrafficGenerator {
   void stop() override;
   std::uint64_t generated() const override { return generated_; }
 
+  /// Emits a kSourceEmit record per generated packet under @p flow.
+  void set_trace(TraceSink* sink, std::int32_t flow) {
+    trace_ = sink;
+    trace_flow_ = flow;
+  }
+
  private:
   void schedule_next();
+
+  TraceSink* trace_ = nullptr;
+  std::int32_t trace_flow_ = -1;
 
   Simulator& sim_;
   Agent& agent_;

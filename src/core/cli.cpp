@@ -172,6 +172,11 @@ bool apply_option(const std::string& key, const std::string& value,
     req->csv_path = value;
     return true;
   }
+  if (key == "trace-out") {
+    if (!need("path stem")) return false;
+    req->trace_path = value;
+    return true;
+  }
   return fail(error, "unknown option --" + key);
 }
 
@@ -234,6 +239,8 @@ std::string cli_usage() {
       "  --red-min=X --red-max=X --red-maxp=X   RED parameters\n"
       "  --trace=i,j,...        record cwnd of these clients\n"
       "  --csv=PATH             write traced cwnds as CSV\n"
+      "  --trace-out=PATH       structured event trace: writes PATH.jsonl\n"
+      "                         and PATH.perfetto.json (open in Perfetto)\n"
       "  --help                 this text\n";
 }
 

@@ -15,7 +15,9 @@ namespace burst {
 struct CliRequest {
   Scenario scenario;
   ExperimentOptions options;
-  std::string csv_path;  // if non-empty, write cwnd traces as CSV here
+  std::string csv_path;    // if non-empty, write cwnd traces as CSV here
+  std::string trace_path;  // if non-empty, attach a TraceSink and write
+                           // <path>.jsonl + <path>.perfetto.json
   bool show_help = false;
 };
 
@@ -29,7 +31,8 @@ struct CliError {
 ///   --seed=N                   --delack          --ecn
 ///   --adaptive-red             --buffer=PKTS     --bottleneck-mbps=X
 ///   --mean-interarrival=SECS   --trace=i,j,...   --csv=PATH
-///   --red-min=X --red-max=X --red-maxp=X         --help
+///   --red-min=X --red-max=X --red-maxp=X         --trace-out=PATH
+///   --help
 /// Returns the parsed request, or an error describing the bad option.
 std::optional<CliRequest> parse_cli(const std::vector<std::string>& args,
                                     CliError* error);

@@ -9,6 +9,7 @@
 #include "src/transport/tcp_reno.hpp"
 #include "src/transport/tcp_sack.hpp"
 #include "src/transport/tcp_tahoe.hpp"
+#include "src/transport/tcp_vegas.hpp"
 
 namespace burst {
 
@@ -138,6 +139,92 @@ Dumbbell::Dumbbell(Simulator& sim, const Scenario& scenario)
 
 void Dumbbell::start_sources() {
   for (auto& s : sources_) s->start();
+}
+
+void Dumbbell::attach_trace(TraceSink& sink) {
+  const std::uint8_t queue_site = sink.register_site("queue:gateway");
+  const std::uint8_t link_site = sink.register_site("link:bottleneck");
+  const std::uint8_t sink_site = sink.register_site("sink:server");
+
+  bottleneck_->queue().set_trace(&sink, queue_site);
+  bottleneck_->set_trace(&sink, link_site);
+
+  for (auto& s : sinks_) {
+    if (auto* tcp = dynamic_cast<TcpSink*>(s.get())) {
+      tcp->set_trace(&sink, sink_site);
+    }
+  }
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    sources_[i]->set_trace(&sink, static_cast<std::int32_t>(i));
+  }
+  for (auto& a : senders_) {
+    auto* tcp = dynamic_cast<TcpSender*>(a.get());
+    if (!tcp) continue;
+    tracers_.push_back(std::make_unique<TransportTracer>(sink, *tcp));
+    tcp->set_observer(tracers_.back().get());
+    if (auto* vegas = dynamic_cast<TcpVegas*>(tcp)) {
+      vegas->set_vegas_trace(&sink);
+    }
+  }
+
+  // Joint drop clustering at the bottleneck -> kCongestionEvent stream.
+  monitor_ = std::make_unique<FlowMonitor>();
+  monitor_->attach(bottleneck_->queue());
+  monitor_->set_trace(&sink, queue_site);
+}
+
+void Dumbbell::register_metrics(MetricsRegistry& registry) const {
+  const QueueStats& qs = bottleneck_->queue().stats();
+  registry.add_counter("queue.gateway.arrivals", qs.arrivals);
+  registry.add_counter("queue.gateway.drops", qs.drops);
+  registry.add_counter("queue.gateway.forced_drops", qs.forced_drops);
+  registry.add_counter("queue.gateway.early_drops", qs.early_drops);
+  registry.add_counter("queue.gateway.departures", qs.departures);
+  registry.add_counter("link.bottleneck.delivered", bottleneck_->delivered());
+  registry.add_counter("link.bottleneck.bytes_delivered",
+                       bottleneck_->bytes_delivered());
+
+  TcpSenderStats tx;
+  for (const auto& a : senders_) {
+    if (const auto* tcp = dynamic_cast<const TcpSender*>(a.get())) {
+      const TcpSenderStats& st = tcp->stats();
+      tx.app_packets += st.app_packets;
+      tx.data_pkts_sent += st.data_pkts_sent;
+      tx.retransmits += st.retransmits;
+      tx.timeouts += st.timeouts;
+      tx.fast_retransmits += st.fast_retransmits;
+      tx.dupacks += st.dupacks;
+      tx.new_acks += st.new_acks;
+      tx.rtt_samples += st.rtt_samples;
+    }
+  }
+  registry.add_counter("tcp.app_packets", tx.app_packets);
+  registry.add_counter("tcp.data_pkts_sent", tx.data_pkts_sent);
+  registry.add_counter("tcp.retransmits", tx.retransmits);
+  registry.add_counter("tcp.timeouts", tx.timeouts);
+  registry.add_counter("tcp.fast_retransmits", tx.fast_retransmits);
+  registry.add_counter("tcp.dupacks", tx.dupacks);
+  registry.add_counter("tcp.new_acks", tx.new_acks);
+  registry.add_counter("tcp.rtt_samples", tx.rtt_samples);
+
+  TcpSinkStats rx;
+  for (const auto& s : sinks_) {
+    if (const auto* tcp = dynamic_cast<const TcpSink*>(s.get())) {
+      const TcpSinkStats& st = tcp->stats();
+      rx.data_arrivals += st.data_arrivals;
+      rx.unique_packets += st.unique_packets;
+      rx.duplicate_packets += st.duplicate_packets;
+      rx.out_of_order += st.out_of_order;
+      rx.acks_sent += st.acks_sent;
+      rx.dup_acks_sent += st.dup_acks_sent;
+    }
+  }
+  registry.add_counter("sink.data_arrivals", rx.data_arrivals);
+  registry.add_counter("sink.unique_packets", rx.unique_packets);
+  registry.add_counter("sink.duplicate_packets", rx.duplicate_packets);
+  registry.add_counter("sink.out_of_order", rx.out_of_order);
+  registry.add_counter("sink.acks_sent", rx.acks_sent);
+  registry.add_counter("sink.dup_acks_sent", rx.dup_acks_sent);
 }
 
 TcpSender* Dumbbell::tcp_sender(int i) {

@@ -13,7 +13,10 @@
 
 #include "src/app/poisson_source.hpp"
 #include "src/core/scenario.hpp"
+#include "src/net/flow_monitor.hpp"
 #include "src/net/node.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/transport_trace.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/transport/tcp_sender.hpp"
 #include "src/transport/tcp_sink.hpp"
@@ -30,7 +33,25 @@ class Dumbbell {
 
   /// The gateway->server queue under study (tap this for c.o.v.).
   Queue& bottleneck_queue() { return bottleneck_->queue(); }
+  SimplexLink& bottleneck_link() { return *bottleneck_; }
   const SimplexLink& bottleneck_link() const { return *bottleneck_; }
+
+  /// Wires every observable component into @p sink: the bottleneck queue
+  /// and link, each TCP sink, each Poisson source, a TransportTracer per
+  /// TCP sender (installed as the sender's observer), a Vegas Diff tap
+  /// when the transport is Vegas, and a FlowMonitor clustering bottleneck
+  /// drops into kCongestionEvent records. @p sink must outlive the run.
+  /// Idempotent per Dumbbell only in the sense that calling it twice
+  /// double-registers — call exactly once.
+  void attach_trace(TraceSink& sink);
+
+  /// Registers the run's component counters (bottleneck queue/link,
+  /// aggregate TCP sender and sink stats) into @p registry. Counter
+  /// values are captured at the call, so call after run() for totals.
+  void register_metrics(MetricsRegistry& registry) const;
+
+  /// The drop-cluster monitor created by attach_trace() (null before).
+  const FlowMonitor* congestion_monitor() const { return monitor_.get(); }
 
   int num_clients() const { return scenario_.num_clients; }
 
@@ -69,6 +90,10 @@ class Dumbbell {
   std::vector<std::unique_ptr<Agent>> senders_;
   std::vector<std::unique_ptr<Agent>> sinks_;
   std::vector<std::unique_ptr<PoissonSource>> sources_;
+
+  // Created by attach_trace(); must outlive the senders' observer use.
+  std::vector<std::unique_ptr<TransportTracer>> tracers_;
+  std::unique_ptr<FlowMonitor> monitor_;
 };
 
 }  // namespace burst

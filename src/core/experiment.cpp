@@ -15,12 +15,22 @@ ExperimentResult run_experiment(const Scenario& scenario,
                                 const ExperimentOptions& options) {
   Simulator sim(scenario.seed);
   Dumbbell net(sim, scenario);
+  if (options.trace != nullptr) net.attach_trace(*options.trace);
 
-  // Tap data-packet arrivals at the bottleneck queue into RTT-wide bins.
+  // Tap data-packet arrivals at the bottleneck queue into RTT-wide bins,
+  // and the pre-enqueue occupancy each one sees into a metrics histogram
+  // (PASTA: under Poisson arrivals this is the time-average occupancy).
+  MetricsRegistry registry;
+  Histogram& qlen_hist = registry.histogram(
+      "queue.gateway.len_at_arrival", {0, 1, 2, 4, 8, 16, 32, 64, 128});
   BinnedCounter arrivals(scenario.rtt_prop(), scenario.warmup);
-  net.bottleneck_queue().taps().add_arrival_listener([&](const Packet& p, Time) {
-    if (p.type == PacketType::kData) arrivals.record(sim.now());
-  });
+  Queue& bottleneck = net.bottleneck_queue();
+  net.bottleneck_queue().taps().add_arrival_listener(
+      [&](const Packet& p, Time) {
+        if (p.type != PacketType::kData) return;
+        arrivals.record(sim.now());
+        qlen_hist.add(static_cast<double>(bottleneck.len()));
+      });
 
   // Congestion-window tracing.
   ExperimentResult result;
@@ -102,6 +112,15 @@ ExperimentResult run_experiment(const Scenario& scenario,
   result.fairness = jain_fairness(net.per_flow_delivered());
   result.delay = net.pooled_delay();
   result.routing_errors = net.routing_errors();
+
+  // Component metrics. Scheduler counters are deterministic (instrumented
+  // runs execute the same event sequence); wall-clock values stay out so
+  // the snapshot is reproducible and cacheable.
+  net.register_metrics(registry);
+  registry.add_counter("sched.events", result.sim_events);
+  registry.add_counter("sched.peak_pending", result.peak_pending);
+  registry.add_counter("sched.scheduled", sim.scheduler().scheduled_count());
+  result.metrics = registry.snapshot();
   return result;
 }
 

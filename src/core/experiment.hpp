@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "src/core/scenario.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/sim/trace.hpp"
 #include "src/stats/running_stats.hpp"
 
@@ -19,6 +21,12 @@ struct ExperimentOptions {
   /// Sampling period for additional periodic cwnd samples (0 = only on
   /// change). The figures sample in units of 0.1 s like the paper's x-axis.
   Time cwnd_sample_period = 0.0;
+  /// Structured event-trace sink. When non-null, every tap point in the
+  /// dumbbell (queue, bottleneck link, TCP sinks, sources, transport
+  /// transitions, drop clustering) emits into it; the simulation itself is
+  /// bit-identical either way (no extra events, no RNG draws) — the
+  /// result-identity pins and the differential test enforce this.
+  TraceSink* trace = nullptr;
 };
 
 struct ExperimentResult {
@@ -58,6 +66,10 @@ struct ExperimentResult {
 
   // Congestion-window traces for the requested clients (Figs 5-12).
   std::vector<TraceSeries> cwnd_traces;
+
+  // Component metrics registered at end of run (schema v3). Deterministic:
+  // identical runs — traced or not — produce equal snapshots.
+  MetricsSnapshot metrics;
 
   /// Sanity: must be zero in a correctly wired run.
   std::uint64_t routing_errors = 0;

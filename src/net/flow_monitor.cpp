@@ -4,18 +4,20 @@
 
 namespace burst {
 
-FlowMonitor::FlowMonitor(Queue& queue, Time event_gap)
-    : queue_(queue), event_gap_(event_gap) {
-  queue_.taps().add_arrival_listener(
-      [this](const Packet& p, Time now) { on_arrival(p, now); });
-  queue_.taps().add_drop_listener(
+void FlowMonitor::attach(Queue& queue) {
+  // The arrival lambda captures its own queue so len() reads the right
+  // buffer when several queues share this monitor.
+  Queue* q = &queue;
+  queue.taps().add_arrival_listener(
+      [this, q](const Packet& p, Time now) { on_arrival(*q, p, now); });
+  queue.taps().add_drop_listener(
       [this](const Packet& p, Time now) { on_drop(p, now); });
 }
 
-void FlowMonitor::on_arrival(const Packet& p, Time /*now*/) {
+void FlowMonitor::on_arrival(const Queue& q, const Packet& p, Time /*now*/) {
   if (p.type != PacketType::kData) return;
   ++flows_[p.flow].arrivals;
-  queue_at_arrival_.add(static_cast<double>(queue_.len()));
+  queue_at_arrival_.add(static_cast<double>(q.len()));
 }
 
 void FlowMonitor::on_drop(const Packet& p, Time now) {
@@ -23,6 +25,8 @@ void FlowMonitor::on_drop(const Packet& p, Time now) {
   ++flows_[p.flow].drops;
   if (last_drop_ >= 0.0 && now - last_drop_ > event_gap_) close_event();
   last_drop_ = now;
+  if (open_event_start_ < 0.0) open_event_start_ = now;
+  ++open_event_drops_;
   if (std::find(open_event_flows_.begin(), open_event_flows_.end(), p.flow) ==
       open_event_flows_.end()) {
     open_event_flows_.push_back(p.flow);
@@ -32,8 +36,20 @@ void FlowMonitor::on_drop(const Packet& p, Time now) {
 void FlowMonitor::close_event() const {
   if (!open_event_flows_.empty()) {
     flows_hit_.push_back(static_cast<int>(open_event_flows_.size()));
+    if (trace_) {
+      TraceRecord r;
+      r.time = open_event_start_;  // the event "happened" at its first drop
+      r.type = TraceEventType::kCongestionEvent;
+      r.site = trace_site_;
+      r.value = static_cast<double>(open_event_flows_.size());
+      r.aux = last_drop_ - open_event_start_;  // cluster duration
+      r.seq = static_cast<std::int64_t>(open_event_drops_);
+      trace_->emit(r);
+    }
     open_event_flows_.clear();
   }
+  open_event_start_ = -1.0;
+  open_event_drops_ = 0;
 }
 
 std::size_t FlowMonitor::drop_events() const {

@@ -1,4 +1,5 @@
-// Per-flow gateway instrumentation, attached to a queue's taps:
+// Per-flow gateway instrumentation, attached to any number of queues'
+// taps:
 //
 //  * per-flow arrival and drop counts (loss fairness);
 //  * queue length observed at data-packet arrivals (by PASTA this equals
@@ -8,6 +9,12 @@
 //    gap threshold form one congestion event, and the number of distinct
 //    flows hit per event quantifies the loss synchronization the paper
 //    blames for Reno's aggregate burstiness (Sec 3.2.1, Fig 9).
+//
+// A monitor can observe several queues at once (attach() each one): a
+// tandem/multihop gateway's drop stream is clustered jointly, which is
+// the quantity that matters for synchronization — flows don't care which
+// hop dropped them. With a TraceSink attached, each closed congestion
+// event is emitted as a kCongestionEvent record.
 #pragma once
 
 #include <cstdint>
@@ -26,15 +33,34 @@ class FlowMonitor {
     std::uint64_t drops = 0;
   };
 
-  /// Attaches to @p queue; @p event_gap is the silence that closes a
-  /// drop event (default: one bottleneck RTT's worth of drops cluster).
-  explicit FlowMonitor(Queue& queue, Time event_gap = 0.01);
+  /// @p event_gap is the silence that closes a drop event (default: one
+  /// bottleneck RTT's worth of drops cluster). Call attach() to observe.
+  explicit FlowMonitor(Time event_gap = 0.01) : event_gap_(event_gap) {}
+
+  /// Convenience: constructs and attaches to @p queue in one step.
+  explicit FlowMonitor(Queue& queue, Time event_gap = 0.01)
+      : FlowMonitor(event_gap) {
+    attach(queue);
+  }
+
+  /// Taps @p queue's arrival/drop listeners. May be called for several
+  /// queues; their drop streams feed one joint clustering. The monitor
+  /// must outlive every attached queue's tap invocations.
+  void attach(Queue& queue);
+
+  /// Emits a kCongestionEvent record (against @p site) into @p sink each
+  /// time a drop cluster closes.
+  void set_trace(TraceSink* sink, std::uint8_t site = 0) {
+    trace_ = sink;
+    trace_site_ = site;
+  }
 
   const std::unordered_map<FlowId, FlowCounters>& flows() const {
     return flows_;
   }
 
-  /// Queue occupancy seen by arriving data packets (PASTA sampler).
+  /// Queue occupancy seen by arriving data packets (PASTA sampler),
+  /// pooled over all attached queues.
   const RunningStats& queue_at_arrival() const { return queue_at_arrival_; }
 
   /// Number of distinct congestion (drop-burst) events observed.
@@ -53,11 +79,10 @@ class FlowMonitor {
   double loss_fraction_spread(std::uint64_t min_arrivals = 100) const;
 
  private:
-  void on_arrival(const Packet& p, Time now);
+  void on_arrival(const Queue& q, const Packet& p, Time now);
   void on_drop(const Packet& p, Time now);
   void close_event() const;
 
-  Queue& queue_;
   Time event_gap_;
   std::unordered_map<FlowId, FlowCounters> flows_;
   RunningStats queue_at_arrival_;
@@ -65,7 +90,11 @@ class FlowMonitor {
   // Current (possibly open) drop event. Mutable: readers close it lazily.
   mutable std::vector<int> flows_hit_;
   mutable std::vector<FlowId> open_event_flows_;
+  mutable Time open_event_start_ = -1.0;  // first drop of the open event
+  mutable std::uint64_t open_event_drops_ = 0;
   Time last_drop_ = -1.0;
+  TraceSink* trace_ = nullptr;
+  std::uint8_t trace_site_ = 0;
 };
 
 }  // namespace burst

@@ -1,6 +1,7 @@
 #include "src/net/link.hpp"
 
 #include <cassert>
+#include <optional>
 #include <utility>
 
 #include "src/sim/time.hpp"
@@ -35,8 +36,12 @@ void SimplexLink::try_transmit() {
     if (!drain_pending_ && !queue_->queue_empty()) schedule_drain();
     return;
   }
-  auto next = queue_->dequeue(now);
+  // No ProfileScope here: head-of-line pops are trivial and this is the
+  // hottest per-hop site — dequeue time reads as dispatch, while the
+  // kQueue phase captures the discipline's accept/drop decisions.
+  std::optional<Packet> next = queue_->dequeue(now);
   if (!next) return;
+  queue_->trace_dequeue(*next, now);
   const Time tx = transmission_time(next->size_bytes, bandwidth_bps_);
   // Last bit leaves at now+tx; it arrives prop_delay later. Evaluated as
   // (now + tx) + prop_delay — the same association as the old tx-complete
@@ -54,6 +59,19 @@ void SimplexLink::try_transmit() {
     const Packet pkt = slab_.take(h);
     ++delivered_;
     bytes_delivered_ += static_cast<std::uint64_t>(pkt.size_bytes);
+    if (trace_) {
+      // The trace pointer is a link member, not a capture, so the traced
+      // and untraced closures are the same size (SmallFn-inline).
+      TraceRecord r;
+      r.time = sim_.now();
+      r.type = TraceEventType::kLinkDeliver;
+      r.site = trace_site_;
+      r.flow = pkt.flow;
+      r.seq = pkt.type == PacketType::kAck ? pkt.ack : pkt.seq;
+      r.value = static_cast<double>(pkt.size_bytes);
+      r.detail = pkt.type == PacketType::kAck ? kTraceDetailAck : 0;
+      trace_->emit(r);
+    }
     assert(receiver_ && "SimplexLink has no receiver attached");
     receiver_(pkt);
   };

@@ -60,6 +60,16 @@ class SimplexLink : public PacketChannel {
   /// Payload-inclusive bytes delivered.
   std::uint64_t bytes_delivered() const { return bytes_delivered_; }
 
+  /// Attaches a structured-trace sink: dequeues are reported against the
+  /// queue's site (set there by the caller), deliveries against @p site.
+  /// The trace pointer lives on the link, NOT in the delivery closure, so
+  /// the closure stays within SmallFn's inline buffer (see static_assert
+  /// in link.cpp).
+  void set_trace(TraceSink* sink, std::uint8_t site = 0) {
+    trace_ = sink;
+    trace_site_ = site;
+  }
+
  private:
   /// Starts transmitting the head-of-line packet if the transmitter is
   /// free; otherwise makes sure a drain event is armed for tx end.
@@ -81,6 +91,8 @@ class SimplexLink : public PacketChannel {
                                // only consulted when now == free_at_
   std::uint64_t delivered_ = 0;
   std::uint64_t bytes_delivered_ = 0;
+  TraceSink* trace_ = nullptr;
+  std::uint8_t trace_site_ = 0;
 };
 
 }  // namespace burst

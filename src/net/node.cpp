@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstddef>
 
+#include "src/obs/profile.hpp"
+
 namespace burst {
 
 namespace {
@@ -49,6 +51,10 @@ void Node::receive(const Packet& p) {
       ++routing_errors_;
       return;
     }
+    // Local delivery enters the transport layer: everything under
+    // handle() (ACK processing, window updates, retransmissions) is
+    // attributed to the transport phase when a profiler is installed.
+    ProfileScope prof(ProfilePhase::kTransport);
     h->handle(p);
     return;
   }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/net/packet.hpp"
+#include "src/obs/trace.hpp"
 #include "src/sim/time.hpp"
 
 namespace burst {
@@ -66,6 +67,21 @@ class Queue {
   const QueueStats& stats() const { return stats_; }
   QueueTaps& taps() { return taps_; }
 
+  /// Attaches a structured-trace sink under the given site id (see
+  /// TraceSink::register_site). Null detaches. The untraced hot path pays
+  /// one null check per enqueue/dequeue.
+  void set_trace(TraceSink* sink, std::uint8_t site = 0) {
+    trace_ = sink;
+    trace_site_ = site;
+  }
+
+  /// Called by the transmitter right after a successful dequeue (the
+  /// queue itself cannot see dequeues of its subclasses' storage without
+  /// a virtual hook, and the link already knows the instant).
+  void trace_dequeue(const Packet& p, Time now) {
+    if (trace_) emit_trace(TraceEventType::kQueueDequeue, p, now, 0);
+  }
+
  protected:
   /// Discipline-specific accept/reject decision. Implementations must
   /// store the packet themselves when accepting, and may mutate it first
@@ -80,12 +96,27 @@ class Queue {
     ++stats_.drops;
     ++stats_.forced_drops;
     taps_.notify_drop(p, now);
+    if (trace_) {
+      emit_trace(TraceEventType::kQueueDrop, p, now, kTraceDropDisplaced);
+    }
   }
 
   QueueStats stats_;
 
  private:
+  /// The trace-enabled tail of enqueue(): runs the discipline decision
+  /// with the drop-reason snapshot and record emission that the untraced
+  /// path must not pay for.
+  bool enqueue_traced(Packet& stored, const Packet& p, Time now);
+
+  /// Shared slow-path emission (out of line; callers have already null-
+  /// checked trace_).
+  void emit_trace(TraceEventType type, const Packet& p, Time now,
+                  std::uint16_t detail);
+
   QueueTaps taps_;
+  TraceSink* trace_ = nullptr;
+  std::uint8_t trace_site_ = 0;
 };
 
 }  // namespace burst

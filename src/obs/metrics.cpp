@@ -1,0 +1,71 @@
+#include "src/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace burst {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+         "histogram bounds must ascend");
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+const MetricPoint* MetricsSnapshot::find(std::string_view name) const {
+  for (const MetricPoint& p : points) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+void MetricsRegistry::add_counter(std::string name, std::uint64_t v) {
+  MetricPoint p;
+  p.name = std::move(name);
+  p.kind = MetricKind::kCounter;
+  p.value = static_cast<double>(v);
+  scalars_.push_back(std::move(p));
+}
+
+void MetricsRegistry::add_gauge(std::string name, double v) {
+  MetricPoint p;
+  p.name = std::move(name);
+  p.kind = MetricKind::kGauge;
+  p.value = v;
+  scalars_.push_back(std::move(p));
+}
+
+Histogram& MetricsRegistry::histogram(std::string name,
+                                      std::vector<double> bounds) {
+  for (auto& [n, h] : histograms_) {
+    if (n == name) {
+      assert(h->bounds() == bounds && "histogram re-registered with "
+                                      "different bounds");
+      return *h;
+    }
+  }
+  histograms_.emplace_back(std::move(name),
+                           std::make_unique<Histogram>(std::move(bounds)));
+  return *histograms_.back().second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.points = scalars_;
+  for (const auto& [name, h] : histograms_) {
+    MetricPoint p;
+    p.name = name;
+    p.kind = MetricKind::kHistogram;
+    p.value = static_cast<double>(h->count());
+    p.sum = h->sum();
+    p.bounds = h->bounds();
+    p.buckets = h->buckets();
+    snap.points.push_back(std::move(p));
+  }
+  std::sort(snap.points.begin(), snap.points.end(),
+            [](const MetricPoint& a, const MetricPoint& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+}  // namespace burst

@@ -1,0 +1,101 @@
+// Metrics registry: named counters, gauges and fixed-bucket histograms
+// that components register/fill during a run, snapshotted into
+// ExperimentResult and persisted by the result store (schema v3).
+//
+// Everything here is deterministic: values derive only from simulation
+// state (never wall clocks), and snapshots are sorted by name, so two
+// identical runs produce byte-identical serialized snapshots — the
+// property the content-addressed result cache and the metrics
+// determinism test rely on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace burst {
+
+enum class MetricKind : std::uint8_t {
+  kCounter = 0,  // monotonically accumulated count
+  kGauge = 1,    // point-in-time or derived value
+  kHistogram = 2
+};
+
+/// Fixed-bucket histogram: bucket i counts samples <= bounds[i]; one
+/// overflow bucket follows. Bounds are fixed at registration so two runs
+/// of the same scenario bin identically.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void add(double v) {
+    ++count_;
+    sum_ += v;
+    for (std::size_t i = 0; i < bounds_.size(); ++i) {
+      if (v <= bounds_[i]) {
+        ++buckets_[i];
+        return;
+      }
+    }
+    ++buckets_.back();  // overflow
+  }
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> buckets_;  // bounds_.size() + 1 (overflow last)
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// One snapshotted metric. Counters/gauges use `value`; histograms carry
+/// their full shape (value = sample count).
+struct MetricPoint {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0.0;
+  double sum = 0.0;                    // histogram only
+  std::vector<double> bounds;          // histogram only
+  std::vector<std::uint64_t> buckets;  // histogram only
+
+  friend bool operator==(const MetricPoint&, const MetricPoint&) = default;
+};
+
+/// A sorted-by-name, self-contained copy of a registry's state. Cheap to
+/// copy around with ExperimentResult; empty on results loaded from a
+/// pre-v3 store (there are none — the schema bump invalidates them).
+struct MetricsSnapshot {
+  std::vector<MetricPoint> points;
+
+  /// The named point, or nullptr.
+  const MetricPoint* find(std::string_view name) const;
+
+  friend bool operator==(const MetricsSnapshot&,
+                         const MetricsSnapshot&) = default;
+};
+
+class MetricsRegistry {
+ public:
+  /// Counters/gauges are cheap one-shot registrations at collection time.
+  void add_counter(std::string name, std::uint64_t v);
+  void add_gauge(std::string name, double v);
+
+  /// Registers (or finds) a live histogram components fill during the
+  /// run. Bounds must match on re-lookup. The reference stays valid for
+  /// the registry's lifetime.
+  Histogram& histogram(std::string name, std::vector<double> bounds);
+
+  /// Sorted-by-name copy of everything registered so far.
+  MetricsSnapshot snapshot() const;
+
+ private:
+  std::vector<MetricPoint> scalars_;
+  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> histograms_;
+};
+
+}  // namespace burst

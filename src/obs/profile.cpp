@@ -1,0 +1,18 @@
+#include "src/obs/profile.hpp"
+
+namespace burst {
+
+thread_local Profiler* Profiler::current_ = nullptr;
+std::atomic<int> Profiler::active_count_{0};
+
+std::string_view to_string(ProfilePhase p) {
+  switch (p) {
+    case ProfilePhase::kOther: return "other";
+    case ProfilePhase::kDispatch: return "dispatch";
+    case ProfilePhase::kTransport: return "transport";
+    case ProfilePhase::kQueue: return "queue";
+  }
+  return "unknown";
+}
+
+}  // namespace burst

@@ -1,0 +1,304 @@
+#include "src/obs/trace.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+namespace burst {
+
+namespace {
+
+// max_digits10-precision %g: round-trips any finite double exactly and,
+// unlike shortest-round-trip printing, is deterministic across platforms
+// — the JSONL export is golden-tested byte for byte.
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out += buf;
+}
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(static_cast<unsigned char>(c) < 0x20 ? ' ' : c);
+  }
+}
+
+constexpr double kMicrosPerSec = 1e6;
+
+}  // namespace
+
+std::string_view to_string(TraceEventType t) {
+  switch (t) {
+    case TraceEventType::kSourceEmit: return "source_emit";
+    case TraceEventType::kQueueEnqueue: return "queue_enqueue";
+    case TraceEventType::kQueueDequeue: return "queue_dequeue";
+    case TraceEventType::kQueueDrop: return "queue_drop";
+    case TraceEventType::kLinkDeliver: return "link_deliver";
+    case TraceEventType::kSinkAck: return "sink_ack";
+    case TraceEventType::kCwndChange: return "cwnd_change";
+    case TraceEventType::kSsthreshChange: return "ssthresh_change";
+    case TraceEventType::kCcStateChange: return "cc_state_change";
+    case TraceEventType::kFastRetransmit: return "fast_retransmit";
+    case TraceEventType::kRto: return "rto";
+    case TraceEventType::kVegasDiff: return "vegas_diff";
+    case TraceEventType::kCongestionEvent: return "congestion_event";
+  }
+  return "unknown";
+}
+
+TraceSink::TraceSink(std::size_t capacity) {
+  ring_.resize(capacity == 0 ? 1 : capacity);
+  // Site 0 is the catch-all for records emitted before any registration.
+  sites_.emplace_back("unknown");
+}
+
+std::uint8_t TraceSink::register_site(std::string_view name) {
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    if (sites_[i] == name) return static_cast<std::uint8_t>(i);
+  }
+  assert(sites_.size() < 256 && "TraceRecord::site is a uint8 index");
+  sites_.emplace_back(name);
+  return static_cast<std::uint8_t>(sites_.size() - 1);
+}
+
+std::uint16_t TraceSink::intern_state(std::string_view name) {
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    if (states_[i] == name) return static_cast<std::uint16_t>(i);
+  }
+  states_.emplace_back(name);
+  return static_cast<std::uint16_t>(states_.size() - 1);
+}
+
+std::vector<TraceRecord> TraceSink::ordered() const {
+  std::vector<TraceRecord> out;
+  out.reserve(size());
+  if (emitted_ >= ring_.size()) {
+    // Wrapped: oldest surviving record sits at head_.
+    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(head_));
+  } else {
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(head_));
+  }
+  // Emission order is execution order, which is time order except for
+  // lazily-closed aggregate records; stable sort preserves same-instant
+  // emission order (the scheduler's deterministic tie-break).
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) {
+                     return a.time < b.time;
+                   });
+  return out;
+}
+
+bool TraceSink::write_jsonl(std::ostream& os) const {
+  std::string line;
+  for (const TraceRecord& r : ordered()) {
+    line.clear();
+    line += "{\"t\":";
+    append_double(line, r.time);
+    line += ",\"type\":\"";
+    line += to_string(r.type);
+    line += "\",\"site\":\"";
+    append_escaped(line, sites_[r.site < sites_.size() ? r.site : 0]);
+    line += "\",\"flow\":";
+    append_i64(line, r.flow);
+    line += ",\"seq\":";
+    append_i64(line, r.seq);
+    line += ",\"value\":";
+    append_double(line, r.value);
+    line += ",\"aux\":";
+    append_double(line, r.aux);
+    line += ",\"detail\":";
+    append_i64(line, r.detail);
+    if (r.type == TraceEventType::kCcStateChange &&
+        r.detail < states_.size()) {
+      line += ",\"state\":\"";
+      append_escaped(line, states_[r.detail]);
+      line += '"';
+    }
+    line += "}\n";
+    os << line;
+  }
+  return static_cast<bool>(os);
+}
+
+bool TraceSink::write_chrome_trace(std::ostream& os) const {
+  const std::vector<TraceRecord> recs = ordered();
+
+  // Flow tracks get their own pid so Perfetto groups each flow's counter
+  // and instant tracks together; network sites share pid 1.
+  constexpr int kNetPid = 1;
+  constexpr int kFlowPidBase = 1000;
+  std::vector<bool> flow_seen;
+  for (const TraceRecord& r : recs) {
+    if (r.flow >= 0) {
+      if (static_cast<std::size_t>(r.flow) >= flow_seen.size()) {
+        flow_seen.resize(static_cast<std::size_t>(r.flow) + 1, false);
+      }
+      flow_seen[static_cast<std::size_t>(r.flow)] = true;
+    }
+  }
+
+  std::string out;
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  auto meta = [&](const char* kind, int pid, int tid, std::string_view name) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\":\"";
+    out += kind;
+    out += "\",\"ph\":\"M\",\"pid\":";
+    append_i64(out, pid);
+    out += ",\"tid\":";
+    append_i64(out, tid);
+    out += ",\"args\":{\"name\":\"";
+    append_escaped(out, name);
+    out += "\"}}";
+  };
+  meta("process_name", kNetPid, 0, "network");
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    meta("thread_name", kNetPid, static_cast<int>(i), sites_[i]);
+  }
+  for (std::size_t f = 0; f < flow_seen.size(); ++f) {
+    if (!flow_seen[f]) continue;
+    meta("process_name", kFlowPidBase + static_cast<int>(f), 0,
+         "flow " + std::to_string(f));
+    meta("thread_name", kFlowPidBase + static_cast<int>(f), 0, "events");
+  }
+
+  auto header = [&](std::string_view name, char ph, int pid, int tid,
+                    Time t) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\":\"";
+    append_escaped(out, name);
+    out += "\",\"ph\":\"";
+    out.push_back(ph);
+    out += "\",\"ts\":";
+    append_double(out, t * kMicrosPerSec);
+    out += ",\"pid\":";
+    append_i64(out, pid);
+    out += ",\"tid\":";
+    append_i64(out, tid);
+  };
+  auto counter1 = [&](std::string_view name, int pid, Time t,
+                      std::string_view series, double v) {
+    header(name, 'C', pid, 0, t);
+    out += ",\"args\":{\"";
+    append_escaped(out, series);
+    out += "\":";
+    append_double(out, v);
+    out += "}}";
+  };
+  auto instant_begin = [&](std::string_view name, int pid, int tid, Time t) {
+    header(name, 'i', pid, tid, t);
+    out += ",\"s\":\"t\",\"args\":{";
+  };
+
+  for (const TraceRecord& r : recs) {
+    const int site_tid = r.site < sites_.size() ? r.site : 0;
+    const std::string& site = sites_[static_cast<std::size_t>(site_tid)];
+    const int flow_pid = kFlowPidBase + (r.flow >= 0 ? r.flow : 0);
+    switch (r.type) {
+      case TraceEventType::kQueueEnqueue:
+      case TraceEventType::kQueueDequeue:
+        counter1("qlen " + site, kNetPid, r.time, "packets", r.value);
+        break;
+      case TraceEventType::kQueueDrop:
+        instant_begin("drop", kNetPid, site_tid, r.time);
+        out += "\"flow\":";
+        append_i64(out, r.flow);
+        out += ",\"seq\":";
+        append_i64(out, r.seq);
+        out += ",\"qlen\":";
+        append_double(out, r.value);
+        out += ",\"reason\":\"";
+        out += (r.detail >> 1) == 1   ? "early"
+               : (r.detail >> 1) == 2 ? "displaced"
+                                      : "forced";
+        out += "\"}}";
+        break;
+      case TraceEventType::kLinkDeliver:
+        instant_begin("deliver", kNetPid, site_tid, r.time);
+        out += "\"flow\":";
+        append_i64(out, r.flow);
+        out += ",\"seq\":";
+        append_i64(out, r.seq);
+        out += "}}";
+        break;
+      case TraceEventType::kSourceEmit:
+        instant_begin("app_emit", flow_pid, 0, r.time);
+        out += "\"n\":";
+        append_i64(out, r.seq);
+        out += "}}";
+        break;
+      case TraceEventType::kSinkAck:
+        instant_begin("ack", flow_pid, 0, r.time);
+        out += "\"ack\":";
+        append_i64(out, r.seq);
+        out += ",\"ooo\":";
+        append_double(out, r.value);
+        out += "}}";
+        break;
+      case TraceEventType::kCwndChange:
+        counter1("cwnd", flow_pid, r.time, "cwnd", r.value);
+        break;
+      case TraceEventType::kSsthreshChange:
+        counter1("ssthresh", flow_pid, r.time, "ssthresh", r.value);
+        break;
+      case TraceEventType::kVegasDiff:
+        counter1("vegas_diff", flow_pid, r.time, "diff", r.value);
+        break;
+      case TraceEventType::kCcStateChange: {
+        std::string name = "state: ";
+        name += r.detail < states_.size() ? states_[r.detail] : "?";
+        instant_begin(name, flow_pid, 0, r.time);
+        out += "\"cwnd\":";
+        append_double(out, r.value);
+        out += "}}";
+        break;
+      }
+      case TraceEventType::kFastRetransmit:
+      case TraceEventType::kRto:
+        instant_begin(r.type == TraceEventType::kRto ? "rto"
+                                                     : "fast_retransmit",
+                      flow_pid, 0, r.time);
+        out += "\"seq\":";
+        append_i64(out, r.seq);
+        out += ",\"cwnd\":";
+        append_double(out, r.value);
+        out += "}}";
+        break;
+      case TraceEventType::kCongestionEvent:
+        instant_begin("congestion_event", kNetPid, site_tid, r.time);
+        out += "\"flows_hit\":";
+        append_double(out, r.value);
+        out += ",\"duration\":";
+        append_double(out, r.aux);
+        out += ",\"drops\":";
+        append_i64(out, r.seq);
+        out += "}}";
+        break;
+    }
+    if (out.size() >= (std::size_t{1} << 20)) {
+      os << out;
+      out.clear();
+    }
+  }
+  out += "\n]}\n";
+  os << out;
+  return static_cast<bool>(os);
+}
+
+}  // namespace burst

@@ -1,0 +1,135 @@
+// Structured event tracing: a per-simulation TraceSink that components
+// feed typed records into through raw-pointer taps.
+//
+// Design constraints (DESIGN.md "Observability"):
+//  * Zero cost when off. Every tap is a single null-pointer check on a
+//    member the component already has in cache; no virtual dispatch, no
+//    std::function, no allocation on the untraced path. The bit-identity
+//    pins (tests/result_identity_test.cpp) and the packet-path CI gate
+//    hold with tracing wired in because the disabled branch is one
+//    predictable compare.
+//  * No feedback into the simulation. Emitting a record never schedules
+//    an event, never consumes RNG, never mutates component state — a
+//    traced run's ExperimentResult is bit-identical to an untraced one
+//    (tests/obs_trace_test.cpp proves it differentially).
+//  * Bounded memory. Records land in a fixed-capacity ring; when a run
+//    outgrows it, the oldest records are overwritten and counted, never
+//    reallocated mid-run.
+//
+// Exports: JSONL (one record per line, greppable) and Chrome trace-event
+// JSON (the `{"traceEvents": [...]}` dialect Perfetto and chrome://tracing
+// load), with one track per network site and one per flow, counter tracks
+// for cwnd/ssthresh and instants for drops/retransmits/state changes.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/sim/time.hpp"
+
+namespace burst {
+
+enum class TraceEventType : std::uint8_t {
+  kSourceEmit = 0,   // application handed a packet to the transport
+  kQueueEnqueue,     // queue accepted a packet (value = occupancy after)
+  kQueueDequeue,     // transmitter pulled a packet (value = occupancy after)
+  kQueueDrop,        // queue rejected/displaced a packet (value = occupancy)
+  kLinkDeliver,      // packet reached the far end of a link (value = bytes)
+  kSinkAck,          // receiver emitted an ACK (seq = cumulative ack)
+  kCwndChange,       // value = new cwnd, aux = ssthresh
+  kSsthreshChange,   // value = new ssthresh, aux = cwnd
+  kCcStateChange,    // detail = state string id, value = cwnd
+  kFastRetransmit,   // seq = hole retransmitted, value = cwnd after
+  kRto,              // retransmission timeout fired, value = cwnd after
+  kVegasDiff,        // per-RTT decision: value = diff, aux = cwnd after
+  kCongestionEvent,  // FlowMonitor drop cluster closed: value = flows hit,
+                     // aux = event duration, seq = drops in event
+};
+
+/// Stable lowercase token for exports ("queue_drop", "cwnd_change", ...).
+std::string_view to_string(TraceEventType t);
+
+/// One trace record: a compact POD (40 bytes) so a multi-million-event
+/// run rings through cheaply. Field meaning depends on `type` (see the
+/// enum); `site` indexes TraceSink's site registry, `detail` is a small
+/// type-specific discriminant (packet kind, drop reason, state id).
+struct TraceRecord {
+  Time time = 0.0;
+  double value = 0.0;
+  double aux = 0.0;
+  std::int64_t seq = -1;
+  std::int32_t flow = -1;
+  TraceEventType type = TraceEventType::kSourceEmit;
+  std::uint8_t site = 0;
+  std::uint16_t detail = 0;
+};
+
+/// `detail` bit layout for packet-lifecycle records (queue/link/source):
+/// bit 0 = packet kind (0 data, 1 ack); bits 1-2 = drop reason for
+/// kQueueDrop (0 forced, 1 early/RED, 2 displaced).
+inline constexpr std::uint16_t kTraceDetailAck = 1;
+inline constexpr std::uint16_t kTraceDropForced = 0 << 1;
+inline constexpr std::uint16_t kTraceDropEarly = 1 << 1;
+inline constexpr std::uint16_t kTraceDropDisplaced = 2 << 1;
+
+class TraceSink {
+ public:
+  /// @p capacity caps the ring (records, not bytes). The default holds a
+  /// full paper-scale run (N=60, 20 s is ~2-3 M packet-lifecycle records).
+  explicit TraceSink(std::size_t capacity = std::size_t{1} << 22);
+
+  /// Registers (or finds) a named emission site — "queue:gateway",
+  /// "link:bottleneck" — and returns its id for TraceRecord::site.
+  std::uint8_t register_site(std::string_view name);
+
+  /// Interns a congestion-control state name ("slow-start", "vegas-ca")
+  /// and returns its id for TraceRecord::detail on kCcStateChange.
+  std::uint16_t intern_state(std::string_view name);
+
+  /// Appends a record; overwrites the oldest when the ring is full.
+  void emit(const TraceRecord& r) {
+    ring_[head_] = r;
+    if (++head_ == ring_.size()) head_ = 0;
+    ++emitted_;
+  }
+
+  /// Records ever emitted (including any overwritten ones).
+  std::uint64_t emitted() const { return emitted_; }
+  /// Records overwritten because the ring was full.
+  std::uint64_t dropped() const {
+    return emitted_ > ring_.size() ? emitted_ - ring_.size() : 0;
+  }
+  /// Records currently held.
+  std::size_t size() const {
+    return emitted_ < ring_.size() ? static_cast<std::size_t>(emitted_)
+                                   : ring_.size();
+  }
+
+  const std::vector<std::string>& sites() const { return sites_; }
+  const std::vector<std::string>& states() const { return states_; }
+
+  /// The held records in nondecreasing time order. Components emit in
+  /// event-execution order, which is already time order except for
+  /// lazily-closed aggregates (FlowMonitor's final congestion event), so
+  /// this is a near-no-op stable sort.
+  std::vector<TraceRecord> ordered() const;
+
+  /// One JSON object per line; schema in scripts/trace_event.schema.json.
+  bool write_jsonl(std::ostream& os) const;
+
+  /// Chrome trace-event JSON ("ph":"i" instants, "ph":"C" counters, ts in
+  /// microseconds) loadable by Perfetto / chrome://tracing.
+  bool write_chrome_trace(std::ostream& os) const;
+
+ private:
+  std::vector<TraceRecord> ring_;
+  std::size_t head_ = 0;
+  std::uint64_t emitted_ = 0;
+  std::vector<std::string> sites_;
+  std::vector<std::string> states_;
+};
+
+}  // namespace burst

@@ -1,0 +1,64 @@
+#include "src/obs/transport_trace.hpp"
+
+namespace burst {
+
+TransportTracer::TransportTracer(TraceSink& sink, const TcpSender& sender)
+    : sink_(sink),
+      sender_(sender),
+      last_cwnd_(sender.cwnd()),
+      last_ssthresh_(sender.ssthresh()),
+      last_state_(sink.intern_state(sender.cc_state())),
+      last_fast_retx_(sender.stats().fast_retransmits) {}
+
+void TransportTracer::on_sender_event(const TcpSenderEvent& e) {
+  TraceRecord r;
+  r.time = e.time;
+  r.flow = sender_.flow();
+
+  // Fast retransmits have no dedicated event kind — they surface as a
+  // stats increment inside a dup-ACK (or Vegas fine-grained) handler.
+  const std::uint64_t fast_retx = sender_.stats().fast_retransmits;
+  if (fast_retx != last_fast_retx_) {
+    last_fast_retx_ = fast_retx;
+    r.type = TraceEventType::kFastRetransmit;
+    r.seq = e.seq;
+    r.value = e.cwnd;
+    r.aux = e.ssthresh;
+    sink_.emit(r);
+  }
+  if (e.kind == TcpSenderEvent::Kind::kRto) {
+    r.type = TraceEventType::kRto;
+    r.seq = e.seq;
+    r.value = e.cwnd;
+    r.aux = e.ssthresh;
+    sink_.emit(r);
+  }
+  if (e.cwnd != last_cwnd_) {
+    last_cwnd_ = e.cwnd;
+    r.type = TraceEventType::kCwndChange;
+    r.seq = e.seq;
+    r.value = e.cwnd;
+    r.aux = e.ssthresh;
+    sink_.emit(r);
+  }
+  if (e.ssthresh != last_ssthresh_) {
+    last_ssthresh_ = e.ssthresh;
+    r.type = TraceEventType::kSsthreshChange;
+    r.seq = e.seq;
+    r.value = e.ssthresh;
+    r.aux = e.cwnd;
+    sink_.emit(r);
+  }
+  const std::uint16_t state = sink_.intern_state(e.state);
+  if (state != last_state_) {
+    last_state_ = state;
+    r.type = TraceEventType::kCcStateChange;
+    r.detail = state;
+    r.seq = e.seq;
+    r.value = e.cwnd;
+    r.aux = e.ssthresh;
+    sink_.emit(r);
+  }
+}
+
+}  // namespace burst

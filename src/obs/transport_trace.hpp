@@ -1,0 +1,33 @@
+// Adapter from the TcpSender observer protocol to TraceSink records.
+//
+// TcpSender already reports a post-event state snapshot at every protocol
+// event (the conformance testkit consumes the same stream); this adapter
+// diffs consecutive snapshots and emits only the *transitions* the paper
+// cares about — cwnd/ssthresh changes, congestion-phase changes,
+// fast retransmits, RTOs — so the trace stays proportional to protocol
+// activity, not to packet volume.
+#pragma once
+
+#include "src/obs/trace.hpp"
+#include "src/transport/tcp_sender.hpp"
+
+namespace burst {
+
+class TransportTracer : public TcpSenderObserver {
+ public:
+  /// Emits @p sender's transitions into @p sink. The tracer must outlive
+  /// the sender's use of it (install with sender.set_observer(&tracer)).
+  TransportTracer(TraceSink& sink, const TcpSender& sender);
+
+  void on_sender_event(const TcpSenderEvent& e) override;
+
+ private:
+  TraceSink& sink_;
+  const TcpSender& sender_;
+  double last_cwnd_;
+  double last_ssthresh_;
+  std::uint16_t last_state_;
+  std::uint64_t last_fast_retx_ = 0;
+};
+
+}  // namespace burst

@@ -1,12 +1,15 @@
 #include "src/run/campaign.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <ctime>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <unordered_map>
 
@@ -105,7 +108,7 @@ CampaignOutput run_campaign(const std::vector<CampaignSweep>& sweeps,
     *opts.log << "campaign: " << out.stats.planned << " points, "
               << out.stats.unique << " unique scenarios, "
               << out.stats.cache_hits << " cache hits, " << misses.size()
-              << " to simulate\n";
+              << " to simulate" << std::endl;
   }
 
   // ---- Simulate the misses. -------------------------------------------
@@ -117,30 +120,59 @@ CampaignOutput run_campaign(const std::vector<CampaignSweep>& sweeps,
                                 misses.size()));
     }
     Executor executor(threads);
-    // Log at most ~20 progress lines regardless of batch size.
+    // Live counters fed by completing tasks; the progress callback reads
+    // them to report a running events/s (simulated events over elapsed
+    // wall), which tracks throughput even when task sizes are skewed.
+    std::atomic<std::uint64_t> events_done{0};
+    std::mutex profile_mu;
+    Profiler profile_total;
+    // Log at most ~20 progress lines regardless of batch size, and flush
+    // each one: on a pipe or CI log nothing shows up otherwise.
     const std::size_t stride = std::max<std::size_t>(1, misses.size() / 20);
     const auto progress = [&](const ExecutorProgress& p) {
       if (!opts.log) return;
       if (p.done % stride != 0 && p.done != p.total) return;
+      const double mev_s =
+          p.elapsed_s > 0.0
+              ? static_cast<double>(
+                    events_done.load(std::memory_order_relaxed)) /
+                    p.elapsed_s / 1e6
+              : 0.0;
       *opts.log << "campaign: " << p.done << "/" << p.total
                 << " simulated, elapsed " << fmt(p.elapsed_s, 1) << " s, ETA "
                 << fmt(p.eta_s, 1) << " s (" << fmt(p.tasks_per_sec, 2)
-                << " runs/s)\n";
+                << " runs/s, " << fmt(mev_s, 2) << " M events/s)"
+                << std::endl;
     };
     executor.run(
         misses.size(),
         [&](std::size_t i) {
           const std::size_t ui = misses[i];
-          results[ui] = run_experiment(unique_scenarios[ui]);
+          if (opts.profile) {
+            Profiler prof;
+            Profiler* prev = Profiler::install(&prof);
+            results[ui] = run_experiment(unique_scenarios[ui]);
+            Profiler::install(prev);
+            std::lock_guard<std::mutex> lk(profile_mu);
+            profile_total.absorb(prof);
+          } else {
+            results[ui] = run_experiment(unique_scenarios[ui]);
+          }
+          events_done.fetch_add(results[ui].sim_events,
+                                std::memory_order_relaxed);
         },
         opts.log ? progress : std::function<void(const ExecutorProgress&)>{});
+    for (std::size_t ph = 0; ph < kProfilePhases; ++ph) {
+      out.stats.phase_seconds[ph] =
+          profile_total.seconds(static_cast<ProfilePhase>(ph));
+    }
     if (store) {
       for (const std::size_t ui : misses) {
         store->put(unique_keys[ui], results[ui]);
       }
       if (!store->flush() && opts.log) {
         *opts.log << "campaign: warning: could not persist result cache to "
-                  << store->shard_path() << "\n";
+                  << store->shard_path() << std::endl;
       }
     }
     // Aggregate the scheduler perf counters over what was actually run
@@ -158,7 +190,20 @@ CampaignOutput run_campaign(const std::vector<CampaignSweep>& sweeps,
     if (opts.log && out.stats.sim_events > 0) {
       *opts.log << "campaign: " << out.stats.sim_events << " events, peak heap "
                 << out.stats.peak_pending_max << ", "
-                << fmt(out.stats.events_per_sec / 1e6, 2) << " M events/s\n";
+                << fmt(out.stats.events_per_sec / 1e6, 2) << " M events/s"
+                << std::endl;
+    }
+    if (opts.log && opts.profile) {
+      double total = 0.0;
+      for (const double s : out.stats.phase_seconds) total += s;
+      *opts.log << "campaign: profile";
+      for (std::size_t ph = 0; ph < kProfilePhases; ++ph) {
+        const double s = out.stats.phase_seconds[ph];
+        *opts.log << (ph ? ", " : ": ") << to_string(static_cast<ProfilePhase>(ph))
+                  << " " << fmt(s, 2) << " s ("
+                  << fmt(total > 0.0 ? 100.0 * s / total : 0.0, 1) << "%)";
+      }
+      *opts.log << std::endl;
     }
   }
 
@@ -190,7 +235,7 @@ CampaignOutput run_campaign(const std::vector<CampaignSweep>& sweeps,
     if (ec) {
       if (opts.log) {
         *opts.log << "campaign: cannot create artifact dir "
-                  << opts.artifact_dir << ": " << ec.message() << "\n";
+                  << opts.artifact_dir << ": " << ec.message() << std::endl;
       }
     } else {
       for (std::size_t s = 0; s < sweeps.size(); ++s) {
@@ -198,9 +243,63 @@ CampaignOutput run_campaign(const std::vector<CampaignSweep>& sweeps,
         const std::string path =
             opts.artifact_dir + "/" + sweeps[s].name + ".csv";
         if (!write_sweep_csv(path, out.sweeps[s].second, sweeps[s].metric)) {
-          if (opts.log) *opts.log << "campaign: failed to write " << path << "\n";
+          if (opts.log) *opts.log << "campaign: failed to write " << path << std::endl;
         } else if (opts.log) {
-          *opts.log << "campaign: wrote " << path << "\n";
+          *opts.log << "campaign: wrote " << path << std::endl;
+        }
+      }
+      // Per-scenario metrics snapshot, one row per unique scenario over
+      // the union of metric names (histograms flatten to .count/.sum).
+      // Missing metrics render as empty cells, so mixed-transport
+      // campaigns still produce a rectangular CSV.
+      {
+        std::map<std::string, MetricKind> columns;
+        for (const ExperimentResult& r : results) {
+          for (const MetricPoint& m : r.metrics.points) {
+            columns.emplace(m.name, m.kind);
+          }
+        }
+        const std::string path = opts.artifact_dir + "/metrics.csv";
+        std::ofstream mcsv(path, std::ios::trunc);
+        mcsv << "key,num_clients,seed";
+        for (const auto& [name, kind] : columns) {
+          if (kind == MetricKind::kHistogram) {
+            mcsv << ',' << name << ".count," << name << ".sum";
+          } else {
+            mcsv << ',' << name;
+          }
+        }
+        mcsv << '\n';
+        mcsv.precision(17);
+        for (std::size_t i = 0; i < results.size(); ++i) {
+          const ExperimentResult& r = results[i];
+          mcsv << unique_keys[i].hex() << ',' << r.scenario.num_clients << ','
+               << r.scenario.seed;
+          for (const auto& [name, kind] : columns) {
+            const MetricPoint* m = r.metrics.find(name);
+            if (kind == MetricKind::kHistogram) {
+              if (m) {
+                mcsv << ',' << static_cast<std::uint64_t>(m->value) << ','
+                     << m->sum;
+              } else {
+                mcsv << ",,";
+              }
+            } else if (m) {
+              if (kind == MetricKind::kCounter) {
+                mcsv << ',' << static_cast<std::uint64_t>(m->value);
+              } else {
+                mcsv << ',' << m->value;
+              }
+            } else {
+              mcsv << ',';
+            }
+          }
+          mcsv << '\n';
+        }
+        mcsv.flush();
+        if (opts.log) {
+          *opts.log << (mcsv ? "campaign: wrote " : "campaign: failed to write ")
+                    << path << std::endl;
         }
       }
       const std::string manifest = opts.artifact_dir + "/manifest.json";
@@ -221,8 +320,34 @@ CampaignOutput run_campaign(const std::vector<CampaignSweep>& sweeps,
          << "  \"perf\": {\"sim_events\": " << out.stats.sim_events
          << ", \"peak_pending_max\": " << out.stats.peak_pending_max
          << ", \"sim_wall_s\": " << out.stats.sim_wall_s
-         << ", \"events_per_sec\": " << out.stats.events_per_sec << "},\n"
-         << "  \"sweeps\": [\n";
+         << ", \"events_per_sec\": " << out.stats.events_per_sec;
+      mf << ", \"phase_seconds\": {";
+      for (std::size_t ph = 0; ph < kProfilePhases; ++ph) {
+        mf << (ph ? ", " : "") << "\"" << to_string(static_cast<ProfilePhase>(ph))
+           << "\": " << out.stats.phase_seconds[ph];
+      }
+      mf << "}},\n";
+      // Campaign-wide counter totals over every unique scenario (cache
+      // hits included — the store round-trips the snapshot).
+      {
+        std::map<std::string, std::uint64_t> totals;
+        for (const ExperimentResult& r : results) {
+          for (const MetricPoint& m : r.metrics.points) {
+            if (m.kind == MetricKind::kCounter) {
+              totals[m.name] += static_cast<std::uint64_t>(m.value);
+            }
+          }
+        }
+        mf << "  \"metrics_totals\": {";
+        bool first = true;
+        for (const auto& [name, total] : totals) {
+          mf << (first ? "" : ", ") << "\"" << json_escape(name)
+             << "\": " << total;
+          first = false;
+        }
+        mf << "},\n";
+      }
+      mf << "  \"sweeps\": [\n";
       for (std::size_t s = 0; s < sweeps.size(); ++s) {
         const CampaignSweep& sweep = sweeps[s];
         mf << "    {\"name\": \"" << json_escape(sweep.name)
@@ -248,9 +373,9 @@ CampaignOutput run_campaign(const std::vector<CampaignSweep>& sweeps,
       mf.flush();
       if (opts.log) {
         if (mf) {
-          *opts.log << "campaign: wrote " << manifest << "\n";
+          *opts.log << "campaign: wrote " << manifest << std::endl;
         } else {
-          *opts.log << "campaign: failed to write " << manifest << "\n";
+          *opts.log << "campaign: failed to write " << manifest << std::endl;
         }
       }
     }

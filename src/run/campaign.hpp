@@ -11,12 +11,14 @@
 // counts, wall time and the build version.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "src/core/sweep.hpp"
+#include "src/obs/profile.hpp"
 #include "src/run/executor.hpp"
 
 namespace burst {
@@ -41,8 +43,15 @@ struct CampaignOptions {
   unsigned threads = 0;
   /// Where CSVs + manifest.json go; empty disables artifacts.
   std::string artifact_dir;
-  /// Progress / summary lines go here when set (e.g. &std::cerr).
+  /// Progress / summary lines go here when set (e.g. &std::cerr). Each
+  /// line is flushed as written so progress is visible on non-TTY
+  /// stdout/stderr (pipes, CI logs).
   std::ostream* log = nullptr;
+  /// Installs a per-task Profiler around every simulated scenario and
+  /// reports per-phase wall shares (dispatch/transport/queue/other) in
+  /// CampaignStats and the log summary. Costs two clock reads per
+  /// instrumented scope; leave off for benchmark-comparable timings.
+  bool profile = false;
 };
 
 struct CampaignStats {
@@ -59,6 +68,10 @@ struct CampaignStats {
   std::uint64_t peak_pending_max = 0;  // largest heap seen in any run
   double sim_wall_s = 0.0;           // summed per-run simulation wall time
   double events_per_sec = 0.0;       // sim_events / sim_wall_s
+
+  /// Per-phase self-time seconds summed over all simulated tasks, indexed
+  /// by ProfilePhase. All zero unless CampaignOptions::profile was set.
+  std::array<double, kProfilePhases> phase_seconds{};
 };
 
 struct CampaignOutput {

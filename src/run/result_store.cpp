@@ -198,6 +198,27 @@ std::string result_to_json(const ExperimentResult& r) {
     }
     os << "]}";
   }
+  os << "],\"metrics\":[";
+  for (std::size_t i = 0; i < r.metrics.points.size(); ++i) {
+    const MetricPoint& m = r.metrics.points[i];
+    if (i) os << ',';
+    os << "{\"name\":";
+    append_string(os, m.name);
+    os << ",\"kind\":" << static_cast<unsigned>(m.kind);
+    append_field(os, "value", m.value);
+    append_field(os, "sum", m.sum);
+    os << ",\"bounds\":[";
+    for (std::size_t j = 0; j < m.bounds.size(); ++j) {
+      if (j) os << ',';
+      append_double(os, m.bounds[j]);
+    }
+    os << "],\"buckets\":[";
+    for (std::size_t j = 0; j < m.buckets.size(); ++j) {
+      if (j) os << ',';
+      os << m.buckets[j];
+    }
+    os << "]}";
+  }
   os << "]}";
   return os.str();
 }
@@ -281,6 +302,62 @@ bool result_from_json(const std::string& json, ExperimentResult* out) {
     }
     if (!rd.consume(']') || !rd.consume('}')) return false;
     r.cwnd_traces.push_back(std::move(trace));
+  }
+  if (!rd.consume(']')) return false;
+
+  // metrics snapshot (v3). Every point carries all fields; counters and
+  // gauges just have empty bounds/buckets.
+  rd.consume(',');
+  if (!rd.read_string(&key) || key != "metrics" || !rd.consume(':') ||
+      !rd.consume('[')) {
+    return false;
+  }
+  while (!rd.peek(']')) {
+    if (!r.metrics.points.empty() && !rd.consume(',')) return false;
+    if (!rd.consume('{')) return false;
+    MetricPoint m;
+    if (!rd.read_string(&key) || key != "name" || !rd.consume(':') ||
+        !rd.read_string(&m.name)) {
+      return false;
+    }
+    std::uint64_t kind = 0;
+    if (!read_u64_field(rd, "kind", &kind) || kind > 2) return false;
+    m.kind = static_cast<MetricKind>(kind);
+    if (!read_double_field(rd, "value", &m.value)) return false;
+    if (!read_double_field(rd, "sum", &m.sum)) return false;
+    rd.consume(',');
+    if (!rd.read_string(&key) || key != "bounds" || !rd.consume(':') ||
+        !rd.consume('[')) {
+      return false;
+    }
+    bool first = true;
+    while (!rd.peek(']')) {
+      if (!first && !rd.consume(',')) return false;
+      first = false;
+      std::string tok;
+      double v = 0;
+      if (!rd.read_number_token(&tok) || !token_to_double(tok, &v)) {
+        return false;
+      }
+      m.bounds.push_back(v);
+    }
+    if (!rd.consume(']')) return false;
+    rd.consume(',');
+    if (!rd.read_string(&key) || key != "buckets" || !rd.consume(':') ||
+        !rd.consume('[')) {
+      return false;
+    }
+    first = true;
+    while (!rd.peek(']')) {
+      if (!first && !rd.consume(',')) return false;
+      first = false;
+      std::string tok;
+      std::uint64_t v = 0;
+      if (!rd.read_number_token(&tok) || !token_to_u64(tok, &v)) return false;
+      m.buckets.push_back(v);
+    }
+    if (!rd.consume(']') || !rd.consume('}')) return false;
+    r.metrics.points.push_back(std::move(m));
   }
   if (!rd.consume(']') || !rd.consume('}')) return false;
   rd.skip_ws();

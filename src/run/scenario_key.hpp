@@ -22,7 +22,9 @@ namespace burst {
 /// v2: RED drop-probability off-by-one and c.o.v. bin-boundary fixes
 ///     changed metric values; sim_events/peak_pending joined the
 ///     serialized result. v1 entries are stale on all three counts.
-inline constexpr std::uint32_t kResultSchemaVersion = 2;
+/// v3: component metrics snapshot (counters + queue-occupancy histogram)
+///     joined the serialized result; v2 entries lack the field.
+inline constexpr std::uint32_t kResultSchemaVersion = 3;
 
 /// SplitMix64 finalizer: a cheap, well-mixed 64-bit permutation
 /// (Steele et al., "Fast splittable pseudorandom number generators").

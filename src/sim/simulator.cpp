@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "src/obs/profile.hpp"
+
 namespace burst {
 
 EventId Simulator::schedule(Time delay, SmallFn fn) {
@@ -29,6 +31,10 @@ EventId Simulator::schedule_at_reserved(Time at, Time tie_time,
 }
 
 void Simulator::run(Time until) {
+  // Everything inside the loop defaults to the dispatch phase; nested
+  // scopes (transport handlers, queue disciplines) claim their own self
+  // time. No-op unless a Profiler is installed on this thread.
+  ProfileScope prof(ProfilePhase::kDispatch);
   stopped_ = false;
   while (!stopped_ && !scheduler_.empty()) {
     const Time next = scheduler_.next_time();

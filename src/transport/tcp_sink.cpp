@@ -45,6 +45,17 @@ void TcpSink::send_ack() {
     if (run_lo >= 0) flush(run_lo, prev + 1);
   }
   ++stats_.acks_sent;
+  if (trace_) {
+    TraceRecord r;
+    r.time = sim_.now();
+    r.type = TraceEventType::kSinkAck;
+    r.site = trace_site_;
+    r.flow = flow();
+    r.seq = a.ack;
+    r.value = static_cast<double>(ooo_.size());  // holes above the ack
+    r.detail = kTraceDetailAck;
+    trace_->emit(r);
+  }
   transmit(a);
 }
 

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <set>
 
+#include "src/obs/trace.hpp"
 #include "src/sim/timer.hpp"
 #include "src/stats/running_stats.hpp"
 #include "src/transport/agent.hpp"
@@ -46,6 +47,13 @@ class TcpSink : public Agent {
   /// arrival; includes queueing at the gateway).
   const RunningStats& delay() const { return delay_; }
 
+  /// Attaches a structured-trace sink; every ACK sent is emitted as a
+  /// kSinkAck record (one null check per ACK when unset).
+  void set_trace(TraceSink* sink, std::uint8_t site = 0) {
+    trace_ = sink;
+    trace_site_ = site;
+  }
+
  private:
   void send_ack();
   void arm_or_flush_delack(const Packet& p);
@@ -67,6 +75,8 @@ class TcpSink : public Agent {
 
   TcpSinkStats stats_;
   RunningStats delay_;
+  TraceSink* trace_ = nullptr;
+  std::uint8_t trace_site_ = 0;
 };
 
 }  // namespace burst

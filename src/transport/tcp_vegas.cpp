@@ -44,6 +44,16 @@ void TcpVegas::per_rtt_decision(Time epoch_len) {
       set_cwnd(std::max(2.0, cwnd() - 1.0));
     }
   }
+  if (vegas_trace_) {
+    TraceRecord r;
+    r.time = now();
+    r.type = TraceEventType::kVegasDiff;
+    r.flow = flow();
+    r.seq = snd_una();
+    r.value = diff;
+    r.aux = cwnd();  // post-decision window
+    vegas_trace_->emit(r);
+  }
 }
 
 bool TcpVegas::una_expired() const {

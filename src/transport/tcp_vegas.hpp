@@ -29,6 +29,7 @@
 // window cut rather than 1/2.
 #pragma once
 
+#include "src/obs/trace.hpp"
 #include "src/transport/tcp_sender.hpp"
 
 namespace burst {
@@ -48,6 +49,10 @@ class TcpVegas : public TcpSender {
   bool in_slow_start() const { return in_ss_; }
   /// Last computed diff (queued-packet estimate), for tests/analysis.
   double last_diff() const { return last_diff_; }
+
+  /// If set, every per-RTT Diff decision is emitted as a kVegasDiff trace
+  /// record (value = diff, aux = cwnd after the decision).
+  void set_vegas_trace(TraceSink* sink) { vegas_trace_ = sink; }
 
   std::string_view cc_state() const override {
     return in_ss_ ? "vegas-ss" : "vegas-ca";
@@ -82,6 +87,7 @@ class TcpVegas : public TcpSender {
   // Head-of-window sequence already resent by the fine-grained check;
   // guards against retransmitting the same hole on both early dup ACKs.
   std::int64_t last_fine_rexmit_ = -1;
+  TraceSink* vegas_trace_ = nullptr;
 };
 
 }  // namespace burst

@@ -99,6 +99,52 @@ TEST(FlowMonitor, LosslessHasNoEvents) {
   EXPECT_DOUBLE_EQ(m.mean_flows_hit(), 0.0);
 }
 
+TEST(FlowMonitor, MultiQueueAttachClustersDropsJointly) {
+  DropTailQueue q1(1), q2(1);
+  FlowMonitor m(/*event_gap=*/0.5);
+  m.attach(q1);
+  m.attach(q2);
+  q1.enqueue(data(0), 0.0);  // fills hop 1
+  q2.enqueue(data(0), 0.0);  // fills hop 2
+  // Drops at both hops inside one gap form ONE joint congestion event —
+  // flows don't care which hop dropped them.
+  q1.enqueue(data(1), 1.00);
+  q2.enqueue(data(2), 1.01);
+  EXPECT_EQ(m.drop_events(), 1u);
+  EXPECT_EQ(m.flows_hit_per_event()[0], 2);
+  // Arrivals and PASTA samples pool over both queues: 2 fills + 2 drops.
+  EXPECT_EQ(m.queue_at_arrival().count(), 4u);
+  EXPECT_EQ(m.flows().at(1).arrivals, 1u);
+  EXPECT_EQ(m.flows().at(2).drops, 1u);
+}
+
+TEST(FlowMonitor, EmitsCongestionEventRecords) {
+  DropTailQueue q(1);
+  TraceSink sink;
+  const std::uint8_t site = sink.register_site("queue:gateway");
+  FlowMonitor m(q, /*event_gap=*/0.5);
+  m.set_trace(&sink, site);
+  q.enqueue(data(0), 0.0);
+  q.enqueue(data(1), 1.00);
+  q.enqueue(data(2), 1.25);
+  q.enqueue(data(3), 5.0);  // new event; closes the first
+
+  // Reading the event list closes the still-open second cluster lazily.
+  ASSERT_EQ(m.drop_events(), 2u);
+  ASSERT_EQ(sink.emitted(), 2u);
+  const auto recs = sink.ordered();
+  EXPECT_EQ(recs[0].type, TraceEventType::kCongestionEvent);
+  EXPECT_EQ(recs[0].site, site);
+  EXPECT_DOUBLE_EQ(recs[0].time, 1.00);   // cluster start
+  EXPECT_DOUBLE_EQ(recs[0].value, 2.0);   // flows hit
+  EXPECT_DOUBLE_EQ(recs[0].aux, 0.25);    // duration
+  EXPECT_EQ(recs[0].seq, 2);              // drops in event
+  EXPECT_DOUBLE_EQ(recs[1].time, 5.0);
+  EXPECT_DOUBLE_EQ(recs[1].value, 1.0);
+  EXPECT_DOUBLE_EQ(recs[1].aux, 0.0);
+  EXPECT_EQ(recs[1].seq, 1);
+}
+
 TEST(FlowMonitor, LossFractionSpread) {
   DropTailQueue q(1);
   FlowMonitor m(q);

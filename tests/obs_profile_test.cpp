@@ -1,0 +1,103 @@
+#include "src/obs/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+namespace burst {
+namespace {
+
+// Burns wall time so the enclosing scope's self time is reliably nonzero
+// even on coarse clocks.
+void spin_for(std::chrono::microseconds d) {
+  const auto t0 = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() - t0 < d) {
+  }
+}
+
+TEST(Profiler, ScopesAreNoOpsWhenUninstalled) {
+  ASSERT_EQ(Profiler::current(), nullptr);
+  {
+    ProfileScope a(ProfilePhase::kDispatch);
+    ProfileScope b(ProfilePhase::kQueue);
+  }
+  EXPECT_EQ(Profiler::current(), nullptr);
+}
+
+TEST(Profiler, InstallReturnsPreviousAndRestores) {
+  Profiler outer, inner;
+  Profiler* prev = Profiler::install(&outer);
+  EXPECT_EQ(prev, nullptr);
+  EXPECT_EQ(Profiler::current(), &outer);
+  EXPECT_EQ(Profiler::install(&inner), &outer);
+  EXPECT_EQ(Profiler::current(), &inner);
+  Profiler::install(prev);
+  EXPECT_EQ(Profiler::current(), nullptr);
+}
+
+TEST(Profiler, NestedScopesAttributeSelfTime) {
+  Profiler prof;
+  Profiler* prev = Profiler::install(&prof);
+  {
+    ProfileScope dispatch(ProfilePhase::kDispatch);
+    spin_for(std::chrono::microseconds(500));
+    {
+      ProfileScope queue(ProfilePhase::kQueue);
+      spin_for(std::chrono::microseconds(500));
+    }
+    spin_for(std::chrono::microseconds(500));
+  }
+  Profiler::install(prev);
+
+  // Self-time attribution: the nested queue slice is NOT charged to
+  // dispatch, and both phases saw their own spin.
+  EXPECT_GE(prof.seconds(ProfilePhase::kDispatch), 900e-6);
+  EXPECT_GE(prof.seconds(ProfilePhase::kQueue), 400e-6);
+  EXPECT_GE(prof.total_seconds(), prof.seconds(ProfilePhase::kDispatch) +
+                                      prof.seconds(ProfilePhase::kQueue));
+}
+
+TEST(Profiler, AbsorbSumsPerPhaseTotals) {
+  Profiler a, b;
+  Profiler* prev = Profiler::install(&a);
+  {
+    ProfileScope s(ProfilePhase::kTransport);
+    spin_for(std::chrono::microseconds(300));
+  }
+  Profiler::install(&b);
+  {
+    ProfileScope s(ProfilePhase::kTransport);
+    spin_for(std::chrono::microseconds(300));
+  }
+  Profiler::install(prev);
+
+  const double ta = a.seconds(ProfilePhase::kTransport);
+  const double tb = b.seconds(ProfilePhase::kTransport);
+  a.absorb(b);
+  EXPECT_DOUBLE_EQ(a.seconds(ProfilePhase::kTransport), ta + tb);
+  EXPECT_GE(ta, 250e-6);
+  EXPECT_GE(tb, 250e-6);
+}
+
+TEST(Profiler, ResetClearsTotals) {
+  Profiler prof;
+  Profiler* prev = Profiler::install(&prof);
+  {
+    ProfileScope s(ProfilePhase::kQueue);
+    spin_for(std::chrono::microseconds(200));
+  }
+  Profiler::install(prev);
+  EXPECT_GT(prof.total_seconds(), 0.0);
+  prof.reset();
+  EXPECT_DOUBLE_EQ(prof.total_seconds(), 0.0);
+}
+
+TEST(ProfilePhase, NamesAreStable) {
+  EXPECT_EQ(to_string(ProfilePhase::kOther), "other");
+  EXPECT_EQ(to_string(ProfilePhase::kDispatch), "dispatch");
+  EXPECT_EQ(to_string(ProfilePhase::kTransport), "transport");
+  EXPECT_EQ(to_string(ProfilePhase::kQueue), "queue");
+}
+
+}  // namespace
+}  // namespace burst

@@ -29,6 +29,8 @@ options:
   --duration=SECS   simulated seconds per run     (default: paper's 20)
   --seed=N          base RNG seed                 (default: 1)
   --only=NAME[,..]  run a subset of the figures, e.g. --only=fig02_cov
+  --profile         attribute simulation wall time to hot-path phases
+                    (dispatch/transport/queue) and print the breakdown
   --list            print the figure set and exit
   --print           print each figure's table to stdout (default: summary only)
   --quiet           suppress progress lines
@@ -54,6 +56,7 @@ int main(int argc, char** argv) {
   bool list = false;
   bool print_tables = false;
   bool quiet = false;
+  bool profile = false;
   unsigned threads = 0;
   std::string only;
   Scenario base = Scenario::paper_default();
@@ -76,6 +79,8 @@ int main(int argc, char** argv) {
       print_tables = true;
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--profile") {
+      profile = true;
     } else if (parse_flag(arg, "--out", &value)) {
       out_dir = value;
     } else if (parse_flag(arg, "--cache-dir", &value)) {
@@ -133,6 +138,7 @@ int main(int argc, char** argv) {
   opts.threads = threads;
   opts.artifact_dir = out_dir;
   opts.log = quiet ? nullptr : &std::cerr;
+  opts.profile = profile;
 
   const CampaignOutput out = run_campaign(sweeps, opts);
 
@@ -146,18 +152,29 @@ int main(int argc, char** argv) {
   }
 
   const CampaignStats& st = out.stats;
-  print_table(std::cout, {"campaign", "value"},
-              {
-                  {"figure sweeps", std::to_string(sweeps.size())},
-                  {"planned points", std::to_string(st.planned)},
-                  {"unique scenarios", std::to_string(st.unique)},
-                  {"cache hits", std::to_string(st.cache_hits)},
-                  {"simulated", std::to_string(st.simulated)},
-                  {"stale/corrupt cache entries",
-                   std::to_string(st.store_skipped)},
-                  {"wall time (s)", fmt(st.wall_s, 2)},
-                  {"artifacts", out_dir},
-                  {"cache", no_cache ? std::string("disabled") : cache_dir},
-              });
+  std::vector<std::vector<std::string>> rows = {
+      {"figure sweeps", std::to_string(sweeps.size())},
+      {"planned points", std::to_string(st.planned)},
+      {"unique scenarios", std::to_string(st.unique)},
+      {"cache hits", std::to_string(st.cache_hits)},
+      {"simulated", std::to_string(st.simulated)},
+      {"stale/corrupt cache entries", std::to_string(st.store_skipped)},
+      {"wall time (s)", fmt(st.wall_s, 2)},
+      {"artifacts", out_dir},
+      {"cache", no_cache ? std::string("disabled") : cache_dir},
+  };
+  if (profile) {
+    double total = 0.0;
+    for (const double s : st.phase_seconds) total += s;
+    for (std::size_t ph = 0; ph < kProfilePhases; ++ph) {
+      const double s = st.phase_seconds[ph];
+      rows.push_back(
+          {"phase " + std::string(to_string(static_cast<ProfilePhase>(ph))),
+           fmt(s, 2) + " s (" +
+               fmt(total > 0.0 ? 100.0 * s / total : 0.0, 1) + " %)"});
+    }
+  }
+  print_table(std::cout, {"campaign", "value"}, rows);
+  std::cout.flush();
   return 0;
 }

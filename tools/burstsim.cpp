@@ -1,14 +1,40 @@
 // burstsim: command-line driver for single experiments. See --help.
+#include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "src/core/cli.hpp"
 #include "src/core/report.hpp"
+#include "src/obs/trace.hpp"
+
+namespace {
+
+// Writes one export of the structured trace; returns success.
+bool write_trace_file(const burst::TraceSink& sink, const std::string& path,
+                      bool perfetto) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::cerr << "burstsim: could not open " << path << "\n";
+    return false;
+  }
+  const bool ok = perfetto ? sink.write_chrome_trace(out)
+                           : sink.write_jsonl(out);
+  out.flush();
+  if (!ok || !out) {
+    std::cerr << "burstsim: short write to " << path << "\n";
+    return false;
+  }
+  std::cout << "wrote " << path << "\n";
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace burst;
 
   CliError error;
-  const auto request = parse_cli({argv + 1, argv + argc}, &error);
+  auto request = parse_cli({argv + 1, argv + argc}, &error);
   if (!request) {
     std::cerr << "burstsim: " << error.message << "\n\n" << cli_usage();
     return 2;
@@ -16,6 +42,12 @@ int main(int argc, char** argv) {
   if (request->show_help) {
     std::cout << cli_usage();
     return 0;
+  }
+
+  std::unique_ptr<TraceSink> trace;
+  if (!request->trace_path.empty()) {
+    trace = std::make_unique<TraceSink>();
+    request->options.trace = trace.get();
   }
 
   const Scenario& sc = request->scenario;
@@ -57,6 +89,15 @@ int main(int argc, char** argv) {
       std::cout << "wrote " << path << "\n";
     }
     if (!csv_ok) return 1;
+  }
+  if (trace) {
+    std::cout << "trace: " << trace->emitted() << " records emitted, "
+              << trace->dropped() << " overwritten (ring capacity)\n";
+    if (!write_trace_file(*trace, request->trace_path + ".jsonl", false) ||
+        !write_trace_file(*trace, request->trace_path + ".perfetto.json",
+                          true)) {
+      return 1;
+    }
   }
   return 0;
 }
