@@ -15,6 +15,11 @@ import pathlib
 import sys
 
 
+# Columns that identify a row rather than measure it: never plotted even
+# when numeric (a seed is a number, not a series).
+IDENTITY_COLUMNS = {"scenario", "label", "key", "seed"}
+
+
 def numeric_columns(header, data):
     """Indices of columns where every non-empty cell parses as a float.
 
@@ -25,6 +30,8 @@ def numeric_columns(header, data):
     """
     cols = []
     for col in range(len(header)):
+        if header[col] in IDENTITY_COLUMNS:
+            continue
         cells = [r[col] for r in data if col < len(r) and r[col] != ""]
         if not cells:
             continue
@@ -35,6 +42,24 @@ def numeric_columns(header, data):
             continue
         cols.append(col)
     return cols
+
+
+def scenario_groups(header, data):
+    """Rows grouped by the `scenario` column, insertion-ordered.
+
+    Topology campaigns (`burstcamp --campaign=...`) mix rows from several
+    .topo files in one CSV; each scenario becomes its own plotted series.
+    Returns [(name, rows)]; a single ("", all-rows) group when there is no
+    scenario column.
+    """
+    if "scenario" not in header:
+        return [("", data)]
+    col = header.index("scenario")
+    groups = {}
+    for row in data:
+        name = row[col] if col < len(row) else ""
+        groups.setdefault(name, []).append(row)
+    return list(groups.items())
 
 
 def plot_file(path: pathlib.Path, out: pathlib.Path) -> bool:
@@ -59,11 +84,13 @@ def plot_file(path: pathlib.Path, out: pathlib.Path) -> bool:
               file=sys.stderr)
         return False
     xcol, ycols = cols[0], cols[1:]
-    xs = [float(r[xcol]) for r in data]
     fig, ax = plt.subplots(figsize=(7, 4.5))
-    for col in ycols:
-        ax.plot(xs, [float(r[col]) for r in data], marker="o", ms=3,
-                label=header[col])
+    for name, group in scenario_groups(header, data):
+        xs = [float(r[xcol]) for r in group]
+        for col in ycols:
+            label = f"{name}: {header[col]}" if name else header[col]
+            ax.plot(xs, [float(r[col]) for r in group], marker="o", ms=3,
+                    label=label)
     ax.set_xlabel(header[xcol] if header[xcol] else "number of clients")
     ax.set_ylabel(path.stem.replace("_", " "))
     ax.legend(fontsize=8)

@@ -2,290 +2,11 @@
 
 #include <cassert>
 
-#include "src/net/drop_tail_queue.hpp"
-#include "src/net/drr_queue.hpp"
-#include "src/net/red_queue.hpp"
-#include "src/transport/tcp_newreno.hpp"
-#include "src/transport/tcp_reno.hpp"
-#include "src/transport/tcp_sack.hpp"
-#include "src/transport/tcp_tahoe.hpp"
-#include "src/transport/tcp_vegas.hpp"
-
 namespace burst {
 
-namespace {
-
-std::unique_ptr<Queue> make_gateway_queue(const Scenario& sc, Random rng) {
-  switch (sc.gateway) {
-    case GatewayQueue::kRed:
-      return std::make_unique<RedQueue>(sc.red_config(), rng);
-    case GatewayQueue::kDrr:
-      return std::make_unique<DrrQueue>(sc.drr_config());
-    case GatewayQueue::kDropTail:
-      break;
-  }
-  return std::make_unique<DropTailQueue>(sc.gateway_buffer);
-}
-
-TcpConfig make_tcp_config(const Scenario& sc) {
-  TcpConfig cfg;
-  cfg.payload_bytes = sc.payload_bytes;
-  cfg.advertised_window = sc.advertised_window;
-  cfg.rto = sc.rto;
-  cfg.ecn = sc.ecn;
-  cfg.limited_transmit = sc.limited_transmit;
-  cfg.cwnd_validation = sc.cwnd_validation;
-  return cfg;
-}
-
-}  // namespace
-
 Dumbbell::Dumbbell(Simulator& sim, const Scenario& scenario)
-    : sim_(sim), scenario_(scenario) {
-  const int n = scenario_.num_clients;
-  assert(n >= 1);
-  const NodeId gw = n;
-  const NodeId srv = n + 1;
-
-  for (NodeId id = 0; id < srv + 1; ++id) {
-    nodes_.push_back(std::make_unique<Node>(id));
-  }
-  Node& gateway_node = *nodes_[static_cast<std::size_t>(gw)];
-  Node& server_node = *nodes_[static_cast<std::size_t>(srv)];
-
-  auto add_link = [&](Node& to, std::unique_ptr<Queue> q, double bw,
-                      Time delay) -> SimplexLink* {
-    links_.push_back(
-        std::make_unique<SimplexLink>(sim_, std::move(q), bw, delay));
-    SimplexLink* link = links_.back().get();
-    link->set_receiver([&to](const Packet& p) { to.receive(p); });
-    return link;
-  };
-
-  // Bottleneck: gateway -> server, carrying all data traffic.
-  bottleneck_ =
-      add_link(server_node, make_gateway_queue(scenario_, sim_.rng().fork()),
-               scenario_.bottleneck_bw_bps, scenario_.bottleneck_delay);
-  gateway_node.add_route(srv, bottleneck_);
-
-  // Reverse path: server -> gateway (ACKs; never congested by design).
-  SimplexLink* srv_to_gw = add_link(
-      gateway_node,
-      std::make_unique<DropTailQueue>(scenario_.client_queue_buffer),
-      scenario_.bottleneck_bw_bps, scenario_.bottleneck_delay);
-  server_node.add_route(Node::kDefaultRoute, srv_to_gw);
-
-  for (int i = 0; i < n; ++i) {
-    Node& client_node = *nodes_[static_cast<std::size_t>(i)];
-    const Time delay = scenario_.client_delay_for(i);
-    // Client -> gateway (data direction).
-    SimplexLink* up = add_link(
-        gateway_node,
-        std::make_unique<DropTailQueue>(scenario_.client_queue_buffer),
-        scenario_.client_bw_bps, delay);
-    client_node.add_route(Node::kDefaultRoute, up);
-    // Gateway -> client (ACK direction).
-    SimplexLink* down = add_link(
-        client_node,
-        std::make_unique<DropTailQueue>(scenario_.client_queue_buffer),
-        scenario_.client_bw_bps, delay);
-    gateway_node.add_route(i, down);
-  }
-
-  // Transport agents and Poisson sources.
-  const TcpConfig tcp_cfg = make_tcp_config(scenario_);
-  for (int i = 0; i < n; ++i) {
-    Node& client_node = *nodes_[static_cast<std::size_t>(i)];
-    const FlowId flow = i;
-    switch (scenario_.transport) {
-      case Transport::kUdp:
-        senders_.push_back(std::make_unique<UdpSender>(
-            sim_, client_node, flow, srv, scenario_.payload_bytes));
-        sinks_.push_back(std::make_unique<UdpSink>(sim_, server_node, flow, i));
-        break;
-      case Transport::kTahoe:
-        senders_.push_back(
-            std::make_unique<TcpTahoe>(sim_, client_node, flow, srv, tcp_cfg));
-        break;
-      case Transport::kReno:
-        senders_.push_back(
-            std::make_unique<TcpReno>(sim_, client_node, flow, srv, tcp_cfg));
-        break;
-      case Transport::kNewReno:
-        senders_.push_back(std::make_unique<TcpNewReno>(sim_, client_node, flow,
-                                                        srv, tcp_cfg));
-        break;
-      case Transport::kVegas:
-        senders_.push_back(std::make_unique<TcpVegas>(
-            sim_, client_node, flow, srv, tcp_cfg, scenario_.vegas));
-        break;
-      case Transport::kSack:
-        senders_.push_back(
-            std::make_unique<TcpSack>(sim_, client_node, flow, srv, tcp_cfg));
-        break;
-    }
-    if (scenario_.transport != Transport::kUdp) {
-      TcpSinkConfig sink_cfg;
-      sink_cfg.delayed_ack = scenario_.delayed_ack;
-      sink_cfg.sack = scenario_.transport == Transport::kSack;
-      sinks_.push_back(
-          std::make_unique<TcpSink>(sim_, server_node, flow, i, sink_cfg));
-    }
-    sources_.push_back(std::make_unique<PoissonSource>(
-        sim_, *senders_.back(), scenario_.mean_interarrival,
-        sim_.rng().fork()));
-  }
-}
-
-void Dumbbell::start_sources() {
-  for (auto& s : sources_) s->start();
-}
-
-void Dumbbell::attach_trace(TraceSink& sink) {
-  const std::uint8_t queue_site = sink.register_site("queue:gateway");
-  const std::uint8_t link_site = sink.register_site("link:bottleneck");
-  const std::uint8_t sink_site = sink.register_site("sink:server");
-
-  bottleneck_->queue().set_trace(&sink, queue_site);
-  bottleneck_->set_trace(&sink, link_site);
-
-  for (auto& s : sinks_) {
-    if (auto* tcp = dynamic_cast<TcpSink*>(s.get())) {
-      tcp->set_trace(&sink, sink_site);
-    }
-  }
-  for (std::size_t i = 0; i < sources_.size(); ++i) {
-    sources_[i]->set_trace(&sink, static_cast<std::int32_t>(i));
-  }
-  for (auto& a : senders_) {
-    auto* tcp = dynamic_cast<TcpSender*>(a.get());
-    if (!tcp) continue;
-    tracers_.push_back(std::make_unique<TransportTracer>(sink, *tcp));
-    tcp->set_observer(tracers_.back().get());
-    if (auto* vegas = dynamic_cast<TcpVegas*>(tcp)) {
-      vegas->set_vegas_trace(&sink);
-    }
-  }
-
-  // Joint drop clustering at the bottleneck -> kCongestionEvent stream.
-  monitor_ = std::make_unique<FlowMonitor>();
-  monitor_->attach(bottleneck_->queue());
-  monitor_->set_trace(&sink, queue_site);
-}
-
-void Dumbbell::register_metrics(MetricsRegistry& registry) const {
-  const QueueStats& qs = bottleneck_->queue().stats();
-  registry.add_counter("queue.gateway.arrivals", qs.arrivals);
-  registry.add_counter("queue.gateway.drops", qs.drops);
-  registry.add_counter("queue.gateway.forced_drops", qs.forced_drops);
-  registry.add_counter("queue.gateway.early_drops", qs.early_drops);
-  registry.add_counter("queue.gateway.departures", qs.departures);
-  registry.add_counter("link.bottleneck.delivered", bottleneck_->delivered());
-  registry.add_counter("link.bottleneck.bytes_delivered",
-                       bottleneck_->bytes_delivered());
-
-  TcpSenderStats tx;
-  for (const auto& a : senders_) {
-    if (const auto* tcp = dynamic_cast<const TcpSender*>(a.get())) {
-      const TcpSenderStats& st = tcp->stats();
-      tx.app_packets += st.app_packets;
-      tx.data_pkts_sent += st.data_pkts_sent;
-      tx.retransmits += st.retransmits;
-      tx.timeouts += st.timeouts;
-      tx.fast_retransmits += st.fast_retransmits;
-      tx.dupacks += st.dupacks;
-      tx.new_acks += st.new_acks;
-      tx.rtt_samples += st.rtt_samples;
-    }
-  }
-  registry.add_counter("tcp.app_packets", tx.app_packets);
-  registry.add_counter("tcp.data_pkts_sent", tx.data_pkts_sent);
-  registry.add_counter("tcp.retransmits", tx.retransmits);
-  registry.add_counter("tcp.timeouts", tx.timeouts);
-  registry.add_counter("tcp.fast_retransmits", tx.fast_retransmits);
-  registry.add_counter("tcp.dupacks", tx.dupacks);
-  registry.add_counter("tcp.new_acks", tx.new_acks);
-  registry.add_counter("tcp.rtt_samples", tx.rtt_samples);
-
-  TcpSinkStats rx;
-  for (const auto& s : sinks_) {
-    if (const auto* tcp = dynamic_cast<const TcpSink*>(s.get())) {
-      const TcpSinkStats& st = tcp->stats();
-      rx.data_arrivals += st.data_arrivals;
-      rx.unique_packets += st.unique_packets;
-      rx.duplicate_packets += st.duplicate_packets;
-      rx.out_of_order += st.out_of_order;
-      rx.acks_sent += st.acks_sent;
-      rx.dup_acks_sent += st.dup_acks_sent;
-    }
-  }
-  registry.add_counter("sink.data_arrivals", rx.data_arrivals);
-  registry.add_counter("sink.unique_packets", rx.unique_packets);
-  registry.add_counter("sink.duplicate_packets", rx.duplicate_packets);
-  registry.add_counter("sink.out_of_order", rx.out_of_order);
-  registry.add_counter("sink.acks_sent", rx.acks_sent);
-  registry.add_counter("sink.dup_acks_sent", rx.dup_acks_sent);
-}
-
-TcpSender* Dumbbell::tcp_sender(int i) {
-  return dynamic_cast<TcpSender*>(senders_.at(static_cast<std::size_t>(i)).get());
-}
-
-TcpSink* Dumbbell::tcp_sink(int i) {
-  return dynamic_cast<TcpSink*>(sinks_.at(static_cast<std::size_t>(i)).get());
-}
-
-UdpSink* Dumbbell::udp_sink(int i) {
-  return dynamic_cast<UdpSink*>(sinks_.at(static_cast<std::size_t>(i)).get());
-}
-
-std::uint64_t Dumbbell::total_generated() const {
-  std::uint64_t total = 0;
-  for (const auto& s : sources_) total += s->generated();
-  return total;
-}
-
-std::uint64_t Dumbbell::total_delivered() const {
-  std::uint64_t total = 0;
-  for (const auto& s : sinks_) {
-    if (const auto* tcp = dynamic_cast<const TcpSink*>(s.get())) {
-      total += static_cast<std::uint64_t>(tcp->rcv_nxt());
-    } else if (const auto* udp = dynamic_cast<const UdpSink*>(s.get())) {
-      total += udp->packets_received();
-    }
-  }
-  return total;
-}
-
-std::vector<double> Dumbbell::per_flow_delivered() const {
-  std::vector<double> out;
-  out.reserve(sinks_.size());
-  for (const auto& s : sinks_) {
-    if (const auto* tcp = dynamic_cast<const TcpSink*>(s.get())) {
-      out.push_back(static_cast<double>(tcp->rcv_nxt()));
-    } else if (const auto* udp = dynamic_cast<const UdpSink*>(s.get())) {
-      out.push_back(static_cast<double>(udp->packets_received()));
-    }
-  }
-  return out;
-}
-
-RunningStats Dumbbell::pooled_delay() const {
-  RunningStats out;
-  for (const auto& s : sinks_) {
-    if (const auto* tcp = dynamic_cast<const TcpSink*>(s.get())) {
-      out.merge(tcp->delay());
-    } else if (const auto* udp = dynamic_cast<const UdpSink*>(s.get())) {
-      out.merge(udp->delay());
-    }
-  }
-  return out;
-}
-
-std::uint64_t Dumbbell::routing_errors() const {
-  std::uint64_t total = 0;
-  for (const auto& n : nodes_) total += n->routing_errors();
-  return total;
+    : scenario_(scenario), net_(sim, make_dumbbell_spec(scenario)) {
+  assert(scenario_.num_clients >= 1);
 }
 
 }  // namespace burst

@@ -6,18 +6,19 @@
 //   clients 0..N-1  --(mu_c, tau_c)-->  gateway  --(mu_s, tau_s)-->  server
 //
 // Node ids: client i = i, gateway = N, server = N+1. Flow id = client idx.
+//
+// Since the topology subsystem landed this is a thin facade over TopoNet
+// building make_dumbbell_spec(scenario) — the historical accessor surface
+// and metric/trace names are preserved verbatim (identity tests pin them).
 #pragma once
-
-#include <memory>
-#include <vector>
 
 #include "src/app/poisson_source.hpp"
 #include "src/core/scenario.hpp"
 #include "src/net/flow_monitor.hpp"
 #include "src/net/node.hpp"
 #include "src/obs/metrics.hpp"
-#include "src/obs/transport_trace.hpp"
 #include "src/sim/simulator.hpp"
+#include "src/topo/builder.hpp"
 #include "src/transport/tcp_sender.hpp"
 #include "src/transport/tcp_sink.hpp"
 #include "src/transport/udp.hpp"
@@ -29,12 +30,12 @@ class Dumbbell {
   Dumbbell(Simulator& sim, const Scenario& scenario);
 
   /// Starts every client's Poisson source.
-  void start_sources();
+  void start_sources() { net_.start_sources(); }
 
   /// The gateway->server queue under study (tap this for c.o.v.).
-  Queue& bottleneck_queue() { return bottleneck_->queue(); }
-  SimplexLink& bottleneck_link() { return *bottleneck_; }
-  const SimplexLink& bottleneck_link() const { return *bottleneck_; }
+  Queue& bottleneck_queue() { return net_.measured_queue(); }
+  SimplexLink& bottleneck_link() { return net_.measured_link(); }
+  const SimplexLink& bottleneck_link() const { return net_.measured_link(); }
 
   /// Wires every observable component into @p sink: the bottleneck queue
   /// and link, each TCP sink, each Poisson source, a TransportTracer per
@@ -43,57 +44,54 @@ class Dumbbell {
   /// drops into kCongestionEvent records. @p sink must outlive the run.
   /// Idempotent per Dumbbell only in the sense that calling it twice
   /// double-registers — call exactly once.
-  void attach_trace(TraceSink& sink);
+  void attach_trace(TraceSink& sink) {
+    net_.attach_trace(sink,
+                      {"queue:gateway", "link:bottleneck", "sink:server"});
+  }
 
   /// Registers the run's component counters (bottleneck queue/link,
   /// aggregate TCP sender and sink stats) into @p registry. Counter
   /// values are captured at the call, so call after run() for totals.
-  void register_metrics(MetricsRegistry& registry) const;
+  void register_metrics(MetricsRegistry& registry) const {
+    net_.register_metrics(registry, {"queue.gateway", "link.bottleneck"});
+  }
 
   /// The drop-cluster monitor created by attach_trace() (null before).
-  const FlowMonitor* congestion_monitor() const { return monitor_.get(); }
+  const FlowMonitor* congestion_monitor() const {
+    return net_.congestion_monitor();
+  }
 
   int num_clients() const { return scenario_.num_clients; }
 
   /// Sender agent of client @p i; null-safe typed accessors below.
-  Agent& sender(int i) { return *senders_.at(static_cast<std::size_t>(i)); }
+  Agent& sender(int i) { return net_.sender(i); }
   /// TCP sender of client @p i, or nullptr when transport is UDP.
-  TcpSender* tcp_sender(int i);
+  TcpSender* tcp_sender(int i) { return net_.tcp_sender(i); }
   /// TCP sink of client @p i's flow, or nullptr when transport is UDP.
-  TcpSink* tcp_sink(int i);
-  UdpSink* udp_sink(int i);
-  PoissonSource& source(int i) {
-    return *sources_.at(static_cast<std::size_t>(i));
-  }
+  TcpSink* tcp_sink(int i) { return net_.tcp_sink(i); }
+  UdpSink* udp_sink(int i) { return net_.udp_sink(i); }
+  PoissonSource& source(int i) { return net_.source(i); }
 
-  Node& gateway() { return *nodes_.at(static_cast<std::size_t>(num_clients())); }
-  Node& server() { return *nodes_.at(static_cast<std::size_t>(num_clients()) + 1); }
-  Node& client(int i) { return *nodes_.at(static_cast<std::size_t>(i)); }
+  Node& gateway() { return net_.node(num_clients()); }
+  Node& server() { return net_.node(num_clients() + 1); }
+  Node& client(int i) { return net_.node(i); }
 
   /// Application packets generated across all clients.
-  std::uint64_t total_generated() const;
+  std::uint64_t total_generated() const { return net_.total_generated(); }
   /// Unique packets delivered in order to the server across all flows.
-  std::uint64_t total_delivered() const;
+  std::uint64_t total_delivered() const { return net_.total_delivered(); }
   /// Per-flow delivered counts (fairness analysis).
-  std::vector<double> per_flow_delivered() const;
+  std::vector<double> per_flow_delivered() const {
+    return net_.per_flow_delivered();
+  }
   /// One-way data-path delay pooled across all sinks.
-  RunningStats pooled_delay() const;
+  RunningStats pooled_delay() const { return net_.pooled_delay(); }
   /// Sum of routing errors across all nodes (must stay 0; tests assert).
-  std::uint64_t routing_errors() const;
+  std::uint64_t routing_errors() const { return net_.routing_errors(); }
 
  private:
-  Simulator& sim_;
   Scenario scenario_;
-  std::vector<std::unique_ptr<Node>> nodes_;
-  std::vector<std::unique_ptr<SimplexLink>> links_;
-  SimplexLink* bottleneck_ = nullptr;
-  std::vector<std::unique_ptr<Agent>> senders_;
-  std::vector<std::unique_ptr<Agent>> sinks_;
-  std::vector<std::unique_ptr<PoissonSource>> sources_;
-
-  // Created by attach_trace(); must outlive the senders' observer use.
-  std::vector<std::unique_ptr<TransportTracer>> tracers_;
-  std::unique_ptr<FlowMonitor> monitor_;
+  TopoNet net_;
 };
 
 }  // namespace burst

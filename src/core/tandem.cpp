@@ -1,144 +1,9 @@
 #include "src/core/tandem.hpp"
 
-#include "src/net/drop_tail_queue.hpp"
-#include "src/net/red_queue.hpp"
-#include "src/transport/tcp_newreno.hpp"
-#include "src/transport/tcp_reno.hpp"
-#include "src/transport/tcp_sack.hpp"
-#include "src/transport/tcp_tahoe.hpp"
-#include "src/transport/tcp_vegas.hpp"
-
 namespace burst {
 
 Tandem::Tandem(Simulator& sim, const TandemConfig& cfg)
-    : sim_(sim), cfg_(cfg) {
-  const Scenario& sc = cfg_.base;
-  const int n = sc.num_clients;
-  const NodeId g1 = n, g2 = n + 1, srv = n + 2;
-  for (NodeId id = 0; id <= srv; ++id) {
-    nodes_.push_back(std::make_unique<Node>(id));
-  }
-  Node& gw1 = *nodes_[static_cast<std::size_t>(g1)];
-  Node& gw2 = *nodes_[static_cast<std::size_t>(g2)];
-  Node& server = *nodes_[static_cast<std::size_t>(srv)];
-
-  auto add_link = [&](Node& to, std::unique_ptr<Queue> q, double bw,
-                      Time delay) -> SimplexLink* {
-    links_.push_back(
-        std::make_unique<SimplexLink>(sim_, std::move(q), bw, delay));
-    SimplexLink* link = links_.back().get();
-    link->set_receiver([&to](const Packet& p) { to.receive(p); });
-    return link;
-  };
-  auto gateway_queue = [&](double bw) -> std::unique_ptr<Queue> {
-    if (sc.gateway == GatewayQueue::kRed) {
-      RedConfig red = sc.red_config();
-      red.mean_pkt_tx_time = transmission_time(sc.wire_bytes(), bw);
-      return std::make_unique<RedQueue>(red, sim_.rng().fork());
-    }
-    return std::make_unique<DropTailQueue>(sc.gateway_buffer);
-  };
-
-  // Forward path: g1 -> g2 -> server, two bottlenecks in series.
-  hop1_ = add_link(gw2, gateway_queue(sc.bottleneck_bw_bps),
-                   sc.bottleneck_bw_bps, sc.bottleneck_delay);
-  gw1.add_route(srv, hop1_);
-  const double bw2 = sc.bottleneck_bw_bps * cfg_.second_hop_ratio;
-  hop2_ = add_link(server, gateway_queue(bw2), bw2, sc.bottleneck_delay);
-  gw2.add_route(srv, hop2_);
-
-  // Reverse path: server -> g2 -> g1 (ACKs; uncongested).
-  SimplexLink* srv_g2 = add_link(
-      gw2, std::make_unique<DropTailQueue>(sc.client_queue_buffer), bw2,
-      sc.bottleneck_delay);
-  server.add_route(Node::kDefaultRoute, srv_g2);
-  SimplexLink* g2_g1 = add_link(
-      gw1, std::make_unique<DropTailQueue>(sc.client_queue_buffer),
-      sc.bottleneck_bw_bps, sc.bottleneck_delay);
-  gw2.add_route(Node::kDefaultRoute, g2_g1);
-
-  TcpConfig tcp_cfg;
-  tcp_cfg.payload_bytes = sc.payload_bytes;
-  tcp_cfg.advertised_window = sc.advertised_window;
-  tcp_cfg.rto = sc.rto;
-  tcp_cfg.ecn = sc.ecn;
-  tcp_cfg.limited_transmit = sc.limited_transmit;
-  tcp_cfg.cwnd_validation = sc.cwnd_validation;
-
-  for (int i = 0; i < n; ++i) {
-    Node& client = *nodes_[static_cast<std::size_t>(i)];
-    SimplexLink* up = add_link(
-        gw1, std::make_unique<DropTailQueue>(sc.client_queue_buffer),
-        sc.client_bw_bps, sc.client_delay_for(i));
-    client.add_route(Node::kDefaultRoute, up);
-    SimplexLink* down = add_link(
-        client, std::make_unique<DropTailQueue>(sc.client_queue_buffer),
-        sc.client_bw_bps, sc.client_delay_for(i));
-    gw1.add_route(i, down);
-
-    switch (sc.transport) {
-      case Transport::kUdp:
-        senders_.push_back(std::make_unique<UdpSender>(sim_, client, i, srv,
-                                                       sc.payload_bytes));
-        sinks_.push_back(std::make_unique<UdpSink>(sim_, server, i, i));
-        break;
-      case Transport::kTahoe:
-        senders_.push_back(
-            std::make_unique<TcpTahoe>(sim_, client, i, srv, tcp_cfg));
-        break;
-      case Transport::kReno:
-        senders_.push_back(
-            std::make_unique<TcpReno>(sim_, client, i, srv, tcp_cfg));
-        break;
-      case Transport::kNewReno:
-        senders_.push_back(
-            std::make_unique<TcpNewReno>(sim_, client, i, srv, tcp_cfg));
-        break;
-      case Transport::kVegas:
-        senders_.push_back(std::make_unique<TcpVegas>(sim_, client, i, srv,
-                                                      tcp_cfg, sc.vegas));
-        break;
-      case Transport::kSack:
-        senders_.push_back(
-            std::make_unique<TcpSack>(sim_, client, i, srv, tcp_cfg));
-        break;
-    }
-    if (sc.transport != Transport::kUdp) {
-      TcpSinkConfig sink_cfg;
-      sink_cfg.delayed_ack = sc.delayed_ack;
-      sink_cfg.sack = sc.transport == Transport::kSack;
-      sinks_.push_back(
-          std::make_unique<TcpSink>(sim_, server, i, i, sink_cfg));
-    }
-    sources_.push_back(std::make_unique<PoissonSource>(
-        sim_, *senders_.back(), sc.mean_interarrival, sim_.rng().fork()));
-  }
-}
-
-void Tandem::start_sources() {
-  for (auto& s : sources_) s->start();
-}
-
-TcpSender* Tandem::tcp_sender(int i) {
-  return dynamic_cast<TcpSender*>(senders_.at(static_cast<std::size_t>(i)).get());
-}
-
-std::uint64_t Tandem::total_delivered() const {
-  std::uint64_t total = 0;
-  for (const auto& s : sinks_) {
-    if (const auto* tcp = dynamic_cast<const TcpSink*>(s.get())) {
-      total += static_cast<std::uint64_t>(tcp->rcv_nxt());
-    } else if (const auto* udp = dynamic_cast<const UdpSink*>(s.get())) {
-      total += udp->packets_received();
-    }
-  }
-  return total;
-}
-
-std::uint64_t Tandem::routing_errors() const {
-  std::uint64_t total = 0;
-  for (const auto& n : nodes_) total += n->routing_errors();
-  return total;
-}
+    : cfg_(cfg),
+      net_(sim, make_tandem_spec(cfg.base, cfg.second_hop_ratio)) {}
 
 }  // namespace burst

@@ -6,18 +6,15 @@
 // with the second hop narrowed by `second_hop_ratio` so both queues are
 // exercised. Used by the multihop ablation: how does TCP-modulated
 // traffic look after it has been shaped by an upstream bottleneck?
+//
+// A facade over TopoNet building make_tandem_spec(base, ratio); the
+// declarative `.topo` route is examples/topologies/parking_lot_n30.topo.
 #pragma once
 
-#include <memory>
-#include <vector>
-
-#include "src/app/poisson_source.hpp"
 #include "src/core/scenario.hpp"
-#include "src/net/node.hpp"
 #include "src/sim/simulator.hpp"
+#include "src/topo/builder.hpp"
 #include "src/transport/tcp_sender.hpp"
-#include "src/transport/tcp_sink.hpp"
-#include "src/transport/udp.hpp"
 
 namespace burst {
 
@@ -30,27 +27,20 @@ class Tandem {
  public:
   Tandem(Simulator& sim, const TandemConfig& cfg);
 
-  void start_sources();
+  void start_sources() { net_.start_sources(); }
 
-  Queue& first_queue() { return hop1_->queue(); }
-  Queue& second_queue() { return hop2_->queue(); }
+  Queue& first_queue() { return net_.link(0).queue(); }
+  Queue& second_queue() { return net_.link(1).queue(); }
 
   int num_clients() const { return cfg_.base.num_clients; }
-  Agent& sender(int i) { return *senders_.at(static_cast<std::size_t>(i)); }
-  TcpSender* tcp_sender(int i);
-  std::uint64_t total_delivered() const;
-  std::uint64_t routing_errors() const;
+  Agent& sender(int i) { return net_.sender(i); }
+  TcpSender* tcp_sender(int i) { return net_.tcp_sender(i); }
+  std::uint64_t total_delivered() const { return net_.total_delivered(); }
+  std::uint64_t routing_errors() const { return net_.routing_errors(); }
 
  private:
-  Simulator& sim_;
   TandemConfig cfg_;
-  std::vector<std::unique_ptr<Node>> nodes_;
-  std::vector<std::unique_ptr<SimplexLink>> links_;
-  SimplexLink* hop1_ = nullptr;
-  SimplexLink* hop2_ = nullptr;
-  std::vector<std::unique_ptr<Agent>> senders_;
-  std::vector<std::unique_ptr<Agent>> sinks_;
-  std::vector<std::unique_ptr<PoissonSource>> sources_;
+  TopoNet net_;
 };
 
 }  // namespace burst

@@ -103,7 +103,6 @@ CampaignOutput run_campaign(const std::vector<CampaignSweep>& sweeps,
       misses.push_back(i);
     }
   }
-  out.stats.simulated = misses.size();
   if (opts.log) {
     *opts.log << "campaign: " << out.stats.planned << " points, "
               << out.stats.unique << " unique scenarios, "
@@ -124,6 +123,8 @@ CampaignOutput run_campaign(const std::vector<CampaignSweep>& sweeps,
     // them to report a running events/s (simulated events over elapsed
     // wall), which tracks throughput even when task sizes are skewed.
     std::atomic<std::uint64_t> events_done{0};
+    std::atomic<std::size_t> simulated{0};
+    std::atomic<std::size_t> farmed{0};
     std::mutex profile_mu;
     Profiler profile_total;
     // Log at most ~20 progress lines regardless of batch size, and flush
@@ -144,19 +145,54 @@ CampaignOutput run_campaign(const std::vector<CampaignSweep>& sweeps,
                 << " runs/s, " << fmt(mev_s, 2) << " M events/s)"
                 << std::endl;
     };
+    const auto simulate_point = [&](std::size_t ui) {
+      if (opts.profile) {
+        Profiler prof;
+        Profiler* prev = Profiler::install(&prof);
+        results[ui] = run_experiment(unique_scenarios[ui]);
+        Profiler::install(prev);
+        std::lock_guard<std::mutex> lk(profile_mu);
+        profile_total.absorb(prof);
+      } else {
+        results[ui] = run_experiment(unique_scenarios[ui]);
+      }
+      simulated.fetch_add(1, std::memory_order_relaxed);
+    };
     executor.run(
         misses.size(),
         [&](std::size_t i) {
           const std::size_t ui = misses[i];
-          if (opts.profile) {
-            Profiler prof;
-            Profiler* prev = Profiler::install(&prof);
-            results[ui] = run_experiment(unique_scenarios[ui]);
-            Profiler::install(prev);
-            std::lock_guard<std::mutex> lk(profile_mu);
-            profile_total.absorb(prof);
+          if (!store) {
+            simulate_point(ui);
           } else {
-            results[ui] = run_experiment(unique_scenarios[ui]);
+            // Claim protocol: exactly one worker (thread here, process in
+            // the campaign farm) simulates each point; the rest wait for
+            // its published result instead of duplicating the work.
+            for (bool settled = false; !settled;) {
+              switch (store->try_claim(unique_keys[ui])) {
+                case ClaimStatus::kAcquired:
+                  simulate_point(ui);
+                  store->publish(unique_keys[ui], results[ui]);
+                  settled = true;
+                  break;
+                case ClaimStatus::kDone:
+                  if (auto cached = store->get(unique_keys[ui])) {
+                    results[ui] = std::move(*cached);
+                    results[ui].scenario = unique_scenarios[ui];
+                    farmed.fetch_add(1, std::memory_order_relaxed);
+                  } else {
+                    // Entry vanished between claim check and get (should
+                    // not happen — the store never forgets); simulate
+                    // locally rather than hang.
+                    simulate_point(ui);
+                  }
+                  settled = true;
+                  break;
+                case ClaimStatus::kBusy:
+                  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+                  break;
+              }
+            }
           }
           events_done.fetch_add(results[ui].sim_events,
                                 std::memory_order_relaxed);
@@ -166,14 +202,12 @@ CampaignOutput run_campaign(const std::vector<CampaignSweep>& sweeps,
       out.stats.phase_seconds[ph] =
           profile_total.seconds(static_cast<ProfilePhase>(ph));
     }
-    if (store) {
-      for (const std::size_t ui : misses) {
-        store->put(unique_keys[ui], results[ui]);
-      }
-      if (!store->flush() && opts.log) {
-        *opts.log << "campaign: warning: could not persist result cache to "
-                  << store->shard_path() << std::endl;
-      }
+    out.stats.simulated = simulated.load();
+    out.stats.farmed_out = farmed.load();
+    if (opts.log && out.stats.farmed_out > 0) {
+      *opts.log << "campaign: " << out.stats.farmed_out
+                << " points simulated by other workers sharing "
+                << store->dir() << std::endl;
     }
     // Aggregate the scheduler perf counters over what was actually run
     // (cache hits carry no fresh wall-clock data).
@@ -316,6 +350,7 @@ CampaignOutput run_campaign(const std::vector<CampaignSweep>& sweeps,
          << ", \"unique\": " << out.stats.unique
          << ", \"cache_hits\": " << out.stats.cache_hits
          << ", \"simulated\": " << out.stats.simulated
+         << ", \"farmed_out\": " << out.stats.farmed_out
          << ", \"store_skipped\": " << out.stats.store_skipped << "},\n"
          << "  \"perf\": {\"sim_events\": " << out.stats.sim_events
          << ", \"peak_pending_max\": " << out.stats.peak_pending_max

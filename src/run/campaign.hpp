@@ -58,7 +58,8 @@ struct CampaignStats {
   std::size_t planned = 0;     // sweep × config × count points
   std::size_t unique = 0;      // after cross-sweep dedup
   std::size_t cache_hits = 0;  // unique scenarios served from the store
-  std::size_t simulated = 0;   // unique scenarios actually run
+  std::size_t simulated = 0;   // unique scenarios actually run HERE
+  std::size_t farmed_out = 0;  // misses another worker simulated for us
   std::size_t store_skipped = 0;  // corrupt/stale store lines at load
   double wall_s = 0.0;
 

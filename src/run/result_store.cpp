@@ -1,9 +1,16 @@
 #include "src/run/result_store.hpp"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cctype>
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -149,7 +156,6 @@ bool read_u64_field(JsonReader& r, const char* name, std::uint64_t* out) {
 }
 
 }  // namespace
-
 std::string result_to_json(const ExperimentResult& r) {
   std::ostringstream os;
   os << '{';
@@ -367,7 +373,117 @@ bool result_from_json(const std::string& json, ExperimentResult* out) {
   return true;
 }
 
-std::string ResultStore::shard_path() const { return dir_ + "/results.jsonl"; }
+// ---- Store ------------------------------------------------------------
+
+namespace {
+
+/// Splits the envelope `{"key":"<32 hex>","schema":N,"result":{...}}`.
+/// We wrote it, so anything off-pattern is corruption.
+bool parse_envelope(const std::string& line, ScenarioKey* key,
+                    std::uint64_t* schema, std::string* payload) {
+  const std::string key_prefix = "{\"key\":\"";
+  if (line.rfind(key_prefix, 0) != 0 || line.size() <= 40) return false;
+  if (!ScenarioKey::parse(std::string_view(line).substr(key_prefix.size(), 32),
+                          key)) {
+    return false;
+  }
+  const std::string schema_prefix = "\",\"schema\":";
+  const std::size_t schema_at = key_prefix.size() + 32;
+  if (line.compare(schema_at, schema_prefix.size(), schema_prefix) != 0) {
+    return false;
+  }
+  const std::size_t num_at = schema_at + schema_prefix.size();
+  const std::size_t comma = line.find(',', num_at);
+  if (comma == std::string::npos ||
+      !token_to_u64(line.substr(num_at, comma - num_at), schema)) {
+    return false;
+  }
+  const std::string result_prefix = "\"result\":";
+  if (line.compare(comma + 1, result_prefix.size(), result_prefix) != 0 ||
+      line.back() != '}') {
+    return false;
+  }
+  *payload = line.substr(comma + 1 + result_prefix.size(),
+                         line.size() - comma - 2 - result_prefix.size());
+  return true;
+}
+
+std::string render_envelope(const ScenarioKey& key, const std::string& json) {
+  std::string line = "{\"key\":\"";
+  line += key.hex();
+  line += "\",\"schema\":";
+  line += std::to_string(kResultSchemaVersion);
+  line += ",\"result\":";
+  line += json;
+  line += "}\n";
+  return line;
+}
+
+bool pread_all(int fd, char* buf, std::size_t n, std::uint64_t off) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t got = ::pread(fd, buf + done, n - done,
+                                static_cast<off_t>(off + done));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (got == 0) return false;  // shrank under us (should not happen)
+    done += static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+bool pwrite_all(int fd, const char* buf, std::size_t n, std::uint64_t off) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t put = ::pwrite(fd, buf + done, n - done,
+                                 static_cast<off_t>(off + done));
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+/// RAII advisory lock on an open fd (blocking).
+class FlockGuard {
+ public:
+  FlockGuard(int fd, int op) : fd_(fd) {
+    while (::flock(fd_, op) != 0 && errno == EINTR) {
+    }
+  }
+  ~FlockGuard() { ::flock(fd_, LOCK_UN); }
+  FlockGuard(const FlockGuard&) = delete;
+  FlockGuard& operator=(const FlockGuard&) = delete;
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+std::string ResultStore::segment_path(int segment) const {
+  static const char* kHex = "0123456789abcdef";
+  std::string path = dir_ + "/shard-";
+  path += kHex[segment & 0xf];
+  path += ".jsonl";
+  return path;
+}
+
+std::string ResultStore::segment_path(const ScenarioKey& key) const {
+  return segment_path(segment_of(key));
+}
+
+std::string ResultStore::legacy_shard_path() const {
+  return dir_ + "/results.jsonl";
+}
+
+std::string ResultStore::claim_path(const ScenarioKey& key) const {
+  return dir_ + "/claims/" + key.hex() + ".claim";
+}
 
 ResultStore::ResultStore(std::string dir) : dir_(std::move(dir)) {
   std::error_code ec;
@@ -377,66 +493,105 @@ ResultStore::ResultStore(std::string dir) : dir_(std::move(dir)) {
               << " (cache disabled for reads)\n";
     return;
   }
-  std::ifstream in(shard_path());
-  if (!in) return;  // fresh store
+  load_legacy();
+  for (int seg = 0; seg < kNumSegments; ++seg) {
+    refresh_segment(seg, /*keep_dirty=*/false);
+  }
+  if (skipped_ > 0) {
+    std::cerr << "result_store: skipped " << skipped_
+              << " corrupt/stale entr" << (skipped_ == 1 ? "y" : "ies")
+              << " in " << dir_ << " (will re-simulate)\n";
+  }
+}
+
+ResultStore::~ResultStore() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!dirty_keys_.empty()) flush_locked();
+}
+
+void ResultStore::load_legacy() {
+  std::ifstream in(legacy_shard_path());
+  if (!in) return;
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
-    // Envelope: {"key":"<32 hex>","schema":N,"result":{...}}
-    // We wrote it, so anything off-pattern is corruption: skip the line.
-    const std::string key_prefix = "{\"key\":\"";
     ScenarioKey key;
-    bool ok = line.rfind(key_prefix, 0) == 0 && line.size() > 40 &&
-              ScenarioKey::parse(
-                  std::string_view(line).substr(key_prefix.size(), 32), &key);
     std::uint64_t schema = 0;
     std::string payload;
-    if (ok) {
-      const std::string schema_prefix = "\",\"schema\":";
-      const std::size_t schema_at = key_prefix.size() + 32;
-      ok = line.compare(schema_at, schema_prefix.size(), schema_prefix) == 0;
-      if (ok) {
-        const std::size_t num_at = schema_at + schema_prefix.size();
-        const std::size_t comma = line.find(',', num_at);
-        ok = comma != std::string::npos &&
-             token_to_u64(line.substr(num_at, comma - num_at), &schema);
-        const std::string result_prefix = "\"result\":";
-        if (ok) {
-          ok = line.compare(comma + 1, result_prefix.size(), result_prefix) ==
-                   0 &&
-               line.back() == '}';
-          if (ok) {
-            payload = line.substr(comma + 1 + result_prefix.size(),
-                                  line.size() - comma - 2 -
-                                      result_prefix.size());
-          }
-        }
-      }
+    if (!parse_envelope(line, &key, &schema, &payload)) {
+      ++skipped_;
+      continue;
     }
     // A wrong-schema entry is not corruption, but it is unusable: skip.
-    if (ok && schema != kResultSchemaVersion) {
+    if (schema != kResultSchemaVersion) {
       ++skipped_;
       continue;
     }
     ExperimentResult parsed;
-    if (!ok || !result_from_json(payload, &parsed)) {
+    if (!result_from_json(payload, &parsed)) {
       ++skipped_;
       continue;
     }
     entries_[key] = std::move(payload);
   }
-  if (skipped_ > 0) {
-    std::cerr << "result_store: skipped " << skipped_
-              << " corrupt/stale entr" << (skipped_ == 1 ? "y" : "ies")
-              << " in " << shard_path() << " (will re-simulate)\n";
+}
+
+void ResultStore::refresh_segment(int seg, bool keep_dirty) {
+  const std::string path = segment_path(seg);
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return;  // segment not created yet
+  std::string buf;
+  {
+    FlockGuard lock(fd, LOCK_SH);
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      return;
+    }
+    const std::uint64_t size = static_cast<std::uint64_t>(st.st_size);
+    const std::uint64_t off = seg_offset_[static_cast<std::size_t>(seg)];
+    if (size > off) {
+      buf.resize(size - off);
+      if (!pread_all(fd, buf.data(), buf.size(), off)) buf.clear();
+    }
+  }
+  ::close(fd);
+
+  // Consume whole lines only; a torn tail (crashed writer) stays pending
+  // until the next writer heals it with a newline.
+  const std::size_t last_nl = buf.rfind('\n');
+  if (last_nl == std::string::npos) return;
+  const std::size_t consumed = last_nl + 1;
+  std::size_t start = 0;
+  while (start < consumed) {
+    const std::size_t nl = buf.find('\n', start);
+    std::string line = buf.substr(start, nl - start);
+    start = nl + 1;
+    if (line.empty()) continue;
+    ScenarioKey key;
+    std::uint64_t schema = 0;
+    std::string payload;
+    ExperimentResult parsed;
+    if (!parse_envelope(line, &key, &schema, &payload) ||
+        schema != kResultSchemaVersion || !result_from_json(payload, &parsed)) {
+      ++skipped_;
+      continue;
+    }
+    if (keep_dirty && dirty_keys_.count(key) > 0) continue;
+    entries_[key] = std::move(payload);
+  }
+  seg_offset_[static_cast<std::size_t>(seg)] += consumed;
+}
+
+void ResultStore::refresh() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (int seg = 0; seg < kNumSegments; ++seg) {
+    refresh_segment(seg, /*keep_dirty=*/true);
   }
 }
 
-ResultStore::~ResultStore() {
-  if (dirty_) flush();
-}
-
 std::optional<ExperimentResult> ResultStore::get(const ScenarioKey& key) const {
+  std::lock_guard<std::mutex> lk(mu_);
   const auto it = entries_.find(key);
   if (it == entries_.end()) return std::nullopt;
   ExperimentResult r;
@@ -445,42 +600,169 @@ std::optional<ExperimentResult> ResultStore::get(const ScenarioKey& key) const {
 }
 
 bool ResultStore::contains(const ScenarioKey& key) const {
+  std::lock_guard<std::mutex> lk(mu_);
   return entries_.count(key) > 0;
 }
 
 void ResultStore::put(const ScenarioKey& key, const ExperimentResult& result) {
+  std::lock_guard<std::mutex> lk(mu_);
   entries_[key] = result_to_json(result);
-  dirty_ = true;
+  dirty_keys_.insert(key);
 }
 
 bool ResultStore::flush() {
-  if (!dirty_) return true;
-  const std::string tmp = shard_path() + ".tmp";
+  std::lock_guard<std::mutex> lk(mu_);
+  return flush_locked();
+}
+
+bool ResultStore::flush_locked() {
+  if (dirty_keys_.empty()) return true;
+  // Group the dirty set by segment so each segment is locked once.
+  std::array<std::vector<ScenarioKey>, kNumSegments> by_seg;
+  for (const ScenarioKey& key : dirty_keys_) {
+    by_seg[static_cast<std::size_t>(segment_of(key))].push_back(key);
+  }
+  bool ok = true;
+  for (int seg = 0; seg < kNumSegments; ++seg) {
+    auto& keys = by_seg[static_cast<std::size_t>(seg)];
+    if (keys.empty()) continue;
+    const std::string path = segment_path(seg);
+    const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd < 0) {
+      std::cerr << "result_store: cannot write " << path << '\n';
+      ok = false;
+      continue;
+    }
+    {
+      FlockGuard lock(fd, LOCK_EX);
+      struct stat st{};
+      if (::fstat(fd, &st) != 0) {
+        std::cerr << "result_store: cannot stat " << path << '\n';
+        ::close(fd);
+        ok = false;
+        continue;
+      }
+      const std::uint64_t size = static_cast<std::uint64_t>(st.st_size);
+      // Heal a torn final line left by a crashed writer: our batch starts
+      // with a newline so the torn bytes become one (skippable) garbage
+      // line instead of corrupting our first entry.
+      bool need_heal = false;
+      if (size > 0) {
+        char last = '\n';
+        if (pread_all(fd, &last, 1, size - 1)) need_heal = last != '\n';
+      }
+      std::string batch;
+      if (need_heal) batch += '\n';
+      for (const ScenarioKey& key : keys) {
+        batch += render_envelope(key, entries_[key]);
+      }
+      if (!pwrite_all(fd, batch.data(), batch.size(), size)) {
+        std::cerr << "result_store: short write to " << path << '\n';
+        ::close(fd);
+        ok = false;
+        continue;
+      }
+      // Skip our own bytes on the next refresh. Anything a concurrent
+      // writer appended before our lock sits below `size` and is picked
+      // up by the next refresh_segment pass, which stops at offsets, not
+      // at our entries (offset may lag but never overtakes).
+      if (seg_offset_[static_cast<std::size_t>(seg)] == size) {
+        seg_offset_[static_cast<std::size_t>(seg)] = size + batch.size();
+      }
+    }
+    ::close(fd);
+    for (const ScenarioKey& key : keys) dirty_keys_.erase(key);
+  }
+  return ok;
+}
+
+// ---- Claims -----------------------------------------------------------
+
+namespace {
+
+/// True when the claim at @p path no longer protects live work: its
+/// recorded pid is gone, or it stayed empty past the TTL.
+bool claim_is_stale(const std::string& path, double empty_ttl) {
+  std::ifstream in(path);
+  if (!in) return true;  // vanished: owner released it
+  std::string tag;
+  long long pid = 0;
+  if (in >> tag >> pid && tag == "pid" && pid > 0) {
+    if (::kill(static_cast<pid_t>(pid), 0) == 0) return false;  // alive
+    return errno == ESRCH;  // EPERM = alive under another uid
+  }
+  // Empty or garbled: the owner crashed between create and write, or is
+  // about to write. Give it the TTL.
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) return true;
+  const double age =
+      std::difftime(std::time(nullptr), static_cast<std::time_t>(st.st_mtime));
+  return age > empty_ttl;
+}
+
+}  // namespace
+
+bool ResultStore::steal_stale_claim(const std::string& path) {
+  const std::string lock_path = dir_ + "/claims/.steal.lock";
+  const int fd = ::open(lock_path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) return false;
+  bool stolen = false;
   {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out) {
-      std::cerr << "result_store: cannot write " << tmp << '\n';
-      return false;
-    }
-    for (const auto& [key, json] : entries_) {
-      out << "{\"key\":\"" << key.hex()
-          << "\",\"schema\":" << kResultSchemaVersion << ",\"result\":" << json
-          << "}\n";
-    }
-    out.flush();
-    if (!out) {
-      std::cerr << "result_store: short write to " << tmp << '\n';
-      std::remove(tmp.c_str());
-      return false;
+    FlockGuard lock(fd, LOCK_EX);
+    // Re-check under the lock: another worker may have stolen and
+    // re-claimed (a live claim) in the window.
+    if (claim_is_stale(path, kEmptyClaimTtl)) {
+      ::unlink(path.c_str());  // ENOENT is fine — same outcome
+      stolen = true;
     }
   }
-  if (std::rename(tmp.c_str(), shard_path().c_str()) != 0) {
-    std::cerr << "result_store: rename to " << shard_path() << " failed\n";
-    std::remove(tmp.c_str());
-    return false;
+  ::close(fd);
+  return stolen;
+}
+
+ClaimStatus ResultStore::try_claim(const ScenarioKey& key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  refresh_segment(segment_of(key), /*keep_dirty=*/true);
+  if (entries_.count(key) > 0) return ClaimStatus::kDone;
+  std::error_code ec;
+  std::filesystem::create_directories(dir_ + "/claims", ec);
+  if (ec) return ClaimStatus::kBusy;
+  const std::string path = claim_path(key);
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd >= 0) {
+      const std::string body = "pid " + std::to_string(::getpid()) + "\n";
+      if (!pwrite_all(fd, body.data(), body.size(), 0)) {
+        ::close(fd);
+        ::unlink(path.c_str());
+        return ClaimStatus::kBusy;
+      }
+      ::close(fd);
+      return ClaimStatus::kAcquired;
+    }
+    if (errno != EEXIST) return ClaimStatus::kBusy;
+    // Someone holds it. A fresh look at the store first: they may have
+    // published and released between our refresh and the open.
+    refresh_segment(segment_of(key), /*keep_dirty=*/true);
+    if (entries_.count(key) > 0) return ClaimStatus::kDone;
+    if (!claim_is_stale(path, kEmptyClaimTtl)) return ClaimStatus::kBusy;
+    if (!steal_stale_claim(path)) return ClaimStatus::kBusy;
+    // Stolen: retry the exclusive create (racing stealers converge here).
   }
-  dirty_ = false;
-  return true;
+  return ClaimStatus::kBusy;
+}
+
+void ResultStore::publish(const ScenarioKey& key,
+                          const ExperimentResult& result) {
+  std::lock_guard<std::mutex> lk(mu_);
+  entries_[key] = result_to_json(result);
+  dirty_keys_.insert(key);
+  flush_locked();
+  ::unlink(claim_path(key).c_str());
+}
+
+void ResultStore::abandon(const ScenarioKey& key) {
+  ::unlink(claim_path(key).c_str());
 }
 
 }  // namespace burst

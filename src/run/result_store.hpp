@@ -1,22 +1,42 @@
-// On-disk, content-addressed cache of ExperimentResults.
+// On-disk, content-addressed cache of ExperimentResults, safely shareable
+// across processes (the campaign farm's coordination point).
 //
-// Layout: one JSON-lines shard per store directory (`results.jsonl`),
-// each line `{"key":"<32 hex>","schema":N,"result":{...}}`. The store is
-// loaded fully at open; corrupt or truncated lines are counted and
-// skipped with a warning (a crashed writer must never poison the cache),
-// and entries from other schema versions are ignored, so bumping
-// kResultSchemaVersion invalidates everything at once. Writes go through
-// a temp file followed by an atomic rename, so readers never observe a
-// half-written shard.
+// Layout: 16 JSON-lines segments per store directory, `shard-<x>.jsonl`
+// with x = the first hex digit of the key (key.hi >> 60), each line
+// `{"key":"<32 hex>","schema":N,"result":{...}}`. A pre-sharding
+// `results.jsonl` is still read (last-wins, read-only) so old caches keep
+// working. Segments are APPEND-ONLY under an advisory exclusive flock;
+// loading takes a shared flock and tolerates a torn final line (the next
+// writer heals it by prefixing a newline), so a crashed writer can never
+// poison the cache. Corrupt or wrong-schema lines are counted and
+// skipped; bumping kResultSchemaVersion invalidates everything at once.
+// refresh() absorbs lines appended by other processes since open, by
+// per-segment byte offset — cheap enough to poll.
+//
+// Claims: a worker that wants to simulate key K calls try_claim(K):
+//   kDone     — K is already in the store (after a targeted refresh).
+//   kAcquired — this worker owns K: simulate, then publish() (atomic
+//               append + claim release) or abandon() on failure.
+//   kBusy     — another live worker owns K; poll refresh() until its
+//               result appears (or its claim goes stale).
+// A claim is `claims/<32 hex>.claim`, created with O_EXCL and holding the
+// owner's pid. Claims whose pid is dead — or which stayed empty longer
+// than kEmptyClaimTtl — are stolen under `claims/.steal.lock`, which is
+// what makes resume after a killed worker pick up exactly the unfinished
+// points.
 //
 // The stored JSON covers every metric of ExperimentResult except the
 // embedded Scenario — the key already binds the result to its scenario,
 // and the campaign layer re-attaches the Scenario it planned with.
 #pragma once
 
+#include <array>
+#include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "src/core/experiment.hpp"
 #include "src/run/scenario_key.hpp"
@@ -32,10 +52,18 @@ std::string result_to_json(const ExperimentResult& r);
 /// input; *out is untouched on failure.
 bool result_from_json(const std::string& json, ExperimentResult* out);
 
+/// Outcome of ResultStore::try_claim.
+enum class ClaimStatus { kAcquired, kBusy, kDone };
+
 class ResultStore {
  public:
-  /// Opens (creating the directory and an empty shard if needed) and
-  /// loads every valid entry for the current schema version.
+  static constexpr int kNumSegments = 16;
+  /// An empty claim file (writer died between create and write) older
+  /// than this many seconds counts as stale and may be stolen.
+  static constexpr double kEmptyClaimTtl = 30.0;
+
+  /// Opens (creating the directory if needed) and loads every valid
+  /// entry for the current schema version.
   explicit ResultStore(std::string dir);
   ~ResultStore();
 
@@ -48,23 +76,63 @@ class ResultStore {
   /// Inserts/overwrites in memory; call flush() to persist.
   void put(const ScenarioKey& key, const ExperimentResult& result);
 
-  /// Atomically rewrites the shard (tmp file + rename). Returns false on
-  /// I/O failure. No-op when nothing changed since the last flush.
+  /// Appends every not-yet-persisted entry to its segment (exclusive
+  /// flock, newline-heal, single write per segment). Absorbs concurrent
+  /// appends it finds along the way. Returns false on I/O failure.
+  /// No-op when nothing changed since the last flush.
   bool flush();
 
-  std::size_t size() const { return entries_.size(); }
+  /// Absorbs entries appended by other store handles (same or different
+  /// process) since open or the last refresh.
+  void refresh();
+
+  /// Claim protocol — see the header comment.
+  ClaimStatus try_claim(const ScenarioKey& key);
+  /// put() + durable append of @p key's entry + claim release.
+  void publish(const ScenarioKey& key, const ExperimentResult& result);
+  /// Releases an acquired claim without publishing (simulation failed).
+  void abandon(const ScenarioKey& key);
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return entries_.size();
+  }
   /// Lines skipped at load time (corrupt, truncated, or wrong schema).
-  std::size_t skipped_entries() const { return skipped_; }
+  std::size_t skipped_entries() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return skipped_;
+  }
   const std::string& dir() const { return dir_; }
-  std::string shard_path() const;
+
+  static int segment_of(const ScenarioKey& key) {
+    return static_cast<int>(key.hi >> 60);
+  }
+  /// `dir/shard-<x>.jsonl` for @p key's segment.
+  std::string segment_path(const ScenarioKey& key) const;
+  std::string segment_path(int segment) const;
+  /// The pre-sharding single-shard path (read-only compatibility).
+  std::string legacy_shard_path() const;
+  std::string claim_path(const ScenarioKey& key) const;
 
  private:
+  void load_legacy();
+  /// Reads segment @p seg from its saved offset under a shared flock.
+  /// @p keep_dirty: don't let absorbed lines overwrite unflushed puts.
+  void refresh_segment(int seg, bool keep_dirty);
+  bool flush_locked();
+  bool steal_stale_claim(const std::string& path);
+
+  /// Guards all in-memory state: campaign worker threads share one store
+  /// handle (cross-process safety comes from flock + O_EXCL claims,
+  /// cross-thread safety from this).
+  mutable std::mutex mu_;
   std::string dir_;
-  // Values stay serialized until asked for: cheap to load, and flush()
-  // is a straight dump.
+  // Values stay serialized until asked for: cheap to load, and a flush
+  // is a straight dump of the dirty set.
   std::unordered_map<ScenarioKey, std::string, ScenarioKeyHash> entries_;
+  std::unordered_set<ScenarioKey, ScenarioKeyHash> dirty_keys_;
+  std::array<std::uint64_t, kNumSegments> seg_offset_{};
   std::size_t skipped_ = 0;
-  bool dirty_ = false;
 };
 
 }  // namespace burst

@@ -142,14 +142,33 @@ std::string canonical_string(const Scenario& s, const ExperimentOptions& opts) {
   return c.str();
 }
 
-ScenarioKey scenario_key(const Scenario& s, const ExperimentOptions& opts) {
-  const std::string canon = canonical_string(s, opts);
+namespace {
+
+ScenarioKey key_of_canonical(const std::string& canon) {
   ScenarioKey key;
   key.hi = fnv1a64(canon);
   // Second, independent hash: different FNV offset basis, then a splitmix
   // pass so the halves never agree by construction.
   key.lo = splitmix64(fnv1a64(canon, 0xcbf29ce484222325ULL ^ key.hi));
   return key;
+}
+
+}  // namespace
+
+ScenarioKey scenario_key(const Scenario& s, const ExperimentOptions& opts) {
+  return key_of_canonical(canonical_string(s, opts));
+}
+
+ScenarioKey scenario_key_with_topology(const Scenario& s,
+                                       std::string_view topo_canonical,
+                                       const ExperimentOptions& opts) {
+  std::string canon = canonical_string(s, opts);
+  canon += "topo_v=";
+  canon += std::to_string(kTopoKeyVersion);
+  canon += ";topo=";
+  canon += topo_canonical;
+  canon += ';';
+  return key_of_canonical(canon);
 }
 
 }  // namespace burst

@@ -26,6 +26,13 @@ namespace burst {
 ///     joined the serialized result; v2 entries lack the field.
 inline constexpr std::uint32_t kResultSchemaVersion = 3;
 
+/// Version of the *topology extension* of the key (the fields appended by
+/// scenario_key_with_topology). Bump when the canonical topology
+/// rendering changes meaning. Independent of kResultSchemaVersion: plain
+/// (non-topology) keys never carry it, so existing fingerprints — and the
+/// five pinned identity hashes — are untouched by bumps here.
+inline constexpr std::uint32_t kTopoKeyVersion = 1;
+
 /// SplitMix64 finalizer: a cheap, well-mixed 64-bit permutation
 /// (Steele et al., "Fast splittable pseudorandom number generators").
 std::uint64_t splitmix64(std::uint64_t x);
@@ -71,5 +78,16 @@ std::string canonical_string(const Scenario& s,
 /// Fingerprint of one experiment: hash of canonical_string, salted with
 /// kResultSchemaVersion.
 ScenarioKey scenario_key(const Scenario& s, const ExperimentOptions& opts = {});
+
+/// Fingerprint of an experiment run on an explicit topology. The key
+/// hashes the plain canonical string with versioned topology fields
+/// appended (`topo_v=<kTopoKeyVersion>;topo=<canonical graph>;`), so a
+/// topology-built scenario can never collide with — or be served from the
+/// cache of — the hard-coded dumbbell path unless the caller chose the
+/// plain key on purpose (see topo_key() in src/topo, which does exactly
+/// that for graphs that are canonically the dumbbell).
+ScenarioKey scenario_key_with_topology(const Scenario& s,
+                                       std::string_view topo_canonical,
+                                       const ExperimentOptions& opts = {});
 
 }  // namespace burst

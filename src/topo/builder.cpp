@@ -1,0 +1,367 @@
+#include "src/topo/builder.hpp"
+
+#include <cassert>
+#include <queue>
+
+#include "src/net/drop_tail_queue.hpp"
+#include "src/net/drr_queue.hpp"
+#include "src/net/red_queue.hpp"
+#include "src/transport/tcp_newreno.hpp"
+#include "src/transport/tcp_reno.hpp"
+#include "src/transport/tcp_sack.hpp"
+#include "src/transport/tcp_tahoe.hpp"
+#include "src/transport/tcp_vegas.hpp"
+
+namespace burst {
+
+namespace {
+
+/// Expanded member @p j's propagation delay: the same expression as
+/// Scenario::client_delay_for, evaluated over the link's member count, so
+/// a dumbbell spec reproduces the hard-coded delays bit-for-bit.
+Time member_delay(const TopoLinkSpec& l, int j, int count) {
+  if (l.delay_spread <= 0.0 || count < 2) return l.delay;
+  const double position =
+      2.0 * static_cast<double>(j) / static_cast<double>(count - 1) - 1.0;
+  return l.delay * (1.0 + l.delay_spread * position);
+}
+
+std::unique_ptr<Queue> make_port_queue(const TopoLinkSpec& l,
+                                       const Scenario& sc, Random rng) {
+  const PortQueueSpec& q = l.queue;
+  switch (q.kind) {
+    case PortQueueSpec::Kind::kDefault:
+      return std::make_unique<DropTailQueue>(sc.client_queue_buffer);
+    case PortQueueSpec::Kind::kDropTail:
+      return std::make_unique<DropTailQueue>(q.capacity);
+    case PortQueueSpec::Kind::kRed: {
+      RedConfig red;
+      red.min_th = q.red_min_th;
+      red.max_th = q.red_max_th;
+      red.max_p = q.red_max_p;
+      red.weight = q.red_weight;
+      red.capacity = q.capacity;
+      // Averaging clock follows THIS link's rate (the hard-coded Tandem
+      // already did this per hop; for the dumbbell it equals the
+      // bottleneck rate, preserving identity).
+      red.mean_pkt_tx_time = transmission_time(sc.wire_bytes(), l.rate_bps);
+      red.ecn = q.red_ecn;
+      red.adaptive = q.red_adaptive;
+      return std::make_unique<RedQueue>(red, rng);
+    }
+    case PortQueueSpec::Kind::kDrr: {
+      DrrConfig drr;
+      drr.capacity = q.capacity;
+      drr.quantum_bytes = q.drr_quantum_bytes;
+      return std::make_unique<DrrQueue>(drr);
+    }
+  }
+  return std::make_unique<DropTailQueue>(sc.client_queue_buffer);
+}
+
+TcpConfig make_tcp_config(const Scenario& sc) {
+  TcpConfig cfg;
+  cfg.payload_bytes = sc.payload_bytes;
+  cfg.advertised_window = sc.advertised_window;
+  cfg.rto = sc.rto;
+  cfg.ecn = sc.ecn;
+  cfg.limited_transmit = sc.limited_transmit;
+  cfg.cwnd_validation = sc.cwnd_validation;
+  return cfg;
+}
+
+}  // namespace
+
+TopoNet::TopoNet(Simulator& sim, const TopoSpec& spec)
+    : sim_(sim), spec_(spec) {
+  const Scenario& sc = spec_.scenario;
+  const int total = spec_.total_nodes();
+  assert(total >= 2);
+  for (int id = 0; id < total; ++id) {
+    nodes_.push_back(std::make_unique<Node>(id));
+  }
+
+  // --- Links: expand each statement in declaration order. --------------
+  // Fork discipline: one sim.rng().fork() per expanded link with an
+  // explicit queue, consumed here in expansion order; deterministic
+  // disciplines receive (and discard) theirs so adding randomness to a
+  // queue never re-keys unrelated flows.
+  for (std::size_t s = 0; s < spec_.links.size(); ++s) {
+    const TopoLinkSpec& l = spec_.links[s];
+    const int fc = spec_.node_count(l.from);
+    const int tc = spec_.node_count(l.to);
+    const int count = std::max(fc, tc);
+    link_base_.push_back(static_cast<int>(links_.size()));
+    for (int j = 0; j < count; ++j) {
+      const int u = spec_.node_id(l.from, fc > 1 ? j : 0);
+      const int v = spec_.node_id(l.to, tc > 1 ? j : 0);
+      std::unique_ptr<Queue> q;
+      if (l.queue.kind == PortQueueSpec::Kind::kDefault) {
+        q = make_port_queue(l, sc, Random(0));
+      } else {
+        q = make_port_queue(l, sc, sim_.rng().fork());
+      }
+      links_.push_back(std::make_unique<SimplexLink>(
+          sim_, std::move(q), l.rate_bps, member_delay(l, j, count)));
+      Node& to_node = *nodes_[static_cast<std::size_t>(v)];
+      links_.back()->set_receiver(
+          [&to_node](const Packet& p) { to_node.receive(p); });
+      link_ends_.emplace_back(u, v);
+    }
+  }
+  assert(spec_.measure_link >= 0 &&
+         spec_.measure_link < static_cast<int>(spec_.links.size()));
+  measured_ =
+      links_[static_cast<std::size_t>(
+                 link_base_[static_cast<std::size_t>(spec_.measure_link)])]
+          .get();
+
+  // --- Routing: per-node BFS over the expanded graph. -------------------
+  // Out-links in expansion order + FIFO frontier = the first-declared
+  // shortest path wins, deterministically.
+  {
+    std::vector<std::vector<int>> out(static_cast<std::size_t>(total));
+    for (std::size_t e = 0; e < link_ends_.size(); ++e) {
+      out[static_cast<std::size_t>(link_ends_[e].first)].push_back(
+          static_cast<int>(e));
+    }
+    std::vector<SimplexLink*> first_hop(static_cast<std::size_t>(total));
+    std::vector<char> seen(static_cast<std::size_t>(total));
+    for (int src = 0; src < total; ++src) {
+      std::fill(first_hop.begin(), first_hop.end(), nullptr);
+      std::fill(seen.begin(), seen.end(), 0);
+      seen[static_cast<std::size_t>(src)] = 1;
+      std::queue<int> frontier;
+      frontier.push(src);
+      while (!frontier.empty()) {
+        const int u = frontier.front();
+        frontier.pop();
+        for (const int e : out[static_cast<std::size_t>(u)]) {
+          const int v = link_ends_[static_cast<std::size_t>(e)].second;
+          if (seen[static_cast<std::size_t>(v)]) continue;
+          seen[static_cast<std::size_t>(v)] = 1;
+          first_hop[static_cast<std::size_t>(v)] =
+              u == src ? links_[static_cast<std::size_t>(e)].get()
+                       : first_hop[static_cast<std::size_t>(u)];
+          frontier.push(v);
+        }
+      }
+      Node& src_node = *nodes_[static_cast<std::size_t>(src)];
+      for (int dst = 0; dst < total; ++dst) {
+        if (dst == src) continue;
+        if (SimplexLink* hop = first_hop[static_cast<std::size_t>(dst)]) {
+          src_node.add_route(dst, hop);
+        }
+      }
+    }
+  }
+
+  // --- Flows: one sender/sink/source triple per expanded src member. ---
+  const TcpConfig tcp_cfg = make_tcp_config(sc);
+  for (const TopoFlowSpec& f : spec_.flows) {
+    const int dst = spec_.node_id(f.dst, 0);
+    Node& dst_node = *nodes_[static_cast<std::size_t>(dst)];
+    for (int j = 0; j < spec_.node_count(f.src); ++j) {
+      const int src = spec_.node_id(f.src, j);
+      Node& src_node = *nodes_[static_cast<std::size_t>(src)];
+      const FlowId flow = static_cast<FlowId>(senders_.size());
+      switch (f.transport) {
+        case Transport::kUdp:
+          senders_.push_back(std::make_unique<UdpSender>(
+              sim_, src_node, flow, dst, sc.payload_bytes));
+          sinks_.push_back(
+              std::make_unique<UdpSink>(sim_, dst_node, flow, src));
+          break;
+        case Transport::kTahoe:
+          senders_.push_back(std::make_unique<TcpTahoe>(sim_, src_node, flow,
+                                                        dst, tcp_cfg));
+          break;
+        case Transport::kReno:
+          senders_.push_back(
+              std::make_unique<TcpReno>(sim_, src_node, flow, dst, tcp_cfg));
+          break;
+        case Transport::kNewReno:
+          senders_.push_back(std::make_unique<TcpNewReno>(sim_, src_node, flow,
+                                                          dst, tcp_cfg));
+          break;
+        case Transport::kVegas:
+          senders_.push_back(std::make_unique<TcpVegas>(
+              sim_, src_node, flow, dst, tcp_cfg, sc.vegas));
+          break;
+        case Transport::kSack:
+          senders_.push_back(
+              std::make_unique<TcpSack>(sim_, src_node, flow, dst, tcp_cfg));
+          break;
+      }
+      if (f.transport != Transport::kUdp) {
+        TcpSinkConfig sink_cfg;
+        sink_cfg.delayed_ack = f.delayed_ack;
+        sink_cfg.sack = f.transport == Transport::kSack;
+        sinks_.push_back(std::make_unique<TcpSink>(sim_, dst_node, flow, src,
+                                                   sink_cfg));
+      }
+      sources_.push_back(std::make_unique<PoissonSource>(
+          sim_, *senders_.back(), f.mean_interarrival, sim_.rng().fork()));
+    }
+  }
+}
+
+void TopoNet::start_sources() {
+  for (auto& s : sources_) s->start();
+}
+
+SimplexLink& TopoNet::link(int statement, int member) {
+  const int base = link_base_.at(static_cast<std::size_t>(statement));
+  return *links_.at(static_cast<std::size_t>(base + member));
+}
+
+void TopoNet::attach_trace(TraceSink& sink, const TopoTraceNames& names) {
+  const std::uint8_t queue_site = sink.register_site(names.queue_site);
+  const std::uint8_t link_site = sink.register_site(names.link_site);
+  const std::uint8_t sink_site = sink.register_site(names.sink_site);
+
+  measured_->queue().set_trace(&sink, queue_site);
+  measured_->set_trace(&sink, link_site);
+
+  for (auto& s : sinks_) {
+    if (auto* tcp = dynamic_cast<TcpSink*>(s.get())) {
+      tcp->set_trace(&sink, sink_site);
+    }
+  }
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    sources_[i]->set_trace(&sink, static_cast<std::int32_t>(i));
+  }
+  for (auto& a : senders_) {
+    auto* tcp = dynamic_cast<TcpSender*>(a.get());
+    if (!tcp) continue;
+    tracers_.push_back(std::make_unique<TransportTracer>(sink, *tcp));
+    tcp->set_observer(tracers_.back().get());
+    if (auto* vegas = dynamic_cast<TcpVegas*>(tcp)) {
+      vegas->set_vegas_trace(&sink);
+    }
+  }
+
+  monitor_ = std::make_unique<FlowMonitor>();
+  monitor_->attach(measured_->queue());
+  monitor_->set_trace(&sink, queue_site);
+}
+
+void TopoNet::register_metrics(MetricsRegistry& registry,
+                               const TopoMetricNames& names) const {
+  const std::string qp = names.queue;
+  const std::string lp = names.link;
+  const QueueStats& qs = measured_->queue().stats();
+  registry.add_counter(qp + ".arrivals", qs.arrivals);
+  registry.add_counter(qp + ".drops", qs.drops);
+  registry.add_counter(qp + ".forced_drops", qs.forced_drops);
+  registry.add_counter(qp + ".early_drops", qs.early_drops);
+  registry.add_counter(qp + ".departures", qs.departures);
+  registry.add_counter(lp + ".delivered", measured_->delivered());
+  registry.add_counter(lp + ".bytes_delivered", measured_->bytes_delivered());
+
+  TcpSenderStats tx;
+  for (const auto& a : senders_) {
+    if (const auto* tcp = dynamic_cast<const TcpSender*>(a.get())) {
+      const TcpSenderStats& st = tcp->stats();
+      tx.app_packets += st.app_packets;
+      tx.data_pkts_sent += st.data_pkts_sent;
+      tx.retransmits += st.retransmits;
+      tx.timeouts += st.timeouts;
+      tx.fast_retransmits += st.fast_retransmits;
+      tx.dupacks += st.dupacks;
+      tx.new_acks += st.new_acks;
+      tx.rtt_samples += st.rtt_samples;
+    }
+  }
+  registry.add_counter("tcp.app_packets", tx.app_packets);
+  registry.add_counter("tcp.data_pkts_sent", tx.data_pkts_sent);
+  registry.add_counter("tcp.retransmits", tx.retransmits);
+  registry.add_counter("tcp.timeouts", tx.timeouts);
+  registry.add_counter("tcp.fast_retransmits", tx.fast_retransmits);
+  registry.add_counter("tcp.dupacks", tx.dupacks);
+  registry.add_counter("tcp.new_acks", tx.new_acks);
+  registry.add_counter("tcp.rtt_samples", tx.rtt_samples);
+
+  TcpSinkStats rx;
+  for (const auto& s : sinks_) {
+    if (const auto* tcp = dynamic_cast<const TcpSink*>(s.get())) {
+      const TcpSinkStats& st = tcp->stats();
+      rx.data_arrivals += st.data_arrivals;
+      rx.unique_packets += st.unique_packets;
+      rx.duplicate_packets += st.duplicate_packets;
+      rx.out_of_order += st.out_of_order;
+      rx.acks_sent += st.acks_sent;
+      rx.dup_acks_sent += st.dup_acks_sent;
+    }
+  }
+  registry.add_counter("sink.data_arrivals", rx.data_arrivals);
+  registry.add_counter("sink.unique_packets", rx.unique_packets);
+  registry.add_counter("sink.duplicate_packets", rx.duplicate_packets);
+  registry.add_counter("sink.out_of_order", rx.out_of_order);
+  registry.add_counter("sink.acks_sent", rx.acks_sent);
+  registry.add_counter("sink.dup_acks_sent", rx.dup_acks_sent);
+}
+
+TcpSender* TopoNet::tcp_sender(int i) {
+  return dynamic_cast<TcpSender*>(
+      senders_.at(static_cast<std::size_t>(i)).get());
+}
+
+TcpSink* TopoNet::tcp_sink(int i) {
+  return dynamic_cast<TcpSink*>(sinks_.at(static_cast<std::size_t>(i)).get());
+}
+
+UdpSink* TopoNet::udp_sink(int i) {
+  return dynamic_cast<UdpSink*>(sinks_.at(static_cast<std::size_t>(i)).get());
+}
+
+std::uint64_t TopoNet::total_generated() const {
+  std::uint64_t total = 0;
+  for (const auto& s : sources_) total += s->generated();
+  return total;
+}
+
+std::uint64_t TopoNet::total_delivered() const {
+  std::uint64_t total = 0;
+  for (const auto& s : sinks_) {
+    if (const auto* tcp = dynamic_cast<const TcpSink*>(s.get())) {
+      total += static_cast<std::uint64_t>(tcp->rcv_nxt());
+    } else if (const auto* udp = dynamic_cast<const UdpSink*>(s.get())) {
+      total += udp->packets_received();
+    }
+  }
+  return total;
+}
+
+std::vector<double> TopoNet::per_flow_delivered() const {
+  std::vector<double> out;
+  out.reserve(sinks_.size());
+  for (const auto& s : sinks_) {
+    if (const auto* tcp = dynamic_cast<const TcpSink*>(s.get())) {
+      out.push_back(static_cast<double>(tcp->rcv_nxt()));
+    } else if (const auto* udp = dynamic_cast<const UdpSink*>(s.get())) {
+      out.push_back(static_cast<double>(udp->packets_received()));
+    }
+  }
+  return out;
+}
+
+RunningStats TopoNet::pooled_delay() const {
+  RunningStats out;
+  for (const auto& s : sinks_) {
+    if (const auto* tcp = dynamic_cast<const TcpSink*>(s.get())) {
+      out.merge(tcp->delay());
+    } else if (const auto* udp = dynamic_cast<const UdpSink*>(s.get())) {
+      out.merge(udp->delay());
+    }
+  }
+  return out;
+}
+
+std::uint64_t TopoNet::routing_errors() const {
+  std::uint64_t total = 0;
+  for (const auto& n : nodes_) total += n->routing_errors();
+  return total;
+}
+
+}  // namespace burst

@@ -1,0 +1,116 @@
+// TopoNet: builds the live Node/SimplexLink/queue graph described by a
+// TopoSpec. This is the generalized back end of the hard-coded Dumbbell
+// and Tandem classes, which now delegate to it.
+//
+// Determinism contract (what makes a TopoNet-built dumbbell bit-identical
+// to the historical hard-coded one):
+//   * Nodes are created in id order 0..total_nodes()-1.
+//   * Link statements expand in declaration order; a group endpoint
+//     expands member-by-member within the statement.
+//   * RNG fork discipline: every expanded link with an EXPLICIT queue
+//     spec consumes exactly one sim.rng().fork() (in expansion order),
+//     whether or not the discipline is randomized — then every flow's
+//     Poisson source consumes one fork, in flow order. Default-queue
+//     links fork nothing.
+//   * Routing is static: per-node BFS over the expanded graph, out-links
+//     in expansion order, so the first declared shortest path wins.
+//     Route-table layout never affects packet timing, only next hops.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/app/poisson_source.hpp"
+#include "src/net/flow_monitor.hpp"
+#include "src/net/node.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/transport_trace.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/topo/spec.hpp"
+#include "src/transport/tcp_sender.hpp"
+#include "src/transport/tcp_sink.hpp"
+#include "src/transport/udp.hpp"
+
+namespace burst {
+
+/// Trace-site labels used by TopoNet::attach_trace. The Dumbbell wrapper
+/// passes its historical names so trace files stay stable.
+struct TopoTraceNames {
+  const char* queue_site = "queue:measured";
+  const char* link_site = "link:measured";
+  const char* sink_site = "sink:measured";
+};
+
+/// Metric-name prefixes for the measured queue/link counters.
+struct TopoMetricNames {
+  const char* queue = "queue.measured";
+  const char* link = "link.measured";
+};
+
+class TopoNet {
+ public:
+  TopoNet(Simulator& sim, const TopoSpec& spec);
+
+  /// Starts every flow's traffic source.
+  void start_sources();
+
+  /// Expanded link for member @p member of link statement @p statement.
+  SimplexLink& link(int statement, int member = 0);
+  /// The spec's measured link (its queue is the bottleneck under study).
+  SimplexLink& measured_link() { return *measured_; }
+  const SimplexLink& measured_link() const { return *measured_; }
+  Queue& measured_queue() { return measured_->queue(); }
+
+  /// Wires the measured queue/link, every TCP sink, every source, a
+  /// TransportTracer per TCP sender, a Vegas Diff tap where applicable,
+  /// and a drop-clustering FlowMonitor into @p sink. Call at most once;
+  /// @p sink must outlive the run.
+  void attach_trace(TraceSink& sink, const TopoTraceNames& names = {});
+
+  /// Registers measured-queue/link counters (under @p names) plus the
+  /// aggregate tcp.* / sink.* counters. Values are captured at the call.
+  void register_metrics(MetricsRegistry& registry,
+                        const TopoMetricNames& names = {}) const;
+
+  /// The drop-cluster monitor created by attach_trace() (null before).
+  const FlowMonitor* congestion_monitor() const { return monitor_.get(); }
+
+  int num_flows() const { return static_cast<int>(senders_.size()); }
+
+  Agent& sender(int i) { return *senders_.at(static_cast<std::size_t>(i)); }
+  TcpSender* tcp_sender(int i);
+  TcpSink* tcp_sink(int i);
+  UdpSink* udp_sink(int i);
+  PoissonSource& source(int i) {
+    return *sources_.at(static_cast<std::size_t>(i));
+  }
+  Node& node(int id) { return *nodes_.at(static_cast<std::size_t>(id)); }
+
+  std::uint64_t total_generated() const;
+  std::uint64_t total_delivered() const;
+  std::vector<double> per_flow_delivered() const;
+  RunningStats pooled_delay() const;
+  std::uint64_t routing_errors() const;
+
+  const TopoSpec& spec() const { return spec_; }
+
+ private:
+  Simulator& sim_;
+  TopoSpec spec_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<SimplexLink>> links_;
+  /// links_ index of each link statement's first expanded member.
+  std::vector<int> link_base_;
+  /// Expanded (from,to) node ids, parallel to links_ (routing BFS input).
+  std::vector<std::pair<int, int>> link_ends_;
+  SimplexLink* measured_ = nullptr;
+  std::vector<std::unique_ptr<Agent>> senders_;
+  std::vector<std::unique_ptr<Agent>> sinks_;
+  std::vector<std::unique_ptr<PoissonSource>> sources_;
+
+  std::vector<std::unique_ptr<TransportTracer>> tracers_;
+  std::unique_ptr<FlowMonitor> monitor_;
+};
+
+}  // namespace burst

@@ -1,0 +1,353 @@
+#include "src/topo/campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+
+#include "src/run/executor.hpp"
+#include "src/run/result_store.hpp"
+#include "src/topo/runner.hpp"
+
+namespace burst {
+namespace {
+
+struct CampToken {
+  std::string text;
+  int col = 0;  // 1-based
+};
+
+std::vector<CampToken> camp_tokenize(const std::string& line) {
+  std::vector<CampToken> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    if (i >= line.size() || line[i] == '#') break;
+    const std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t' &&
+           line[i] != '#') {
+      ++i;
+    }
+    out.push_back({line.substr(start, i - start), static_cast<int>(start) + 1});
+  }
+  return out;
+}
+
+bool camp_fail(TopoError* err, int line, int col, std::string msg) {
+  err->line = line;
+  err->col = col;
+  err->message = std::move(msg);
+  return false;
+}
+
+}  // namespace
+
+std::size_t TopoCampaignSpec::num_points() const {
+  std::size_t n = scenario_files.size();
+  for (const TopoCampaignSweep& s : sweeps) n *= s.values.size();
+  return n;
+}
+
+bool parse_camp(const std::string& text, const std::string& default_name,
+                const std::string& base_dir, TopoCampaignSpec* out,
+                TopoError* err) {
+  TopoCampaignSpec spec;
+  spec.name = default_name;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::vector<CampToken> tok = camp_tokenize(line);
+    if (tok.empty()) continue;
+    const std::string& kw = tok[0].text;
+    if (kw == "campaign") {
+      if (tok.size() != 2) {
+        return camp_fail(err, lineno, tok[0].col, "expected: campaign NAME");
+      }
+      spec.name = tok[1].text;
+    } else if (kw == "scenario") {
+      if (tok.size() != 2) {
+        return camp_fail(err, lineno, tok[0].col, "expected: scenario PATH");
+      }
+      std::filesystem::path p(tok[1].text);
+      if (p.is_relative() && !base_dir.empty()) {
+        p = std::filesystem::path(base_dir) / p;
+      }
+      spec.scenario_files.push_back(p.string());
+    } else if (kw == "metric") {
+      if (tok.size() != 2) {
+        return camp_fail(err, lineno, tok[0].col, "expected: metric NAME");
+      }
+      if (!topo_campaign_metric(tok[1].text)) {
+        return camp_fail(err, lineno, tok[1].col,
+                         "unknown metric '" + tok[1].text + "'");
+      }
+      spec.metric = tok[1].text;
+    } else if (kw == "set") {
+      if (tok.size() != 3) {
+        return camp_fail(err, lineno, tok[0].col, "expected: set FIELD VALUE");
+      }
+      spec.sets.emplace_back(tok[1].text, tok[2].text);
+    } else if (kw == "sweep") {
+      if (tok.size() < 3) {
+        return camp_fail(err, lineno, tok[0].col,
+                         "expected: sweep FIELD V1 [V2 ...]");
+      }
+      TopoCampaignSweep sw;
+      sw.field = tok[1].text;
+      for (std::size_t i = 2; i < tok.size(); ++i) {
+        sw.values.push_back(tok[i].text);
+      }
+      for (const TopoCampaignSweep& prev : spec.sweeps) {
+        if (prev.field == sw.field) {
+          return camp_fail(err, lineno, tok[1].col,
+                           "duplicate sweep axis '" + sw.field + "'");
+        }
+      }
+      spec.sweeps.push_back(std::move(sw));
+    } else {
+      return camp_fail(err, lineno, tok[0].col,
+                       "unknown statement '" + kw + "'");
+    }
+  }
+  if (spec.scenario_files.empty()) {
+    return camp_fail(err, 0, 0, "campaign declares no scenario files");
+  }
+  *out = std::move(spec);
+  return true;
+}
+
+bool load_camp_file(const std::string& path, TopoCampaignSpec* out,
+                    TopoError* err) {
+  std::ifstream in(path);
+  if (!in) return camp_fail(err, 0, 0, "cannot read file");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::filesystem::path p(path);
+  return parse_camp(buf.str(), p.stem().string(), p.parent_path().string(),
+                    out, err);
+}
+
+double (*topo_campaign_metric(const std::string& name))(
+    const ExperimentResult&) {
+  using R = const ExperimentResult&;
+  if (name == "cov") return +[](R r) { return r.cov; };
+  if (name == "poisson_cov") return +[](R r) { return r.poisson_cov; };
+  if (name == "mean_per_bin") return +[](R r) { return r.mean_per_bin; };
+  if (name == "loss_pct") return +[](R r) { return r.loss_pct; };
+  if (name == "delivered") {
+    return +[](R r) { return static_cast<double>(r.delivered); };
+  }
+  if (name == "gw_arrivals") {
+    return +[](R r) { return static_cast<double>(r.gw_arrivals); };
+  }
+  if (name == "gw_drops") {
+    return +[](R r) { return static_cast<double>(r.gw_drops); };
+  }
+  if (name == "timeouts") {
+    return +[](R r) { return static_cast<double>(r.timeouts); };
+  }
+  if (name == "fast_retransmits") {
+    return +[](R r) { return static_cast<double>(r.fast_retransmits); };
+  }
+  if (name == "retransmits") {
+    return +[](R r) { return static_cast<double>(r.retransmits); };
+  }
+  if (name == "timeout_dupack_ratio") {
+    return +[](R r) { return r.timeout_dupack_ratio; };
+  }
+  if (name == "fairness") return +[](R r) { return r.fairness; };
+  if (name == "mean_delay") return +[](R r) { return r.delay.mean(); };
+  if (name == "max_delay") return +[](R r) { return r.delay.max(); };
+  return nullptr;
+}
+
+std::optional<TopoCampaignOutput> run_topo_campaign(
+    const TopoCampaignSpec& spec, const TopoCampaignOptions& opts,
+    TopoError* err) {
+  TopoCampaignOutput out;
+  out.name = spec.name;
+  double (*metric)(const ExperimentResult&) = topo_campaign_metric(spec.metric);
+  if (!metric) {
+    camp_fail(err, 0, 0, "unknown metric '" + spec.metric + "'");
+    return std::nullopt;
+  }
+
+  // Does the campaign pin the seed itself? Then honor it verbatim.
+  bool seed_fixed = false;
+  for (const auto& [field, value] : spec.sets) {
+    if (field == "seed") seed_fixed = true;
+  }
+  for (const TopoCampaignSweep& s : spec.sweeps) {
+    if (s.field == "seed") seed_fixed = true;
+  }
+
+  // ---- Expand: files x cartesian sweep product; re-parse per point so
+  // $field substitution sees each point's overrides. ---------------------
+  std::vector<TopoSpec> specs;
+  for (const std::string& file : spec.scenario_files) {
+    std::vector<std::size_t> idx(spec.sweeps.size(), 0);
+    for (;;) {
+      TopoOverrides overrides = spec.sets;
+      TopoCampaignPoint pt;
+      pt.scenario = std::filesystem::path(file).stem().string();
+      for (std::size_t a = 0; a < spec.sweeps.size(); ++a) {
+        const std::string& field = spec.sweeps[a].field;
+        const std::string& value = spec.sweeps[a].values[idx[a]];
+        overrides.emplace_back(field, value);
+        pt.assignment.emplace_back(field, value);
+        if (!pt.label.empty()) pt.label += ' ';
+        pt.label += field + "=" + value;
+      }
+      TopoError perr;
+      auto parsed = load_topo_file(file, &perr, overrides);
+      if (!parsed) {
+        camp_fail(err, 0, 0, perr.render(file));
+        return std::nullopt;
+      }
+      if (!seed_fixed) {
+        // Value-keyed, not index-keyed: the same (file, assignment) point
+        // gets the same seed regardless of sweep ordering or worker.
+        parsed->scenario.seed = derive_seed(
+            parsed->scenario.seed, pt.scenario + " " + pt.label, 0);
+      }
+      pt.seed = parsed->scenario.seed;
+      pt.num_clients = parsed->scenario.num_clients;
+      pt.key = topo_key(*parsed);
+      out.points.push_back(std::move(pt));
+      specs.push_back(std::move(*parsed));
+
+      std::size_t a = 0;
+      for (; a < idx.size(); ++a) {
+        if (++idx[a] < spec.sweeps[a].values.size()) break;
+        idx[a] = 0;
+      }
+      if (idx.empty() || a == idx.size()) break;
+    }
+  }
+  out.stats.planned = out.points.size();
+
+  // ---- Dedup identical fingerprints across points. ---------------------
+  std::vector<std::size_t> point_to_unique(out.points.size());
+  std::vector<std::size_t> unique_points;  // representative point index
+  std::unordered_map<ScenarioKey, std::size_t, ScenarioKeyHash> by_key;
+  for (std::size_t i = 0; i < out.points.size(); ++i) {
+    const auto [it, inserted] =
+        by_key.emplace(out.points[i].key, unique_points.size());
+    if (inserted) unique_points.push_back(i);
+    point_to_unique[i] = it->second;
+  }
+  out.stats.unique = unique_points.size();
+
+  // ---- Probe the store, then farm the misses. --------------------------
+  std::unique_ptr<ResultStore> store;
+  if (opts.use_cache && !opts.cache_dir.empty()) {
+    store = std::make_unique<ResultStore>(opts.cache_dir);
+    out.stats.store_skipped = store->skipped_entries();
+  }
+  std::vector<ExperimentResult> results(unique_points.size());
+  std::vector<std::size_t> misses;
+  for (std::size_t u = 0; u < unique_points.size(); ++u) {
+    const ScenarioKey& key = out.points[unique_points[u]].key;
+    if (store) {
+      if (auto cached = store->get(key)) {
+        results[u] = std::move(*cached);
+        results[u].scenario = specs[unique_points[u]].scenario;
+        ++out.stats.cache_hits;
+        continue;
+      }
+    }
+    misses.push_back(u);
+  }
+  if (opts.log) {
+    *opts.log << "campaign " << spec.name << ": " << out.stats.planned
+              << " points, " << out.stats.unique << " unique, "
+              << out.stats.cache_hits << " cache hits, " << misses.size()
+              << " to simulate" << std::endl;
+  }
+  if (!misses.empty()) {
+    unsigned threads = opts.threads;
+    if (threads == 0) {
+      threads = static_cast<unsigned>(std::min<std::size_t>(
+          std::max(1u, std::thread::hardware_concurrency()), misses.size()));
+    }
+    std::atomic<std::size_t> simulated{0};
+    std::atomic<std::size_t> farmed{0};
+    Executor executor(threads);
+    executor.run(misses.size(), [&](std::size_t i) {
+      const std::size_t u = misses[i];
+      const TopoSpec& ts = specs[unique_points[u]];
+      const ScenarioKey& key = out.points[unique_points[u]].key;
+      if (!store) {
+        results[u] = run_topo_experiment(ts);
+        simulated.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      for (bool settled = false; !settled;) {
+        switch (store->try_claim(key)) {
+          case ClaimStatus::kAcquired:
+            results[u] = run_topo_experiment(ts);
+            simulated.fetch_add(1, std::memory_order_relaxed);
+            store->publish(key, results[u]);
+            settled = true;
+            break;
+          case ClaimStatus::kDone:
+            if (auto cached = store->get(key)) {
+              results[u] = std::move(*cached);
+              results[u].scenario = ts.scenario;
+              farmed.fetch_add(1, std::memory_order_relaxed);
+            } else {
+              results[u] = run_topo_experiment(ts);
+              simulated.fetch_add(1, std::memory_order_relaxed);
+            }
+            settled = true;
+            break;
+          case ClaimStatus::kBusy:
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+            break;
+        }
+      }
+    });
+    out.stats.simulated = simulated.load();
+    out.stats.farmed_out = farmed.load();
+  }
+  for (std::size_t i = 0; i < out.points.size(); ++i) {
+    out.points[i].result = results[point_to_unique[i]];
+  }
+
+  // ---- CSV artifact: one row per point, grouped-by-scenario friendly
+  // (scripts/plot_figures.py splits series on the scenario column). ------
+  if (!opts.artifact_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(opts.artifact_dir, ec);
+    const std::string path = opts.artifact_dir + "/" + spec.name + ".csv";
+    std::ofstream csv(path, std::ios::trunc);
+    csv << "scenario,label,key,seed,clients";
+    for (const TopoCampaignSweep& s : spec.sweeps) csv << ',' << s.field;
+    csv << ',' << spec.metric << '\n';
+    csv.precision(17);
+    for (const TopoCampaignPoint& pt : out.points) {
+      csv << pt.scenario << ',' << pt.label << ',' << pt.key.hex() << ','
+          << pt.seed << ',' << pt.num_clients;
+      for (const auto& [field, value] : pt.assignment) csv << ',' << value;
+      csv << ',' << metric(pt.result) << '\n';
+    }
+    csv.flush();
+    if (csv) {
+      out.csv_path = path;
+      if (opts.log) *opts.log << "campaign: wrote " << path << std::endl;
+    } else if (opts.log) {
+      *opts.log << "campaign: failed to write " << path << std::endl;
+    }
+  }
+  return out;
+}
+
+}  // namespace burst

@@ -1,0 +1,113 @@
+// Scenario-file campaigns: a `.camp` spec sweeps fields over one or more
+// `.topo` topology files and farms the points through the shared
+// ResultStore claim protocol, so any number of worker processes can chew
+// on the same campaign concurrently with zero duplicated simulations and
+// crash-safe resume.
+//
+// Grammar (one statement per line, `#` comments):
+//
+//   campaign NAME            # optional; defaults to the file stem
+//   scenario PATH            # repeatable; relative to the .camp file
+//   metric NAME              # CSV metric column (default: cov)
+//   set FIELD VALUE          # fixed override applied to every point
+//   sweep FIELD V1 V2 ...    # cartesian axis; repeatable
+//
+// Points = scenario files x the cartesian product of every sweep axis.
+// Each point re-parses its .topo file with `set` + sweep assignments as
+// overrides, so validation and fingerprinting see exactly what will run.
+// Unless `seed` itself is set or swept, each point's seed is derived from
+// (file seed, "<scenario> <label>") — decorrelated across points, stable
+// across runs and worker counts.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/experiment.hpp"
+#include "src/run/scenario_key.hpp"
+#include "src/topo/parser.hpp"
+
+namespace burst {
+
+struct TopoCampaignSweep {
+  std::string field;
+  std::vector<std::string> values;
+};
+
+struct TopoCampaignSpec {
+  std::string name;
+  std::string metric = "cov";
+  std::vector<std::string> scenario_files;  // resolved against the .camp dir
+  TopoOverrides sets;
+  std::vector<TopoCampaignSweep> sweeps;
+
+  /// scenario_files.size() x product of sweep axis sizes.
+  std::size_t num_points() const;
+};
+
+/// Parses a `.camp` spec. Relative `scenario` paths are resolved against
+/// @p base_dir. Returns false and fills *err on malformed input.
+bool parse_camp(const std::string& text, const std::string& default_name,
+                const std::string& base_dir, TopoCampaignSpec* out,
+                TopoError* err);
+
+/// Reads and parses @p path; campaign name defaults to the file stem.
+bool load_camp_file(const std::string& path, TopoCampaignSpec* out,
+                    TopoError* err);
+
+/// Looks up a scalar ExperimentResult metric by `.camp` metric name
+/// (cov, poisson_cov, loss_pct, delivered, timeouts, fairness,
+/// mean_delay, ...). Returns nullptr for unknown names.
+double (*topo_campaign_metric(const std::string& name))(
+    const ExperimentResult&);
+
+struct TopoCampaignPoint {
+  std::string scenario;  // topo file stem
+  std::string label;     // "field=v field=v" sweep assignment, "" if none
+  std::vector<std::pair<std::string, std::string>> assignment;
+  ScenarioKey key;
+  std::uint64_t seed = 0;
+  int num_clients = 0;
+  ExperimentResult result;
+};
+
+struct TopoCampaignOptions {
+  /// ResultStore directory shared by every worker; empty disables both
+  /// caching and cross-worker claim coordination.
+  std::string cache_dir;
+  bool use_cache = true;
+  unsigned threads = 0;  // 0 = hardware concurrency
+  /// Where `<name>.csv` goes; empty disables the artifact.
+  std::string artifact_dir;
+  std::ostream* log = nullptr;
+};
+
+struct TopoCampaignStats {
+  std::size_t planned = 0;
+  std::size_t unique = 0;
+  std::size_t cache_hits = 0;   // served from the store at probe time
+  std::size_t simulated = 0;    // run by THIS worker
+  std::size_t farmed_out = 0;   // run by a concurrent worker, absorbed
+  std::size_t store_skipped = 0;
+};
+
+struct TopoCampaignOutput {
+  std::string name;
+  std::vector<TopoCampaignPoint> points;
+  TopoCampaignStats stats;
+  std::string csv_path;  // "" unless the artifact was written
+};
+
+/// Expands, validates, simulates (claim-aware when a cache_dir is set)
+/// and optionally persists a campaign. Returns nullopt and fills *err on
+/// any spec/topology error; the error's file context is already rendered
+/// into err->message where it concerns a scenario file.
+std::optional<TopoCampaignOutput> run_topo_campaign(
+    const TopoCampaignSpec& spec, const TopoCampaignOptions& opts,
+    TopoError* err);
+
+}  // namespace burst

@@ -1,0 +1,132 @@
+#include "src/topo/runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+
+#include "src/stats/binned_counter.hpp"
+#include "src/stats/fairness.hpp"
+#include "src/topo/builder.hpp"
+
+namespace burst {
+
+ExperimentResult run_topo_experiment(const TopoSpec& spec,
+                                     const ExperimentOptions& options,
+                                     bool force_generic) {
+  if (!force_generic && is_canonical_dumbbell(spec)) {
+    return run_experiment(spec.scenario, options);
+  }
+
+  const Scenario& sc = spec.scenario;
+  Simulator sim(sc.seed);
+  TopoNet net(sim, spec);
+  if (options.trace != nullptr) net.attach_trace(*options.trace);
+
+  MetricsRegistry registry;
+  Histogram& qlen_hist = registry.histogram(
+      "queue.measured.len_at_arrival", {0, 1, 2, 4, 8, 16, 32, 64, 128});
+  BinnedCounter arrivals(sc.rtt_prop(), sc.warmup);
+  Queue& measured = net.measured_queue();
+  measured.taps().add_arrival_listener([&](const Packet& p, Time) {
+    if (p.type != PacketType::kData) return;
+    arrivals.record(sim.now());
+    qlen_hist.add(static_cast<double>(measured.len()));
+  });
+
+  ExperimentResult result;
+  result.scenario = sc;
+  result.cwnd_traces.reserve(options.trace_clients.size());
+  for (int c : options.trace_clients) {
+    result.cwnd_traces.emplace_back("client " + std::to_string(c + 1));
+  }
+  std::size_t ti = 0;
+  for (int c : options.trace_clients) {
+    if (c >= 0 && c < net.num_flows()) {
+      if (TcpSender* s = net.tcp_sender(c)) {
+        s->set_cwnd_trace(&result.cwnd_traces[ti]);
+        if (options.cwnd_sample_period > 0.0) {
+          struct Sampler {
+            static void arm(Simulator& sim, TcpSender* s, TraceSeries* t,
+                            Time period, Time until) {
+              if (sim.now() + period > until) return;
+              sim.schedule(period, [&sim, s, t, period, until] {
+                t->record(sim.now(), s->cwnd());
+                arm(sim, s, t, period, until);
+              });
+            }
+          };
+          Sampler::arm(sim, s, &result.cwnd_traces[ti],
+                       options.cwnd_sample_period, sc.duration);
+        }
+      }
+    }
+    ++ti;
+  }
+
+  net.start_sources();
+  const auto wall0 = std::chrono::steady_clock::now();
+  sim.run(sc.duration);
+  result.sim_wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
+  result.sim_events = sim.events_run();
+  result.peak_pending = sim.scheduler().peak_pending();
+  if (result.sim_wall_s > 0.0) {
+    result.events_per_sec =
+        static_cast<double>(result.sim_events) / result.sim_wall_s;
+  }
+
+  const RunningStats bin_stats = arrivals.stats_until(sc.duration);
+  result.cov = bin_stats.cov();
+  result.mean_per_bin = bin_stats.mean();
+  // Analytic reference: pool every flow's Poisson rate, as if they were n
+  // identical sources at the average rate (exact when they are).
+  {
+    double rate_sum = 0.0;
+    int n = 0;
+    for (const TopoFlowSpec& f : spec.flows) {
+      const int members = spec.node_count(f.src);
+      rate_sum += static_cast<double>(members) / f.mean_interarrival;
+      n += members;
+    }
+    if (n > 0) {
+      result.poisson_cov =
+          poisson_aggregate_cov(n, rate_sum / n, sc.rtt_prop());
+    }
+  }
+
+  result.app_generated = net.total_generated();
+  result.delivered = net.total_delivered();
+  const QueueStats& qs = measured.stats();
+  result.gw_arrivals = qs.arrivals;
+  result.gw_drops = qs.drops;
+  result.loss_pct = 100.0 * qs.loss_fraction();
+
+  for (int i = 0; i < net.num_flows(); ++i) {
+    if (const TcpSender* s = net.tcp_sender(i)) {
+      const TcpSenderStats& st = s->stats();
+      result.timeouts += st.timeouts;
+      result.fast_retransmits += st.fast_retransmits;
+      result.dupacks += st.dupacks;
+      result.retransmits += st.retransmits;
+      result.data_pkts_sent += st.data_pkts_sent;
+    }
+  }
+  if (result.timeouts > 0 || result.dupacks > 0) {
+    result.timeout_dupack_ratio =
+        static_cast<double>(result.timeouts) /
+        static_cast<double>(std::max<std::uint64_t>(result.dupacks, 1));
+  }
+  result.fairness = jain_fairness(net.per_flow_delivered());
+  result.delay = net.pooled_delay();
+  result.routing_errors = net.routing_errors();
+
+  net.register_metrics(registry);
+  registry.add_counter("sched.events", result.sim_events);
+  registry.add_counter("sched.peak_pending", result.peak_pending);
+  registry.add_counter("sched.scheduled", sim.scheduler().scheduled_count());
+  result.metrics = registry.snapshot();
+  return result;
+}
+
+}  // namespace burst

@@ -1,0 +1,23 @@
+// Runs one TopoSpec end to end and collects the same ExperimentResult the
+// dumbbell pipeline produces, with the spec's measured link standing in
+// for the gateway bottleneck.
+//
+// Canonical-dumbbell fast path: a spec whose graph IS the paper dumbbell
+// (see is_canonical_dumbbell) delegates to run_experiment() so the result
+// — including metric names and the pinned identity hashes — is
+// bit-identical to the hard-coded path. Everything else runs through the
+// generic TopoNet with "queue.measured"/"link.measured" metric names.
+#pragma once
+
+#include "src/core/experiment.hpp"
+#include "src/topo/spec.hpp"
+
+namespace burst {
+
+/// @p force_generic skips the canonical-dumbbell delegation (test hook:
+/// the generic path must reproduce the delegated one's dynamics).
+ExperimentResult run_topo_experiment(const TopoSpec& spec,
+                                     const ExperimentOptions& options = {},
+                                     bool force_generic = false);
+
+}  // namespace burst

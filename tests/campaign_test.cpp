@@ -126,7 +126,7 @@ TEST(Campaign, NoCacheOptionBypassesTheStore) {
   const auto out = run_campaign(sweeps, opts);
   EXPECT_EQ(out.stats.cache_hits, 0u);
   EXPECT_EQ(out.stats.simulated, out.stats.unique);
-  EXPECT_FALSE(fs::exists(cache + "/results.jsonl"));  // nothing written
+  EXPECT_FALSE(fs::exists(cache));  // store never opened, nothing written
 }
 
 TEST(Campaign, CorruptedCacheFallsBackToSimulation) {
@@ -138,15 +138,23 @@ TEST(Campaign, CorruptedCacheFallsBackToSimulation) {
   EXPECT_EQ(cold.stats.simulated, cold.stats.unique);
 
   // Truncate every stored line halfway: all entries become unreadable.
-  const std::string shard = cache + "/results.jsonl";
-  {
-    std::ifstream in(shard);
+  std::size_t truncated = 0;
+  for (const auto& entry : fs::directory_iterator(cache)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("shard-", 0) != 0) continue;
     std::vector<std::string> lines;
-    for (std::string l; std::getline(in, l);) lines.push_back(l);
-    ASSERT_FALSE(lines.empty());
-    std::ofstream out(shard, std::ios::trunc);
-    for (const auto& l : lines) out << l.substr(0, l.size() / 2) << "\n";
+    {
+      std::ifstream in(entry.path());
+      for (std::string l; std::getline(in, l);) lines.push_back(l);
+    }
+    std::ofstream out(entry.path(), std::ios::trunc);
+    for (const auto& l : lines) {
+      out << l.substr(0, l.size() / 2) << "\n";
+      ++truncated;
+    }
   }
+  ASSERT_GT(truncated, 0u);
 
   const auto rerun = run_campaign(sweeps, opts);
   EXPECT_EQ(rerun.stats.cache_hits, 0u);

@@ -111,8 +111,8 @@ TEST(ResultStore, PutGetAndReopen) {
     store.put(key, r);
     EXPECT_TRUE(store.contains(key));
     ASSERT_TRUE(store.flush());
-    // flush leaves no temp file behind.
-    EXPECT_FALSE(fs::exists(store.shard_path() + ".tmp"));
+    // The entry landed in the segment its key hashes to.
+    EXPECT_TRUE(fs::exists(store.segment_path(key)));
   }
   ResultStore reopened(dir);
   EXPECT_EQ(reopened.size(), 1u);
@@ -134,17 +134,19 @@ TEST(ResultStore, SkipsCorruptAndTruncatedLines) {
   const std::string dir = fresh_dir("store_corrupt");
   const ScenarioKey key = scenario_key(Scenario::paper_default());
   std::string good_line;
+  std::string segment;
   {
     ResultStore store(dir);
     store.put(key, sample_result());
     ASSERT_TRUE(store.flush());
-    std::ifstream in(store.shard_path());
+    segment = store.segment_path(key);
+    std::ifstream in(segment);
     std::getline(in, good_line);
   }
-  // Rewrite the shard: garbage, a truncated copy of the good line, an
+  // Rewrite the segment: garbage, a truncated copy of the good line, an
   // empty line, then the good line itself.
   {
-    std::ofstream out(dir + "/results.jsonl", std::ios::trunc);
+    std::ofstream out(segment, std::ios::trunc);
     out << "!!! not a json line\n"
         << good_line.substr(0, good_line.size() / 2) << "\n"
         << "\n"
@@ -162,11 +164,13 @@ TEST(ResultStore, IgnoresOtherSchemaVersions) {
   const std::string dir = fresh_dir("store_schema");
   const ScenarioKey key = scenario_key(Scenario::paper_default());
   std::string good_line;
+  std::string segment;
   {
     ResultStore store(dir);
     store.put(key, sample_result());
     ASSERT_TRUE(store.flush());
-    std::ifstream in(store.shard_path());
+    segment = store.segment_path(key);
+    std::ifstream in(segment);
     std::getline(in, good_line);
   }
   // Bump the schema number inside the stored line.
@@ -178,13 +182,40 @@ TEST(ResultStore, IgnoresOtherSchemaVersions) {
   stale.replace(at, needle.size(),
                 "\"schema\":" + std::to_string(kResultSchemaVersion + 1));
   {
-    std::ofstream out(dir + "/results.jsonl", std::ios::trunc);
+    std::ofstream out(segment, std::ios::trunc);
     out << stale << "\n";
   }
   ResultStore store(dir);
   EXPECT_EQ(store.size(), 0u);
   EXPECT_EQ(store.skipped_entries(), 1u);
   EXPECT_FALSE(store.get(key).has_value());  // never serves stale schema
+}
+
+TEST(ResultStore, LoadsPreShardingLegacyFile) {
+  const std::string dir = fresh_dir("store_legacy");
+  const ScenarioKey key = scenario_key(Scenario::paper_default());
+  std::string good_line;
+  {
+    ResultStore store(dir);
+    store.put(key, sample_result());
+    ASSERT_TRUE(store.flush());
+    std::ifstream in(store.segment_path(key));
+    std::getline(in, good_line);
+  }
+  // Simulate a cache written before sharding: the same envelope line in
+  // results.jsonl, no segment files.
+  const std::string legacy = fresh_dir("store_legacy2");
+  fs::create_directories(legacy);
+  {
+    std::ofstream out(legacy + "/results.jsonl");
+    out << good_line << "\n";
+  }
+  ResultStore store(legacy);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.skipped_entries(), 0u);
+  const auto got = store.get(key);
+  ASSERT_TRUE(got.has_value());
+  expect_bit_identical(sample_result(), *got);
 }
 
 TEST(ResultStore, OverwriteReplacesEntry) {

@@ -1,0 +1,180 @@
+// Multi-handle / multi-process behavior of ResultStore: the guarantees
+// the campaign farm stands on. Handles here are separate ResultStore
+// objects on one directory — exactly what two worker processes (or two
+// threads that refuse to share) look like to the filesystem.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "src/run/result_store.hpp"
+
+namespace burst {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+ScenarioKey key_for(std::uint64_t seed) {
+  Scenario sc = Scenario::paper_default();
+  sc.seed = seed;
+  return scenario_key(sc);
+}
+
+ExperimentResult result_stamped(std::uint64_t stamp) {
+  ExperimentResult r;
+  r.delivered = stamp;
+  r.app_generated = stamp * 2;
+  r.cov = 1.0 + static_cast<double>(stamp) / 7.0;
+  for (double d : {0.01, 0.02, 0.04}) r.delay.add(d);
+  return r;
+}
+
+TEST(StoreConcurrency, RacingHandlesLoseNoEntries) {
+  const std::string dir = fresh_dir("conc_race");
+  constexpr int kPerWorker = 24;
+  // Two workers, each with its own handle, interleaving put+flush on the
+  // same directory. flock serializes the appends; nothing may vanish.
+  const auto worker = [&](int base) {
+    ResultStore store(dir);
+    for (int i = 0; i < kPerWorker; ++i) {
+      const std::uint64_t stamp =
+          static_cast<std::uint64_t>(base + i);
+      store.put(key_for(stamp), result_stamped(stamp));
+      ASSERT_TRUE(store.flush());
+    }
+  };
+  std::thread a(worker, 1000);
+  std::thread b(worker, 2000);
+  a.join();
+  b.join();
+  ResultStore check(dir);
+  EXPECT_EQ(check.size(), 2u * kPerWorker);
+  EXPECT_EQ(check.skipped_entries(), 0u);
+  for (int base : {1000, 2000}) {
+    for (int i = 0; i < kPerWorker; ++i) {
+      const std::uint64_t stamp = static_cast<std::uint64_t>(base + i);
+      const auto got = check.get(key_for(stamp));
+      ASSERT_TRUE(got.has_value()) << "lost entry " << stamp;
+      EXPECT_EQ(got->delivered, stamp);
+    }
+  }
+}
+
+TEST(StoreConcurrency, RefreshAbsorbsOtherHandlesAppends) {
+  const std::string dir = fresh_dir("conc_refresh");
+  ResultStore reader(dir);
+  const ScenarioKey key = key_for(7);
+  EXPECT_FALSE(reader.contains(key));
+  {
+    ResultStore writer(dir);
+    writer.put(key, result_stamped(7));
+    ASSERT_TRUE(writer.flush());
+  }
+  EXPECT_FALSE(reader.contains(key));  // not yet absorbed
+  reader.refresh();
+  ASSERT_TRUE(reader.contains(key));
+  EXPECT_EQ(reader.get(key)->delivered, 7u);
+}
+
+TEST(StoreConcurrency, ClaimProtocolHandsOneOwnerPerKey) {
+  const std::string dir = fresh_dir("conc_claim");
+  ResultStore a(dir);
+  ResultStore b(dir);
+  const ScenarioKey key = key_for(42);
+
+  EXPECT_EQ(a.try_claim(key), ClaimStatus::kAcquired);
+  // Same pid, different handle: the claim is held, so B must wait.
+  EXPECT_EQ(b.try_claim(key), ClaimStatus::kBusy);
+
+  a.publish(key, result_stamped(42));
+  EXPECT_FALSE(fs::exists(a.claim_path(key)));  // claim released
+  EXPECT_EQ(b.try_claim(key), ClaimStatus::kDone);
+  b.refresh();
+  EXPECT_EQ(b.get(key)->delivered, 42u);
+}
+
+TEST(StoreConcurrency, AbandonReleasesWithoutPublishing) {
+  const std::string dir = fresh_dir("conc_abandon");
+  ResultStore a(dir);
+  ResultStore b(dir);
+  const ScenarioKey key = key_for(9);
+  EXPECT_EQ(a.try_claim(key), ClaimStatus::kAcquired);
+  a.abandon(key);
+  EXPECT_EQ(b.try_claim(key), ClaimStatus::kAcquired);
+  EXPECT_FALSE(b.contains(key));
+}
+
+TEST(StoreConcurrency, DeadWorkersClaimIsStolen) {
+  const std::string dir = fresh_dir("conc_steal");
+  const ScenarioKey key = key_for(13);
+  // A worker process claims the key and dies without publishing — the
+  // kill-one-worker-mid-campaign scenario.
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    ResultStore worker(dir);
+    (void)worker.try_claim(key);
+    ::_exit(0);  // no abandon, no publish: the claim file stays behind
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+
+  ResultStore survivor(dir);
+  ASSERT_TRUE(fs::exists(survivor.claim_path(key)));
+  // The surviving worker detects the dead pid, steals the claim, and
+  // picks up exactly this unfinished point.
+  EXPECT_EQ(survivor.try_claim(key), ClaimStatus::kAcquired);
+  survivor.publish(key, result_stamped(13));
+  EXPECT_EQ(survivor.try_claim(key), ClaimStatus::kDone);
+}
+
+TEST(StoreConcurrency, TornTailIsToleratedAndHealed) {
+  const std::string dir = fresh_dir("conc_torn");
+  const ScenarioKey k1 = key_for(1);
+  std::string segment;
+  {
+    ResultStore store(dir);
+    store.put(k1, result_stamped(1));
+    ASSERT_TRUE(store.flush());
+    segment = store.segment_path(k1);
+  }
+  // A crashed writer left half a line with no newline at the tail.
+  {
+    std::ofstream out(segment, std::ios::app);
+    out << "{\"key\":\"00000000000000000000000000";  // torn, no '\n'
+  }
+  // Find a second key living in the same segment, so the next append
+  // exercises the newline-heal on exactly this file.
+  std::uint64_t seed = 100;
+  while (ResultStore::segment_of(key_for(seed)) !=
+         ResultStore::segment_of(k1)) {
+    ++seed;
+  }
+  const ScenarioKey k2 = key_for(seed);
+  {
+    ResultStore store(dir);
+    EXPECT_EQ(store.get(k1)->delivered, 1u);  // torn tail didn't poison k1
+    store.put(k2, result_stamped(seed));
+    ASSERT_TRUE(store.flush());  // heals: newline before the new entry
+  }
+  ResultStore check(dir);
+  EXPECT_EQ(check.size(), 2u);
+  EXPECT_EQ(check.get(k1)->delivered, 1u);
+  EXPECT_EQ(check.get(k2)->delivered, seed);
+  EXPECT_EQ(check.skipped_entries(), 1u);  // the torn line, now whole+bogus
+}
+
+}  // namespace
+}  // namespace burst

@@ -1,0 +1,121 @@
+#include "src/topo/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.hpp"
+#include "src/topo/parser.hpp"
+#include "src/topo/runner.hpp"
+#include "src/topo/spec.hpp"
+
+namespace burst {
+namespace {
+
+Scenario small_scenario() {
+  Scenario sc = Scenario::paper_default();
+  sc.num_clients = 10;
+  sc.duration = 5.0;
+  return sc;
+}
+
+void expect_same_run(const ExperimentResult& a, const ExperimentResult& b) {
+  // Bit-identical scalars, including the event count: the two paths must
+  // execute the exact same simulation, not a statistically similar one.
+  EXPECT_EQ(a.cov, b.cov);
+  EXPECT_EQ(a.app_generated, b.app_generated);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.gw_arrivals, b.gw_arrivals);
+  EXPECT_EQ(a.gw_drops, b.gw_drops);
+  EXPECT_EQ(a.timeouts, b.timeouts);
+  EXPECT_EQ(a.dupacks, b.dupacks);
+  EXPECT_EQ(a.fairness, b.fairness);
+  EXPECT_EQ(a.delay.mean(), b.delay.mean());
+  EXPECT_EQ(a.sim_events, b.sim_events);
+}
+
+TEST(TopoBuilder, GenericPathReproducesTheDumbbellBitIdentically) {
+  // The load-bearing equivalence: the generic TopoNet build of
+  // make_dumbbell_spec — generic routing, generic flow wiring, generic
+  // RNG fork discipline — executes the identical event sequence as the
+  // hard-coded experiment path.
+  const Scenario sc = small_scenario();
+  const ExperimentResult direct = run_experiment(sc);
+  const ExperimentResult generic =
+      run_topo_experiment(make_dumbbell_spec(sc), {}, /*force_generic=*/true);
+  expect_same_run(direct, generic);
+}
+
+TEST(TopoBuilder, GenericPathMatchesForRedAndDelack) {
+  Scenario sc = small_scenario();
+  sc.gateway = GatewayQueue::kRed;
+  sc.delayed_ack = true;
+  sc.transport = Transport::kNewReno;
+  const ExperimentResult direct = run_experiment(sc);
+  const ExperimentResult generic =
+      run_topo_experiment(make_dumbbell_spec(sc), {}, /*force_generic=*/true);
+  expect_same_run(direct, generic);
+}
+
+TEST(TopoBuilder, CanonicalDumbbellDelegatesToTheHardCodedPath) {
+  const Scenario sc = small_scenario();
+  const ExperimentResult delegated =
+      run_topo_experiment(make_dumbbell_spec(sc));
+  expect_same_run(run_experiment(sc), delegated);
+}
+
+TEST(TopoBuilder, ParkingLotRunsClean) {
+  Scenario sc = small_scenario();
+  const ExperimentResult r =
+      run_topo_experiment(make_tandem_spec(sc, 0.9), {},
+                          /*force_generic=*/true);
+  EXPECT_EQ(r.routing_errors, 0u);
+  EXPECT_GT(r.delivered, 0u);
+  EXPECT_GT(r.cov, 0.0);
+}
+
+TEST(TopoBuilder, MultiGroupGraphRoutesEveryFlow) {
+  // Two client groups with different edge delays through two bottlenecks
+  // — a graph neither hard-coded topology can express.
+  constexpr const char* kText = R"(
+set clients 4
+set duration 5
+node near count $clients
+node far count $clients
+node gw1
+node gw2
+node server
+link gw1 gw2 rate $bottleneck_bw delay $bottleneck_delay queue droptail
+link gw2 server rate 30Mbps delay $bottleneck_delay queue droptail
+link server gw2 rate 30Mbps delay $bottleneck_delay
+link gw2 gw1 rate $bottleneck_bw delay $bottleneck_delay
+link near gw1 rate $client_bw delay 5ms
+link gw1 near rate $client_bw delay 5ms
+link far gw1 rate $client_bw delay 40ms
+link gw1 far rate $client_bw delay 40ms
+flow near server
+flow far server
+measure gw1 gw2
+)";
+  TopoError err;
+  const auto spec = parse_topo(kText, "multigroup", &err);
+  ASSERT_TRUE(spec.has_value()) << err.render("inline");
+  const ExperimentResult r = run_topo_experiment(*spec);
+  EXPECT_EQ(r.routing_errors, 0u);
+  EXPECT_GT(r.delivered, 0u);
+  // Every one of the 8 senders got packets through (fairness is defined
+  // and positive only if all flows delivered something).
+  EXPECT_GT(r.fairness, 0.0);
+  EXPECT_LE(r.fairness, 1.0);
+}
+
+TEST(TopoBuilder, MeasuredLinkFollowsTheMeasureStatement) {
+  Scenario sc = small_scenario();
+  const TopoSpec spec = make_tandem_spec(sc, 0.9);
+  Simulator sim(sc.seed);
+  TopoNet net(sim, spec);
+  // measure_link = 0 is the first bottleneck statement.
+  EXPECT_EQ(&net.measured_link(), &net.link(0));
+  EXPECT_EQ(&net.measured_queue(), &net.link(0).queue());
+}
+
+}  // namespace
+}  // namespace burst

@@ -1,0 +1,220 @@
+#include "src/topo/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace burst {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+// A fast dumbbell: 2 s simulated, short warmup, tiny client counts.
+constexpr const char* kMiniTopo = R"(set clients 3
+set duration 2
+set warmup 0.5
+node client count $clients
+node gw
+node server
+link gw server rate $bottleneck_bw delay $bottleneck_delay queue droptail
+link server gw rate $bottleneck_bw delay $bottleneck_delay
+link client gw rate $client_bw delay $client_delay
+link gw client rate $client_bw delay $client_delay
+flow client server
+measure gw server
+)";
+
+// Writes the mini topology + a two-axis campaign over it; returns the
+// parsed campaign spec.
+TopoCampaignSpec mini_campaign(const std::string& dir) {
+  {
+    std::ofstream t(dir + "/mini.topo");
+    t << kMiniTopo;
+  }
+  {
+    std::ofstream c(dir + "/mini.camp");
+    c << "campaign mini\n"
+         "scenario mini.topo\n"
+         "metric delivered\n"
+         "sweep clients 2 3\n"
+         "sweep payload_bytes 500 1000\n";
+  }
+  TopoCampaignSpec spec;
+  TopoError err;
+  EXPECT_TRUE(load_camp_file(dir + "/mini.camp", &spec, &err))
+      << err.render("mini.camp");
+  return spec;
+}
+
+TEST(TopoCampaign, ParsesTheCampFormat) {
+  const std::string dir = fresh_dir("camp_parse");
+  const TopoCampaignSpec spec = mini_campaign(dir);
+  EXPECT_EQ(spec.name, "mini");
+  EXPECT_EQ(spec.metric, "delivered");
+  ASSERT_EQ(spec.scenario_files.size(), 1u);
+  EXPECT_EQ(spec.num_points(), 4u);  // 1 file x 2 clients x 2 payloads
+
+  TopoCampaignSpec bad;
+  TopoError err;
+  EXPECT_FALSE(parse_camp("scenario a.topo\nmetric bogus\n", "x", dir, &bad,
+                          &err));
+  EXPECT_EQ(err.line, 2);
+  EXPECT_NE(err.message.find("bogus"), std::string::npos);
+  EXPECT_FALSE(parse_camp("sweep clients 1\n", "x", dir, &bad, &err));
+  EXPECT_NE(err.message.find("no scenario"), std::string::npos);
+  EXPECT_FALSE(parse_camp("frobnicate\n", "x", dir, &bad, &err));
+  EXPECT_EQ(err.line, 1);
+}
+
+TEST(TopoCampaign, ColdRunThenFullyCachedRerun) {
+  const std::string dir = fresh_dir("camp_cold_warm");
+  const TopoCampaignSpec spec = mini_campaign(dir);
+  TopoCampaignOptions opts;
+  opts.cache_dir = dir + "/cache";
+  TopoError err;
+
+  const auto cold = run_topo_campaign(spec, opts, &err);
+  ASSERT_TRUE(cold.has_value()) << err.message;
+  EXPECT_EQ(cold->stats.planned, 4u);
+  EXPECT_EQ(cold->stats.unique, 4u);
+  EXPECT_EQ(cold->stats.simulated, 4u);
+  EXPECT_EQ(cold->stats.cache_hits, 0u);
+
+  const auto warm = run_topo_campaign(spec, opts, &err);
+  ASSERT_TRUE(warm.has_value()) << err.message;
+  EXPECT_EQ(warm->stats.cache_hits, 4u);
+  EXPECT_EQ(warm->stats.simulated, 0u);
+  ASSERT_EQ(warm->points.size(), cold->points.size());
+  for (std::size_t i = 0; i < warm->points.size(); ++i) {
+    EXPECT_EQ(warm->points[i].key, cold->points[i].key);
+    EXPECT_EQ(warm->points[i].seed, cold->points[i].seed);
+    // The cache round-trips bit-identically.
+    EXPECT_EQ(warm->points[i].result.delivered,
+              cold->points[i].result.delivered);
+    EXPECT_EQ(warm->points[i].result.cov, cold->points[i].result.cov);
+  }
+}
+
+TEST(TopoCampaign, TwoConcurrentWorkersSimulateEachPointOnce) {
+  const std::string dir = fresh_dir("camp_two_workers");
+  const TopoCampaignSpec spec = mini_campaign(dir);
+  TopoCampaignOptions opts;
+  opts.cache_dir = dir + "/cache";
+  opts.threads = 1;
+  TopoError errA, errB;
+  std::optional<TopoCampaignOutput> outA, outB;
+  // Each worker is a full run_topo_campaign with its own store handle on
+  // the shared cache — the in-process twin of two burstcamp processes.
+  std::thread a([&] { outA = run_topo_campaign(spec, opts, &errA); });
+  std::thread b([&] { outB = run_topo_campaign(spec, opts, &errB); });
+  a.join();
+  b.join();
+  ASSERT_TRUE(outA.has_value()) << errA.message;
+  ASSERT_TRUE(outB.has_value()) << errB.message;
+  // The claim protocol's core guarantee: across both workers every unique
+  // point was simulated exactly once, however the race interleaved.
+  EXPECT_EQ(outA->stats.simulated + outB->stats.simulated, 4u);
+  // And both workers ended with the full, identical result set.
+  ASSERT_EQ(outA->points.size(), 4u);
+  ASSERT_EQ(outB->points.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(outA->points[i].key, outB->points[i].key);
+    EXPECT_EQ(outA->points[i].result.delivered,
+              outB->points[i].result.delivered);
+    EXPECT_EQ(outA->points[i].result.cov, outB->points[i].result.cov);
+  }
+}
+
+TEST(TopoCampaign, ResumesPastADeadWorkersClaim) {
+  const std::string dir = fresh_dir("camp_resume");
+  const TopoCampaignSpec spec = mini_campaign(dir);
+  TopoCampaignOptions opts;
+  opts.cache_dir = dir + "/cache";
+  TopoError err;
+  // Plant the wreckage of a worker killed mid-simulation: a claim file
+  // owned by a pid that no longer exists.
+  {
+    const auto probe = run_topo_campaign(spec, {}, &err);  // no cache: keys
+    ASSERT_TRUE(probe.has_value());
+    fs::create_directories(dir + "/cache/claims");
+    std::ofstream claim(dir + "/cache/claims/" +
+                        probe->points[0].key.hex() + ".claim");
+    claim << "pid 99999999\n";  // beyond pid_max: guaranteed dead
+  }
+  const auto resumed = run_topo_campaign(spec, opts, &err);
+  ASSERT_TRUE(resumed.has_value()) << err.message;
+  // The stale claim was stolen, not waited on: all four points ran.
+  EXPECT_EQ(resumed->stats.simulated, 4u);
+}
+
+TEST(TopoCampaign, CsvCarriesTheScenarioColumnPerRow) {
+  const std::string dir = fresh_dir("camp_csv");
+  TopoCampaignSpec spec = mini_campaign(dir);
+  // Second topology so the CSV mixes rows from two scenario files.
+  {
+    std::ofstream t(dir + "/mini2.topo");
+    t << kMiniTopo;
+  }
+  spec.scenario_files.push_back(dir + "/mini2.topo");
+  spec.sweeps.pop_back();  // just the clients axis: 2 files x 2 = 4 points
+  TopoCampaignOptions opts;
+  opts.artifact_dir = dir + "/out";
+  TopoError err;
+  const auto out = run_topo_campaign(spec, opts, &err);
+  ASSERT_TRUE(out.has_value()) << err.message;
+  ASSERT_FALSE(out->csv_path.empty());
+
+  std::ifstream csv(out->csv_path);
+  std::string header;
+  ASSERT_TRUE(std::getline(csv, header));
+  EXPECT_EQ(header, "scenario,label,key,seed,clients,clients,delivered");
+  int mini = 0, mini2 = 0;
+  for (std::string line; std::getline(csv, line);) {
+    if (line.rfind("mini,", 0) == 0) ++mini;
+    if (line.rfind("mini2,", 0) == 0) ++mini2;
+  }
+  EXPECT_EQ(mini, 2);
+  EXPECT_EQ(mini2, 2);
+  // Same graph, but seeds are derived per (scenario, label), so the two
+  // files' points stay distinct simulations.
+  EXPECT_EQ(out->stats.planned, 4u);
+  EXPECT_EQ(out->stats.unique, 4u);
+}
+
+TEST(TopoCampaign, SeedsAreValueKeyedNotOrderKeyed) {
+  const std::string dir = fresh_dir("camp_seeds");
+  TopoCampaignSpec spec = mini_campaign(dir);
+  TopoCampaignSpec reversed = spec;
+  std::reverse(reversed.sweeps[0].values.begin(),
+               reversed.sweeps[0].values.end());
+  TopoError err;
+  const auto a = run_topo_campaign(spec, {}, &err);
+  const auto b = run_topo_campaign(reversed, {}, &err);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  for (const TopoCampaignPoint& pa : a->points) {
+    bool found = false;
+    for (const TopoCampaignPoint& pb : b->points) {
+      if (pb.label == pa.label) {
+        found = true;
+        EXPECT_EQ(pb.seed, pa.seed);
+        EXPECT_EQ(pb.key, pa.key);
+      }
+    }
+    EXPECT_TRUE(found) << pa.label;
+  }
+}
+
+}  // namespace
+}  // namespace burst

@@ -11,6 +11,7 @@
 #include "src/core/report.hpp"
 #include "src/run/campaign.hpp"
 #include "src/run/result_store.hpp"
+#include "src/topo/campaign.hpp"
 
 namespace {
 
@@ -21,7 +22,14 @@ Runs the paper's figure campaign (fig02_cov, fig03_throughput, fig04_loss,
 fig13_timeout_dupack) with cross-figure deduplication and an on-disk
 result cache, and writes per-figure CSVs plus manifest.json.
 
+With --campaign=FILE, runs a declarative .camp spec instead: scenario
+.topo files x sweep axes, coordinated through the shared result store's
+claim protocol, so several burstcamp processes pointed at one --cache-dir
+split the points between them with zero duplicated simulations (and a
+killed worker's points are picked up on the next run).
+
 options:
+  --campaign=FILE   run a .camp campaign spec (see examples/topologies)
   --out=DIR         artifact directory            (default: campaign_out)
   --cache-dir=DIR   result cache location         (default: <out>/cache)
   --no-cache        ignore and do not write the result cache
@@ -59,6 +67,7 @@ int main(int argc, char** argv) {
   bool profile = false;
   unsigned threads = 0;
   std::string only;
+  std::string camp_file;
   Scenario base = Scenario::paper_default();
   if (const char* d = std::getenv("BURST_DURATION")) base.duration = std::atof(d);
   if (const char* s = std::getenv("BURST_SEED")) {
@@ -93,12 +102,59 @@ int main(int argc, char** argv) {
       base.seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
     } else if (parse_flag(arg, "--only", &value)) {
       only = value;
+    } else if (parse_flag(arg, "--campaign", &value)) {
+      camp_file = value;
     } else {
       std::cerr << "burstcamp: unknown option " << arg << "\n\n" << kUsage;
       return 2;
     }
   }
   if (cache_dir.empty()) cache_dir = out_dir + "/cache";
+
+  if (!camp_file.empty()) {
+    TopoCampaignSpec spec;
+    TopoError terr;
+    if (!load_camp_file(camp_file, &spec, &terr)) {
+      std::cerr << terr.render(camp_file) << "\n";
+      return 1;
+    }
+    if (list) {
+      std::cout << spec.name << "  (" << spec.scenario_files.size()
+                << " scenario files";
+      for (const auto& s : spec.sweeps) {
+        std::cout << " x " << s.field << "[" << s.values.size() << "]";
+      }
+      std::cout << " = " << spec.num_points() << " points, metric "
+                << spec.metric << ")\n";
+      return 0;
+    }
+    TopoCampaignOptions topts;
+    topts.cache_dir = cache_dir;
+    topts.use_cache = !no_cache;
+    topts.threads = threads;
+    topts.artifact_dir = out_dir;
+    topts.log = quiet ? nullptr : &std::cerr;
+    const auto tout = run_topo_campaign(spec, topts, &terr);
+    if (!tout) {
+      std::cerr << "burstcamp: " << terr.message << "\n";
+      return 1;
+    }
+    print_table(std::cout, {"campaign", "value"},
+                {
+                    {"name", tout->name},
+                    {"planned points", std::to_string(tout->stats.planned)},
+                    {"unique scenarios", std::to_string(tout->stats.unique)},
+                    {"cache hits", std::to_string(tout->stats.cache_hits)},
+                    {"simulated here", std::to_string(tout->stats.simulated)},
+                    {"simulated by other workers",
+                     std::to_string(tout->stats.farmed_out)},
+                    {"artifacts", tout->csv_path.empty() ? out_dir
+                                                         : tout->csv_path},
+                    {"cache", no_cache ? std::string("disabled") : cache_dir},
+                });
+    std::cout.flush();
+    return 0;
+  }
 
   std::vector<CampaignSweep> sweeps = paper_figure_campaign(base);
   if (list) {

@@ -2,12 +2,26 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "src/core/cli.hpp"
 #include "src/core/report.hpp"
 #include "src/obs/trace.hpp"
+#include "src/topo/parser.hpp"
+#include "src/topo/runner.hpp"
 
 namespace {
+
+constexpr const char* kTopoUsage =
+    R"(topology files (see DESIGN.md section 10):
+  --scenario=FILE   build and run the .topo scenario FILE instead of the
+                    flag-built dumbbell; combine with --set=field=value
+                    (repeatable) to override Scenario fields
+  --validate=FILE   parse + validate FILE, print its fingerprint and
+                    exit; nonzero exit and a file:line:col diagnostic on
+                    any error (no simulation)
+)";
 
 // Writes one export of the structured trace; returns success.
 bool write_trace_file(const burst::TraceSink& sink, const std::string& path,
@@ -33,14 +47,92 @@ bool write_trace_file(const burst::TraceSink& sink, const std::string& path,
 int main(int argc, char** argv) {
   using namespace burst;
 
+  // Topology-file modes are handled before the flag parser: they replace
+  // the flag-built Scenario wholesale.
+  std::string topo_file;
+  std::string validate_file;
+  TopoOverrides overrides;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--scenario=", 0) == 0) {
+      topo_file = arg.substr(11);
+    } else if (arg.rfind("--validate=", 0) == 0) {
+      validate_file = arg.substr(11);
+    } else if (arg.rfind("--set=", 0) == 0) {
+      const std::string kv = arg.substr(6);
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string::npos) {
+        std::cerr << "burstsim: --set wants field=value, got '" << kv << "'\n";
+        return 2;
+      }
+      overrides.emplace_back(kv.substr(0, eq), kv.substr(eq + 1));
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (!validate_file.empty()) {
+    TopoError terr;
+    const auto spec = load_topo_file(validate_file, &terr, overrides);
+    if (!spec) {
+      std::cerr << terr.render(validate_file) << "\n";
+      return 1;
+    }
+    std::cout << "ok: " << validate_file << "\n"
+              << "scenario:    " << spec->name << "\n"
+              << "nodes:       " << spec->total_nodes() << " ("
+              << spec->nodes.size() << " groups)\n"
+              << "links:       " << spec->links.size() << " statements\n"
+              << "flows:       " << spec->flows.size() << " statements\n"
+              << "fingerprint: " << topo_key(*spec).hex() << "\n";
+    return 0;
+  }
+  if (!topo_file.empty()) {
+    if (!args.empty()) {
+      std::cerr << "burstsim: --scenario only combines with --set=..., got '"
+                << args[0] << "'\n";
+      return 2;
+    }
+    TopoError terr;
+    const auto spec = load_topo_file(topo_file, &terr, overrides);
+    if (!spec) {
+      std::cerr << terr.render(topo_file) << "\n";
+      return 1;
+    }
+    std::cout << "running: " << spec->name << " (" << spec->total_nodes()
+              << " nodes), " << spec->scenario.duration
+              << " s simulated, seed " << spec->scenario.seed
+              << "\nfingerprint: " << topo_key(*spec).hex() << "\n";
+    const ExperimentResult r = run_topo_experiment(*spec);
+    print_table(
+        std::cout, {"metric", "value"},
+        {
+            {"c.o.v. of measured-link arrivals per RTT", fmt(r.cov, 4)},
+            {"analytic Poisson c.o.v.", fmt(r.poisson_cov, 4)},
+            {"application packets generated", std::to_string(r.app_generated)},
+            {"packets delivered in order", std::to_string(r.delivered)},
+            {"measured-queue arrivals / drops",
+             std::to_string(r.gw_arrivals) + " / " +
+                 std::to_string(r.gw_drops)},
+            {"packet loss", fmt(r.loss_pct, 2) + " %"},
+            {"timeouts / fast retransmits",
+             std::to_string(r.timeouts) + " / " +
+                 std::to_string(r.fast_retransmits)},
+            {"Jain fairness", fmt(r.fairness, 4)},
+            {"routing errors", std::to_string(r.routing_errors)},
+        });
+    return 0;
+  }
+
   CliError error;
-  auto request = parse_cli({argv + 1, argv + argc}, &error);
+  auto request = parse_cli(args, &error);
   if (!request) {
-    std::cerr << "burstsim: " << error.message << "\n\n" << cli_usage();
+    std::cerr << "burstsim: " << error.message << "\n\n" << cli_usage()
+              << "\n" << kTopoUsage;
     return 2;
   }
   if (request->show_help) {
-    std::cout << cli_usage();
+    std::cout << cli_usage() << "\n" << kTopoUsage;
     return 0;
   }
 
