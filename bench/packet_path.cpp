@@ -19,6 +19,9 @@
 //                         direction: queue empty at every send)
 //   timer_rearm           Timer::schedule with an always-advancing deadline
 //                         (the per-ACK RTO restart pattern)
+//   timer_rearm_pending100000    the same pattern with 10^5 idle kLazy
+//                         timers armed far-future (parked in the timing
+//                         wheel; the rearm cost must not grow with them)
 //   fig02_n60_reno_red    full N=60 Reno/RED experiment (the paper's
 //                         heavy-congestion regime), ns per executed event
 //   fig02_n60_reno_red_traced    same run with a TraceSink attached to
@@ -39,7 +42,9 @@
 #include <chrono>
 #include <cstdint>
 #include <fstream>
+#include <functional>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -214,6 +219,46 @@ BenchRow bench_timer_rearm(std::uint64_t ops, int repeat) {
   return finish("timer_rearm", ops, best);
 }
 
+// The rearm pattern with a mean-field-sized population in the background:
+// `background` idle flows each keep a kLazy RTO armed at a far deadline.
+// Those park in the timing wheel's O(1) buckets, so the driving flow's
+// rearm cost must stay at the timer_rearm row's level instead of growing
+// with log(background) — this row is what "heap depth tracks the horizon,
+// not the flow count" looks like end to end.
+BenchRow bench_timer_rearm_pending(std::uint64_t ops, std::size_t background,
+                                   int repeat) {
+  double best = 1e99;
+  // The drive chain spans `ops` milliseconds of simulated time; run just
+  // past it so every mode executes exactly `ops` drive steps (a fixed
+  // horizon shorter than the chain would silently truncate the count the
+  // ns/op division assumes), and park the idle population strictly
+  // beyond the horizon so it stays armed for the whole measurement.
+  const Time horizon = 0.001 * static_cast<double>(ops) + 1.0;
+  for (int rep = 0; rep < repeat; ++rep) {
+    Simulator sim;
+    Mix mix{5};
+    std::vector<std::unique_ptr<Timer>> idle;
+    idle.reserve(background);
+    for (std::size_t i = 0; i < background; ++i) {
+      idle.push_back(
+          std::make_unique<Timer>(sim, [] {}, Timer::Mode::kLazy));
+      idle.back()->schedule(horizon + 3600.0 + 3600.0 * mix.next());
+    }
+    Timer rto(sim, [] {}, Timer::Mode::kLazy);
+    std::uint64_t remaining = ops;
+    std::function<void()> drive = [&] {
+      rto.schedule(0.25);
+      if (--remaining > 0) sim.schedule(0.001, [&] { drive(); });
+    };
+    sim.schedule(0.001, [&] { drive(); });
+    const double t0 = now_s();
+    sim.run(horizon);
+    best = std::min(best, now_s() - t0);
+  }
+  return finish("timer_rearm_pending" + std::to_string(background), ops,
+                best);
+}
+
 // The paper's heavy-congestion point: N=60 clients (past the ~39-client
 // saturation knee of Fig 2), Reno senders, RED gateway.
 BenchRow bench_fig02_point(double duration, int repeat) {
@@ -372,6 +417,7 @@ int main(int argc, char** argv) {
   rows.push_back(bench_link_saturated(hops, repeat));
   rows.push_back(bench_link_idle(hops, repeat));
   rows.push_back(bench_timer_rearm(hops, repeat));
+  rows.push_back(bench_timer_rearm_pending(hops, 100'000, repeat));
   rows.push_back(bench_fig02_point(exp_duration, repeat));
   rows.push_back(bench_fig02_traced(exp_duration, repeat));
   rows.push_back(bench_fig02_profiled(exp_duration, repeat));

@@ -7,8 +7,9 @@
 // perf trajectory across PRs has data instead of folklore.
 //
 // Modes:
-//   (default)  full runs: ~1e7 hot-loop ops, 10 s simulated experiment
-//   --smoke    CI-sized: ~1e6 ops, 2 s experiment (seconds of wall time)
+//   (default)  full runs: ~1e7 hot-loop ops
+//   --smoke    CI-sized: ~1e6 ops (seconds of wall time); the 10 s
+//              simulated experiment row is identical in both modes
 //
 // Every workload is deterministic (fixed seeds, fixed op mixes); wall
 // times are best-of --repeat (default 3) to shed scheduler noise.
@@ -121,6 +122,60 @@ BenchRow bench_schedule_cancel_pop(std::uint64_t ops, std::size_t depth,
   return finish("schedule_cancel_pop_d" + std::to_string(depth), ops * 4, best);
 }
 
+// The mean-field steady state: `pending` timers permanently armed while
+// the hot loop pops the earliest and re-arms it over a fixed horizon.
+// The heap variant (schedule_at) pays O(log pending) per op; the wheel
+// variant (schedule_soft_at) parks far deadlines in O(1) buckets, so its
+// cost tracks the near-term horizon instead. The paired rows measure the
+// crossover (recorded in EXPERIMENTS.md): identical op sequence, same
+// deadlines, only the backend differs.
+BenchRow bench_pop_rearm(std::uint64_t ops, std::size_t pending, bool wheel,
+                         int repeat) {
+  constexpr Time kHorizon = 2.0;  // seconds of re-arm spread (RTO-scale)
+  // The wheel's O(1) is amortized: cascades of coarse buckets land in
+  // bursts as the cursor crosses level boundaries. A timed window
+  // shorter than one full pass over the population samples an arbitrary
+  // cascade phase (deterministically, since the op mix is fixed), so
+  // time at least `pending` ops — every phase appears exactly once.
+  const std::uint64_t timed_ops = std::max<std::uint64_t>(ops, pending);
+  double best = 1e99;
+  for (int rep = 0; rep < repeat; ++rep) {
+    Scheduler s;
+    Mix mix{1234};
+    Time now = 0.0;
+    const auto rearm = [&s, &now, wheel](Time at) {
+      if (wheel) {
+        s.schedule_soft_at(at, [] {}, now);
+      } else {
+        s.schedule_at(at, [] {}, now);
+      }
+    };
+    for (std::size_t i = 0; i < pending; ++i) {
+      rearm(now + kHorizon * (0.5 + 0.5 * mix.next()));
+    }
+    // Untimed warm-up: pop/re-arm once through the whole initial cohort.
+    // Arming `pending` deadlines from time zero piles them into a few
+    // coarse wheel buckets whose one-off cascade cost would otherwise be
+    // amortized over however many timed ops the mode runs — making ns/op
+    // depend on --smoke vs full. The timed loop below sees steady state.
+    for (std::size_t i = 0; i < pending; ++i) {
+      auto ready = s.take_next();
+      now = ready.at;
+      rearm(now + kHorizon * (0.5 + 0.5 * mix.next()));
+    }
+    const double t0 = now_s();
+    for (std::uint64_t i = 0; i < timed_ops; ++i) {
+      auto ready = s.take_next();
+      now = ready.at;
+      rearm(now + kHorizon * (0.5 + 0.5 * mix.next()));
+    }
+    best = std::min(best, now_s() - t0);
+  }
+  return finish((wheel ? "pop_rearm_wheel_p" : "pop_rearm_heap_p") +
+                    std::to_string(pending),
+                timed_ops, best);
+}
+
 BenchRow bench_timer_chain(std::uint64_t events, int repeat) {
   double best = 1e99;
   for (int rep = 0; rep < repeat; ++rep) {
@@ -197,12 +252,23 @@ int main(int argc, char** argv) {
   }
 
   const std::uint64_t hot_ops = smoke ? 1'000'000 : 10'000'000;
-  const double exp_duration = smoke ? 2.0 : 10.0;
+  // The experiment row runs the full 10 s in both modes: it is cheap
+  // (~60 ms wall) and the first seconds are slow-start transient, so a
+  // shorter smoke run would measure a different per-event cost mix than
+  // the baseline and the regression gate would compare apples to pears.
+  const double exp_duration = 10.0;
 
   std::vector<BenchRow> rows;
   rows.push_back(bench_schedule_pop(hot_ops, 64, repeat));
   rows.push_back(bench_schedule_pop(hot_ops, 512, repeat));
   rows.push_back(bench_schedule_cancel_pop(hot_ops / 2, 512, repeat));
+  // Heap-vs-wheel crossover sweep: 10^3..10^6 armed soft-deadline timers.
+  for (const std::size_t pending :
+       {std::size_t{1000}, std::size_t{10000}, std::size_t{100000},
+        std::size_t{1000000}}) {
+    rows.push_back(bench_pop_rearm(hot_ops / 10, pending, false, repeat));
+    rows.push_back(bench_pop_rearm(hot_ops / 10, pending, true, repeat));
+  }
   rows.push_back(bench_timer_chain(hot_ops / 2, repeat));
   rows.push_back(bench_experiment(exp_duration, repeat));
 

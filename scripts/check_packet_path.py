@@ -49,7 +49,7 @@ def main():
     ap.add_argument("current", help="freshly measured BENCH_packet_path.json")
     ap.add_argument(
         "--baseline",
-        default="bench/baselines/BENCH_packet_path_post_fusion.json",
+        default="bench/baselines/BENCH_packet_path_wheel.json",
         help="committed reference run (default: %(default)s)",
     )
     ap.add_argument(

@@ -20,6 +20,9 @@ void CbrSource::stop() {
 
 void CbrSource::schedule_next() {
   next_event_ = sim_.schedule(interval_, [this] {
+    // This event just fired: drop its handle so a later stop() never
+    // issues a cancel against a retired generation.
+    next_event_ = kInvalidEventId;
     if (!running_) return;
     ++generated_;
     agent_.app_send(1);

@@ -20,23 +20,39 @@ void ParetoOnOffSource::stop() {
 }
 
 void ParetoOnOffSource::begin_on_period() {
+  next_event_ = kInvalidEventId;  // the event delivering us has fired
+  if (!running_) return;
   on_ = true;
+  on_began_ = sim_.now();
   on_ends_ = sim_.now() + rng_.pareto(cfg_.shape, cfg_.mean_on);
   tick();
 }
 
-void ParetoOnOffSource::tick() {
+void ParetoOnOffSource::begin_off_period() {
+  next_event_ = kInvalidEventId;
   if (!running_) return;
-  if (on_ && sim_.now() >= on_ends_) {
-    on_ = false;
-    const Time off = rng_.pareto(cfg_.shape, cfg_.mean_off);
-    next_event_ = sim_.schedule(off, [this] { begin_on_period(); });
-    return;
-  }
+  on_ = false;
+  total_on_time_ += sim_.now() - on_began_;
+  ++completed_on_periods_;
+  const Time off = rng_.pareto(cfg_.shape, cfg_.mean_off);
+  next_event_ = sim_.schedule(off, [this] { begin_on_period(); });
+}
+
+void ParetoOnOffSource::tick() {
+  next_event_ = kInvalidEventId;
+  if (!running_) return;
   ++generated_;
   agent_.app_send(1);
-  next_event_ =
-      sim_.schedule(1.0 / cfg_.on_rate_pps, [this] { tick(); });
+  const Time gap = 1.0 / cfg_.on_rate_pps;
+  if (sim_.now() + gap < on_ends_) {
+    next_event_ = sim_.schedule(gap, [this] { tick(); });
+  } else {
+    // The sampled ON duration ends before the next packet would go out:
+    // switch OFF at on_ends_ *exactly*. (Ending at the next tick instead
+    // stretched every burst by up to one inter-packet gap and started
+    // the OFF period late — a systematic upward bias on ON durations.)
+    next_event_ = sim_.schedule_at(on_ends_, [this] { begin_off_period(); });
+  }
 }
 
 }  // namespace burst

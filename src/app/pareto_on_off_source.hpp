@@ -29,8 +29,21 @@ class ParetoOnOffSource : public TrafficGenerator {
   void stop() override;
   std::uint64_t generated() const override { return generated_; }
 
+  /// ON periods that have run to completion (reached their sampled end).
+  std::uint64_t completed_on_periods() const { return completed_on_periods_; }
+
+  /// Mean realized ON-period duration, or 0 if none completed. The OFF
+  /// transition fires at the sampled end exactly, so this converges to
+  /// the Pareto mean cfg_.mean_on (regression-tested in sources_test).
+  double mean_on_duration() const {
+    return completed_on_periods_ == 0
+               ? 0.0
+               : total_on_time_ / static_cast<double>(completed_on_periods_);
+  }
+
  private:
   void begin_on_period();
+  void begin_off_period();
   void tick();
 
   Simulator& sim_;
@@ -40,6 +53,9 @@ class ParetoOnOffSource : public TrafficGenerator {
   bool running_ = false;
   bool on_ = false;
   Time on_ends_ = 0.0;
+  Time on_began_ = 0.0;
+  double total_on_time_ = 0.0;
+  std::uint64_t completed_on_periods_ = 0;
   EventId next_event_ = kInvalidEventId;
   std::uint64_t generated_ = 0;
 };

@@ -21,6 +21,9 @@ void PoissonSource::stop() {
 
 void PoissonSource::schedule_next() {
   next_event_ = sim_.schedule(rng_.exponential(mean_), [this] {
+    // This event just fired: drop its handle so a later stop() never
+    // issues a cancel against a retired generation.
+    next_event_ = kInvalidEventId;
     if (!running_) return;
     ++generated_;
     if (trace_) {

@@ -48,6 +48,9 @@ void TraceSource::schedule_next() {
   while (next_ < times_.size() && times_[next_] < sim_.now()) ++next_;
   if (next_ >= times_.size()) return;
   next_event_ = sim_.schedule_at(times_[next_], [this] {
+    // This event just fired: drop its handle so a later stop() never
+    // issues a cancel against a retired generation.
+    next_event_ = kInvalidEventId;
     if (!running_) return;
     ++generated_;
     ++next_;

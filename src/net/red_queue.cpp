@@ -6,14 +6,23 @@
 namespace burst {
 
 void RedQueue::update_avg(Time now) {
-  if (idle_ && cfg_.mean_pkt_tx_time > 0.0) {
-    // Decay the average as if m packets had departed during the idle gap.
-    const double m = (now - idle_since_) / cfg_.mean_pkt_tx_time;
-    if (m > 0.0) avg_ *= std::pow(1.0 - cfg_.weight, m);
+  if (idle_) {
+    idle_ = false;
+    if (cfg_.mean_pkt_tx_time > 0.0) {
+      // Floyd–Jacobson wake-from-idle: decay the average as if m packets
+      // had departed during the idle gap — avg ← (1-w)^m · avg — and
+      // nothing else. The regular EWMA step below is for non-idle
+      // arrivals only; stacking it on top of the decay double-counted
+      // the arrival and biased avg low after every idle period.
+      const double m = (now - idle_since_) / cfg_.mean_pkt_tx_time;
+      if (m > 0.0) avg_ *= std::pow(1.0 - cfg_.weight, m);
+      return;
+    }
+    // No idle-time estimate configured: fall through to the plain EWMA
+    // (the queue is empty, so this samples q = 0, the pre-fix behavior).
   }
   avg_ = (1.0 - cfg_.weight) * avg_ +
          cfg_.weight * static_cast<double>(q_.size());
-  idle_ = false;
 }
 
 void RedQueue::maybe_adapt(Time now) {

@@ -105,6 +105,14 @@ EventId Scheduler::schedule_at(Time at, SmallFn fn, Time tie_time) {
   return schedule_at_reserved(at, tie_time, next_seq_++, std::move(fn));
 }
 
+void Scheduler::heap_insert(const Key& k, std::uint32_t slot) {
+  const std::uint32_t pos = static_cast<std::uint32_t>(keys_.size());
+  keys_.push_back(k);
+  heap_slot_.push_back(slot);
+  slots_[slot].heap_pos = pos;
+  sift_up(pos);
+}
+
 EventId Scheduler::schedule_at_reserved(Time at, Time tie_time,
                                         std::uint64_t order, SmallFn fn) {
   std::uint32_t idx;
@@ -117,25 +125,72 @@ EventId Scheduler::schedule_at_reserved(Time at, Time tie_time,
   }
   Slot& s = slots_[idx];
   s.fn = std::move(fn);
-  const std::uint32_t pos = static_cast<std::uint32_t>(keys_.size());
-  keys_.push_back(Key{at, tie_time, order});
-  heap_slot_.push_back(idx);
-  s.heap_pos = pos;
-  sift_up(pos);
+  heap_insert(Key{at, tie_time, order}, idx);
   ++scheduled_count_;
-  if (keys_.size() > peak_pending_) peak_pending_ = keys_.size();
+  if (size() > peak_pending_) peak_pending_ = size();
   return make_id(idx, s.generation);
 }
 
+EventId Scheduler::schedule_soft_at(Time at, SmallFn fn, Time tie_time) {
+  // Consume the same FIFO rank a schedule_at at this instant would have:
+  // the full (at, tie_time, seq) key rides along through the wheel, so
+  // the eventual pop order is identical whichever structure held it.
+  const std::uint64_t order = next_seq_++;
+  if (!wheel_.accepts(at)) {
+    return schedule_at_reserved(at, tie_time, order, std::move(fn));
+  }
+  std::uint32_t idx;
+  if (!free_.empty()) {
+    idx = free_.back();
+    free_.pop_back();
+  } else {
+    idx = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[idx];
+  s.fn = std::move(fn);
+  const std::uint32_t node = wheel_.insert({at, tie_time, order, idx});
+  assert((node & kWheelBit) == 0 && "wheel node handle overflow");
+  s.heap_pos = kWheelBit | node;
+  ++scheduled_count_;
+  if (size() > peak_pending_) peak_pending_ = size();
+  return make_id(idx, s.generation);
+}
+
+void Scheduler::settle() {
+  // Flush wheel buckets until the heap's top (if any) is strictly earlier
+  // than every wheel resident's conservative bound; only then is popping
+  // from the heap alone guaranteed to follow global (at, tie_time, seq)
+  // order. Each flushed bucket is a single wheel tick, and ticks are
+  // monotone in `at`, so a flush can never leapfrog a remaining resident.
+  while (!wheel_.empty()) {
+    if (!keys_.empty() && keys_[0].at < wheel_.min_at_bound()) break;
+    flush_buf_.clear();
+    wheel_.pop_earliest(flush_buf_);
+    for (const TimingWheel::Entry& e : flush_buf_) {
+      heap_insert(Key{e.at, e.tie_time, e.seq}, e.sched_slot);
+    }
+  }
+}
+
 void Scheduler::cancel(EventId id) {
-  if (!pending(id)) return;
+  if (!pending(id)) {
+    if (id != kInvalidEventId) ++stale_cancels_;
+    return;
+  }
   const std::uint32_t idx = slot_of(id);
   slots_[idx].fn.reset();  // release captures now, not at pop time
-  remove_heap_entry(slots_[idx].heap_pos);
+  const std::uint32_t pos = slots_[idx].heap_pos;
+  if (pos & kWheelBit) {  // pending() ruled out kFreePos
+    wheel_.remove(pos & ~kWheelBit);
+  } else {
+    remove_heap_entry(pos);
+  }
   free_slot(idx);
 }
 
 Scheduler::Ready Scheduler::take_next() {
+  settle();
   assert(!keys_.empty() && "take_next on empty scheduler");
   const std::uint32_t idx = heap_slot_[0];
   // Move the callback out before touching the heap: the caller invokes it

@@ -26,6 +26,17 @@
 // std::priority_queue<Item> (which sifted 80-byte items holding
 // std::functions) for the schedule/pop mix that dominates runs (see
 // bench/sched_events and bench/packet_path).
+//
+// Two-tier storage (DESIGN.md §11): exact-order packet events live on
+// the heap; the *soft-deadline* timer class — schedule_soft_at(), used by
+// Timer::Mode::kLazy for RTO/delayed-ACK deadlines — is parked in a
+// hierarchical timing wheel when far enough out, and flushed into the
+// heap (full sort key attached) before any pop that could reach it.
+// Every pop still leaves the heap, in exact (at, tie_time, seq) order,
+// so runs are bit-identical whichever structure held an event; what
+// changes is cost: heap depth tracks the near-term horizon instead of
+// the total armed-timer count, which is what keeps 10^5–10^6 pending
+// RTO timers from turning every packet event into a deep sift.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +44,7 @@
 
 #include "src/sim/small_fn.hpp"
 #include "src/sim/time.hpp"
+#include "src/sim/timing_wheel.hpp"
 
 namespace burst {
 
@@ -73,9 +85,20 @@ class Scheduler {
   EventId schedule_at_reserved(Time at, Time tie_time, std::uint64_t order,
                                SmallFn fn);
 
+  /// Schedules a *soft-deadline* event: identical observable semantics to
+  /// schedule_at() — same FIFO rank consumption, same firing order, full
+  /// cancel/pending support — but far-future events are parked in the
+  /// timing wheel (O(1)) instead of the heap (O(log n)). For the lazy
+  /// RTO/delayed-ACK timers that keep one event armed per flow, this is
+  /// what holds heap depth at the near-term horizon when 10^5+ flows are
+  /// idle-armed. Events due within the current wheel tick go straight to
+  /// the heap.
+  EventId schedule_soft_at(Time at, SmallFn fn, Time tie_time = 0.0);
+
   /// Cancels a pending event, releasing its callback immediately.
   /// Cancelling an already-fired, already-cancelled, or invalid id is a
-  /// harmless no-op.
+  /// harmless no-op (counted in stale_cancels() so tests can assert that
+  /// well-behaved callers never rely on it).
   void cancel(EventId id);
 
   /// True iff the given event is scheduled and not yet fired or cancelled.
@@ -85,14 +108,18 @@ class Scheduler {
            slots_[idx].heap_pos != kFreePos;
   }
 
-  /// True if no events remain.
-  bool empty() const { return keys_.empty(); }
+  /// True if no events remain (heap and wheel).
+  bool empty() const { return keys_.empty() && wheel_.empty(); }
 
-  /// Number of events currently pending.
-  std::size_t size() const { return keys_.size(); }
+  /// Number of events currently pending (heap and wheel).
+  std::size_t size() const { return keys_.size() + wheel_.size(); }
 
-  /// Time of the earliest event, or kTimeNever if none.
-  Time next_time() const { return keys_.empty() ? kTimeNever : keys_[0].at; }
+  /// Time of the earliest event, or kTimeNever if none. Settles the
+  /// wheel first, so the answer is exact across both structures.
+  Time next_time() {
+    settle();
+    return keys_.empty() ? kTimeNever : keys_[0].at;
+  }
 
   /// A popped event, ready to invoke. The caller advances its clock to
   /// `at` *before* invoking `fn`, so callbacks observe the correct time.
@@ -107,10 +134,22 @@ class Scheduler {
   /// Total events ever scheduled (for diagnostics / benchmarks).
   std::uint64_t scheduled_count() const { return scheduled_count_; }
 
-  /// High-water mark of simultaneously pending events.
+  /// High-water mark of simultaneously pending events (heap + wheel).
   std::uint64_t peak_pending() const { return peak_pending_; }
 
+  /// Cancels issued against already-retired (fired or cancelled) handles.
+  /// Always a safe no-op thanks to generation tagging, but a caller that
+  /// relies on it is holding stale state; tests pin this to zero for the
+  /// traffic sources (see sources_test / scheduler_fuzz_test).
+  std::uint64_t stale_cancels() const { return stale_cancels_; }
+
+  /// Events currently parked in the timing wheel (diagnostics).
+  std::size_t wheel_size() const { return wheel_.size(); }
+
  private:
+  /// heap_pos is the slot's location tag: kFreePos when free, a heap
+  /// index for heap-resident events, or (kWheelBit | wheel node index)
+  /// for events parked in the timing wheel.
   struct Slot {
     SmallFn fn;
     std::uint32_t generation = 0;
@@ -127,6 +166,10 @@ class Scheduler {
     std::uint64_t seq;       // FIFO tie-break among equal-(at, tie_time)
   };
   static constexpr std::uint32_t kFreePos = 0xffffffffu;
+  /// High bit of heap_pos marks a wheel resident; the low 31 bits then
+  /// hold the TimingWheel node handle. kFreePos also has the high bit
+  /// set, so "free" must be checked before "wheel".
+  static constexpr std::uint32_t kWheelBit = 0x80000000u;
 
   static std::uint32_t slot_of(EventId id) {
     return static_cast<std::uint32_t>(id & 0xffffffffu) - 1;
@@ -162,6 +205,12 @@ class Scheduler {
   /// caller) and restores the heap property.
   void remove_heap_entry(std::uint32_t pos);
   void free_slot(std::uint32_t idx);
+  /// Inserts an already-ranked key for @p slot into the heap (shared by
+  /// schedule_at_reserved and the wheel flush; does not touch counters).
+  void heap_insert(const Key& k, std::uint32_t slot);
+  /// Flushes wheel buckets into the heap until the heap top is a safe
+  /// global minimum (heap top earlier than every wheel resident's bound).
+  void settle();
 
   std::vector<Slot> slots_;   // stable storage for pending callbacks
   // 4-ary min-heap on (at, tie_time, seq); keys_ and heap_slot_ are
@@ -172,6 +221,10 @@ class Scheduler {
   std::uint64_t next_seq_ = 1;
   std::uint64_t scheduled_count_ = 0;
   std::uint64_t peak_pending_ = 0;
+  std::uint64_t stale_cancels_ = 0;
+
+  TimingWheel wheel_;                          // soft-deadline far events
+  std::vector<TimingWheel::Entry> flush_buf_;  // settle() scratch
 };
 
 }  // namespace burst

@@ -29,6 +29,13 @@ class Simulator {
   /// Schedules @p fn at absolute time @p at (>= now()).
   EventId schedule_at(Time at, SmallFn fn);
 
+  /// Schedules a soft-deadline event at absolute time @p at (>= now()):
+  /// same observable ordering as schedule_at(), but far-future events are
+  /// parked in the scheduler's timing wheel (O(1)) instead of the heap.
+  /// Used by Timer::Mode::kLazy — the per-flow RTO/delayed-ACK deadlines
+  /// whose pending count scales with the flow count.
+  EventId schedule_soft_at(Time at, SmallFn fn);
+
   /// Schedules @p fn at absolute time @p at, ordered among same-time
   /// events *as if* it had been inserted at instant @p tie_time
   /// (<= @p at). This is how a fused event (one insert standing in for a

@@ -15,7 +15,9 @@
 //    forward — the TCP RTO, pushed out by every ACK — costs zero scheduler
 //    traffic per move instead of a cancel+insert pair. Observable firing
 //    semantics are identical to kExact: the callback runs exactly at the
-//    latest scheduled deadline, never after a cancel.
+//    latest scheduled deadline, never after a cancel. The armed event is
+//    a soft-deadline scheduler event (Simulator::schedule_soft_at), so at
+//    large flow counts it parks in the timing wheel, not the heap.
 #pragma once
 
 #include <cstdint>

@@ -11,7 +11,9 @@ TcpSender::TcpSender(Simulator& sim, Node& node, FlowId flow, NodeId peer,
       cfg_(cfg),
       estimator_(cfg.rto),
       // Lazy mode: the RTO deadline is pushed forward by every ACK; a
-      // soft-deadline timer turns that churn into a field write.
+      // soft-deadline timer turns that churn into a field write, and its
+      // armed event rides the scheduler's timing wheel, so 10^5+ flows'
+      // worth of idle-armed RTOs never deepen the packet-event heap.
       rto_timer_(sim, [this] { on_rto(); }, Timer::Mode::kLazy),
       cwnd_(cfg.initial_cwnd),
       ssthresh_(cfg.initial_ssthresh) {}

@@ -180,6 +180,59 @@ TEST(RedQueue, IdleDecayReducesAverage) {
   EXPECT_LT(q.avg(), 0.1 * avg_busy);
 }
 
+TEST(RedQueue, WakeFromIdleAppliesPureDecay) {
+  // Floyd–Jacobson wake-from-idle is avg <- (1-w)^m * avg and nothing
+  // else; the regular EWMA step must NOT also run (it would sample q = 0
+  // and shave an extra factor (1-w) off the average on every wake). With
+  // a large weight the whole trajectory is closed-form checkable.
+  RedConfig cfg = small_config();
+  cfg.weight = 0.25;
+  cfg.mean_pkt_tx_time = 0.001;
+  cfg.min_th = 1e6;  // never drop: this test checks the average only
+  cfg.max_th = 2e6;
+  cfg.capacity = 1000;
+  RedQueue q(cfg, Random(1));
+  // First arrival wakes from the initial idle state at m = 0: no-op.
+  ASSERT_TRUE(q.enqueue(pkt(), 0.0));
+  EXPECT_DOUBLE_EQ(q.avg(), 0.0);
+  // Busy arrivals: avg <- (1-w)·avg + w·q with q the pre-enqueue size.
+  double expected = 0.0;
+  for (int size = 1; size <= 4; ++size) {
+    ASSERT_TRUE(q.enqueue(pkt(), 0.0));
+    expected = (1.0 - cfg.weight) * expected + cfg.weight * size;
+  }
+  ASSERT_DOUBLE_EQ(q.avg(), expected);
+  // Drain to empty at t = 0.01; the queue books idle_since there.
+  while (q.dequeue(0.01).has_value()) {
+  }
+  // Wake at t = 0.015: m = idle/mean_tx = 5 "virtual departures".
+  const Time wake = 0.015;
+  ASSERT_TRUE(q.enqueue(pkt(), wake));
+  const double m = (wake - 0.01) / cfg.mean_pkt_tx_time;
+  const double decayed = expected * std::pow(1.0 - cfg.weight, m);
+  EXPECT_DOUBLE_EQ(q.avg(), decayed);
+  // The pre-fix code stacked the EWMA step (sampling q = 0) on top:
+  EXPECT_GT(q.avg(), (1.0 - cfg.weight) * decayed * 1.01);
+}
+
+TEST(RedQueue, WakeWithoutIdleEstimateFallsBackToEwma) {
+  // mean_pkt_tx_time == 0 disables idle-time compensation; the wake
+  // arrival then takes the plain EWMA step with the (empty) queue.
+  RedConfig cfg = small_config();
+  cfg.weight = 0.25;
+  cfg.mean_pkt_tx_time = 0.0;
+  cfg.min_th = 1e6;
+  cfg.max_th = 2e6;
+  RedQueue q(cfg, Random(1));
+  for (int i = 0; i < 5; ++i) q.enqueue(pkt(), 0.0);
+  const double avg_busy = q.avg();
+  ASSERT_GT(avg_busy, 0.0);
+  while (q.dequeue(0.0).has_value()) {
+  }
+  q.enqueue(pkt(), 1.0);
+  EXPECT_DOUBLE_EQ(q.avg(), (1.0 - cfg.weight) * avg_busy);
+}
+
 TEST(RedQueue, FifoOrderPreserved) {
   RedQueue q(small_config(), Random(1));
   for (int i = 0; i < 4; ++i) q.enqueue(pkt(i), 0.0);

@@ -1,13 +1,18 @@
-// Randomized differential test: the heap-based Scheduler against a naive
-// reference model (sorted map), over thousands of interleaved schedule /
-// reserve / cancel / run operations.
+// Randomized differential test: the two-tier Scheduler (heap + timing
+// wheel) against a naive reference model (sorted map), over thousands of
+// interleaved schedule / soft-schedule / reserve / cancel / run
+// operations.
 //
 // The model mirrors the full ordering contract: events pop by
 // (at, tie_time, seq), where seq is the scheduler's monotone insertion
-// counter — consumed by schedule_at() AND reserve_order() alike — so the
-// fused-event machinery (explicit tie times, ranks reserved early and
-// redeemed later; see SimplexLink) is exercised against the same oracle
-// as plain FIFO scheduling.
+// counter — consumed by schedule_at(), schedule_soft_at() AND
+// reserve_order() alike — so the fused-event machinery (explicit tie
+// times, ranks reserved early and redeemed later; see SimplexLink) and
+// the wheel-parked soft-deadline class are exercised against the same
+// oracle as plain FIFO scheduling. The model also predicts exactly which
+// cancels are stale (target already fired or cancelled), pinning
+// Scheduler::stale_cancels() — well-behaved components must never rely
+// on the generation-tag no-op.
 #include <gtest/gtest.h>
 
 #include <map>
@@ -60,6 +65,7 @@ TEST_P(SchedulerFuzz, MatchesReferenceModel) {
   // Mirrors the scheduler's internal seq counter (starts at 1); validated
   // against reserve_order()'s return values below.
   std::uint64_t model_seq = 1;
+  std::uint64_t expected_stale = 0;
   int next_label = 0;
 
   auto make_fn = [&fired](int label) {
@@ -68,12 +74,24 @@ TEST_P(SchedulerFuzz, MatchesReferenceModel) {
 
   for (int step = 0; step < 5000; ++step) {
     const double op = rng.uniform();
-    if (op < 0.40) {
+    if (op < 0.25) {
       // Plain schedule: tie_time == "now", the Simulator default — FIFO.
       const Time at = now + rng.uniform(0.0, 10.0);
       const int label = next_label++;
       const std::uint64_t seq = model_seq++;
       const EventId id = sched.schedule_at(at, make_fn(label), now);
+      ref.schedule({at, now, seq}, id, label);
+      live_ids.push_back(id);
+    } else if (op < 0.40) {
+      // Soft-deadline schedule: may park in the timing wheel, but must
+      // pop in exactly the (at, tie_time, seq) order of the plain path.
+      // Mix near deadlines (sub-tick -> heap) with far ones (wheel).
+      const Time at =
+          now + (rng.uniform() < 0.3 ? rng.uniform(0.0, 1e-3)
+                                     : rng.uniform(0.0, 30.0));
+      const int label = next_label++;
+      const std::uint64_t seq = model_seq++;
+      const EventId id = sched.schedule_soft_at(at, make_fn(label), now);
       ref.schedule({at, now, seq}, id, label);
       live_ids.push_back(id);
     } else if (op < 0.50) {
@@ -109,6 +127,7 @@ TEST_P(SchedulerFuzz, MatchesReferenceModel) {
           0, static_cast<std::int64_t>(live_ids.size()) - 1));
       const EventId id = live_ids[idx];
       EXPECT_EQ(sched.pending(id), ref.is_pending(id));
+      if (!sched.pending(id)) ++expected_stale;  // fired/cancelled target
       ref.cancel(id);
       sched.cancel(id);
     } else if (!sched.empty()) {
@@ -135,6 +154,9 @@ TEST_P(SchedulerFuzz, MatchesReferenceModel) {
     EXPECT_EQ(fired.back(), expected);
   }
   EXPECT_TRUE(ref.pending.empty());
+  // Every stale cancel was predicted by the model: the counter is exact,
+  // so a component double-cancelling (see the traffic sources) shows up.
+  EXPECT_EQ(sched.stale_cancels(), expected_stale);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerFuzz,

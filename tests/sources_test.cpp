@@ -161,6 +161,67 @@ TEST(ParetoOnOffSource, BurstierThanPoissonAtSameRate) {
   EXPECT_GT(ab.stats_until(200.0).cov(), 1.5 * pb.stats_until(200.0).cov());
 }
 
+TEST(ParetoOnOffSource, OnDurationMeanMatchesConfig) {
+  // The OFF transition fires at the sampled ON end *exactly*; the old
+  // code waited for the next packet tick, stretching every burst by up
+  // to 1/on_rate_pps (here 50 ms — a +10% bias on a 0.5 s mean that this
+  // tolerance would catch).
+  SourceHarness h;
+  ParetoOnOffConfig cfg;
+  cfg.shape = 2.5;  // finite variance so the sample mean converges fast
+  cfg.mean_on = 0.5;
+  cfg.mean_off = 0.1;
+  cfg.on_rate_pps = 20.0;
+  ParetoOnOffSource src(h.sim, h.agent, cfg, h.sim.rng().fork());
+  src.start();
+  h.sim.run(3000.0);
+  ASSERT_GT(src.completed_on_periods(), 2000u);
+  EXPECT_NEAR(src.mean_on_duration(), cfg.mean_on, 0.03);
+}
+
+TEST(ParetoOnOffSource, StopNeverCancelsRetiredHandles) {
+  // Trampolines clear next_event_ as they fire, so stop() — at any
+  // instant, ON or OFF — only ever cancels a live event. A cancel
+  // against a retired generation would bump the scheduler's
+  // stale-cancel counter.
+  SourceHarness h;
+  ParetoOnOffConfig cfg;
+  cfg.mean_on = 0.05;
+  cfg.mean_off = 0.05;
+  cfg.on_rate_pps = 200.0;
+  ParetoOnOffSource src(h.sim, h.agent, cfg, h.sim.rng().fork());
+  for (int i = 0; i < 50; ++i) {
+    src.start();
+    h.sim.run(h.sim.now() + 0.037 * (i + 1));
+    src.stop();
+    h.sim.run(h.sim.now() + 0.01);
+  }
+  EXPECT_EQ(h.sim.scheduler().stale_cancels(), 0u);
+}
+
+TEST(SourceHygiene, StopAfterDrainIsNotStale) {
+  // Every source type: run to completion (event fired, nothing pending),
+  // then stop(). With the fired handle cleared in the trampoline, none
+  // of these stops touches the scheduler at all.
+  SourceHarness h;
+  PoissonSource pois(h.sim, h.agent, 0.01, h.sim.rng().fork());
+  CbrSource cbr(h.sim, h.agent, 0.1);
+  ParetoOnOffConfig cfg;
+  ParetoOnOffSource par(h.sim, h.agent, cfg, h.sim.rng().fork());
+  pois.start();
+  cbr.start();
+  par.start();
+  h.sim.run(5.0);
+  pois.stop();
+  cbr.stop();
+  par.stop();
+  h.sim.run(10.0);
+  pois.stop();  // double-stop: handle already cleared, still not stale
+  cbr.stop();
+  par.stop();
+  EXPECT_EQ(h.sim.scheduler().stale_cancels(), 0u);
+}
+
 TEST(BulkSource, SubmitsAllAtOnce) {
   SourceHarness h;
   BulkSource src(h.sim, h.agent, 500);

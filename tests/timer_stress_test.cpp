@@ -1,0 +1,110 @@
+// Million-timer stress (ctest -L slow): a population of kLazy timers the
+// size of a mean-field run, armed/re-armed/cancelled at random, with the
+// simulation clock actually advancing. Exercises the timing wheel's
+// cascade and far-list paths at scale; run under ASan in the sanitize CI
+// job, where the linked-list surgery would surface use-after-free or
+// leaked nodes.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/sim/random.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/sim/timer.hpp"
+
+namespace burst {
+namespace {
+
+TEST(TimerStressSlow, MillionLazyTimersFireExactly) {
+  constexpr std::size_t kTimers = 1'000'000;
+  Simulator sim;
+  Random rng(2026);
+  std::vector<std::uint64_t> fire_counts(kTimers, 0);
+  std::vector<std::unique_ptr<Timer>> timers;
+  timers.reserve(kTimers);
+  std::uint64_t expected_fires = 0;
+
+  // Every timer re-arms itself on fire, like an RTO that keeps running.
+  for (std::size_t i = 0; i < kTimers; ++i) {
+    auto* counter = &fire_counts[i];
+    timers.push_back(std::make_unique<Timer>(
+        sim, [counter] { ++*counter; }, Timer::Mode::kLazy));
+  }
+  // Arm the full population across a wide horizon: most sit far-future,
+  // populating the wheel's coarse levels (and, at 1e6 ticks+, the far
+  // list) rather than the heap.
+  for (std::size_t i = 0; i < kTimers; ++i) {
+    timers[i]->schedule(rng.uniform(1e-3, 300.0));
+  }
+
+  // Churn: push deadlines forward (the lazy fast path), shrink some
+  // (forced re-arm), cancel a few — while time advances in slices so
+  // armed events actually fire between mutations.
+  Time now = 0.0;
+  for (int round = 0; round < 10; ++round) {
+    now += 2.0;
+    sim.run(now);
+    for (int k = 0; k < 200000; ++k) {
+      const auto idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(kTimers) - 1));
+      const double op = rng.uniform();
+      if (op < 0.70) {
+        timers[idx]->schedule(rng.uniform(1e-3, 300.0));
+      } else if (op < 0.85) {
+        timers[idx]->schedule(rng.uniform(1e-6, 1e-3));  // likely shrink
+      } else {
+        timers[idx]->cancel();
+      }
+    }
+  }
+
+  // Freeze the population into a known state: cancel everything, then
+  // give each timer exactly one final deadline inside the run window.
+  for (auto& t : timers) t->cancel();
+  for (std::size_t i = 0; i < kTimers; ++i) {
+    fire_counts[i] = 0;
+    timers[i]->schedule(rng.uniform(1e-3, 50.0));
+    ++expected_fires;
+  }
+  sim.run(now + 400.0);
+
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kTimers; ++i) {
+    ASSERT_EQ(fire_counts[i], 1u) << "timer " << i;
+    total += fire_counts[i];
+    EXPECT_FALSE(timers[i]->pending());
+  }
+  EXPECT_EQ(total, expected_fires);
+  // The wheel must be fully drained; lazy self-disarm events may remain
+  // armed, so drain the scheduler and confirm nothing fires again.
+  sim.run(now + 2000.0);
+  for (std::size_t i = 0; i < kTimers; ++i) {
+    ASSERT_EQ(fire_counts[i], 1u);
+  }
+  EXPECT_EQ(sim.scheduler().wheel_size(), 0u);
+}
+
+TEST(TimerStressSlow, CancelStormLeavesSchedulerClean) {
+  // Arm and hard-cancel in waves; every cancel hits a live event (Timer
+  // guarantees it), so the stale counter stays zero and the scheduler
+  // ends empty.
+  constexpr std::size_t kTimers = 200'000;
+  Simulator sim;
+  Random rng(7);
+  std::vector<std::unique_ptr<Timer>> timers;
+  timers.reserve(kTimers);
+  for (std::size_t i = 0; i < kTimers; ++i) {
+    timers.push_back(std::make_unique<Timer>(
+        sim, [] {}, Timer::Mode::kExact));
+  }
+  for (int wave = 0; wave < 5; ++wave) {
+    for (auto& t : timers) t->schedule(rng.uniform(1.0, 100.0));
+    for (auto& t : timers) t->cancel();
+    EXPECT_TRUE(sim.scheduler().empty());
+  }
+  EXPECT_EQ(sim.scheduler().stale_cancels(), 0u);
+}
+
+}  // namespace
+}  // namespace burst

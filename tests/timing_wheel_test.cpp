@@ -1,0 +1,256 @@
+// TimingWheel unit tests plus the heap-vs-wheel differential fuzz: the
+// same random schedule/cancel/advance script driven through a pure-heap
+// scheduler (schedule_at) and a wheel-routed one (schedule_soft_at) must
+// fire the identical (time, label) sequence — the wheel is a storage
+// optimization, never an ordering change.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "src/sim/random.hpp"
+#include "src/sim/scheduler.hpp"
+#include "src/sim/timing_wheel.hpp"
+
+namespace burst {
+namespace {
+
+using Entry = TimingWheel::Entry;
+
+// Drains the wheel through pop_earliest, asserting the surrender-order
+// invariant (each batch's minimum `at` is >= every previously surrendered
+// entry's `at`), and returns all entries in surrender order.
+std::vector<Entry> drain(TimingWheel& wheel) {
+  std::vector<Entry> out;
+  Time last_batch_max = -1.0;
+  std::vector<Entry> batch;
+  while (!wheel.empty()) {
+    batch.clear();
+    wheel.pop_earliest(batch);
+    EXPECT_FALSE(batch.empty());
+    Time batch_min = kTimeNever;
+    Time batch_max = -1.0;
+    for (const Entry& e : batch) {
+      batch_min = std::min(batch_min, e.at);
+      batch_max = std::max(batch_max, e.at);
+    }
+    // A batch is one level-0 tick; ticks surrender in increasing order,
+    // so no later batch may contain an earlier `at`.
+    if (last_batch_max >= 0.0) {
+      EXPECT_GE(batch_min, last_batch_max)
+          << "bucket surrendered out of tick order";
+    }
+    last_batch_max = std::max(last_batch_max, batch_max);
+    out.insert(out.end(), batch.begin(), batch.end());
+  }
+  return out;
+}
+
+TEST(TimingWheel, SingleEntryRoundTrips) {
+  TimingWheel wheel(1e-3);
+  EXPECT_TRUE(wheel.empty());
+  EXPECT_EQ(wheel.min_at_bound(), kTimeNever);
+  ASSERT_TRUE(wheel.accepts(0.5));
+  wheel.insert({0.5, 0.1, 7, 42});
+  EXPECT_EQ(wheel.size(), 1u);
+  EXPECT_LE(wheel.min_at_bound(), 0.5);
+  std::vector<Entry> out;
+  wheel.pop_earliest(out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].at, 0.5);
+  EXPECT_DOUBLE_EQ(out[0].tie_time, 0.1);
+  EXPECT_EQ(out[0].seq, 7u);
+  EXPECT_EQ(out[0].sched_slot, 42u);
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimingWheel, RejectsCurrentTick) {
+  TimingWheel wheel(1e-3);
+  // Tick 0 is the cursor's tick: not strictly in the future.
+  EXPECT_FALSE(wheel.accepts(0.0));
+  EXPECT_FALSE(wheel.accepts(0.9e-3));
+  EXPECT_TRUE(wheel.accepts(1.1e-3));
+}
+
+TEST(TimingWheel, SurrendersInTickOrderAcrossLevels) {
+  // Spread entries over ~5 decades of ticks so every level (and the far
+  // list) is populated: granularity 1 µs puts t=2000 s past 64^5 ticks.
+  TimingWheel wheel(1e-6);
+  Random rng(99);
+  std::vector<Time> ats;
+  for (int i = 0; i < 2000; ++i) {
+    const double mag = rng.uniform(0.0, 9.0);  // 1e-5 .. 1e4 seconds
+    const Time at = 1e-5 * std::pow(10.0, mag);
+    if (!wheel.accepts(at)) continue;
+    wheel.insert({at, 0.0, static_cast<std::uint64_t>(i),
+                  static_cast<std::uint32_t>(i)});
+    ats.push_back(at);
+  }
+  ASSERT_GT(ats.size(), 1900u);
+  const std::vector<Entry> out = drain(wheel);
+  ASSERT_EQ(out.size(), ats.size());
+  // Same multiset of times, and coarse levels actually cascaded.
+  std::vector<Time> drained;
+  for (const Entry& e : out) drained.push_back(e.at);
+  std::sort(ats.begin(), ats.end());
+  std::vector<Time> sorted = drained;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, ats);
+  EXPECT_GT(wheel.cascades(), 0u);
+}
+
+TEST(TimingWheel, RemoveUnlinksAndFreesSlot) {
+  TimingWheel wheel(1e-3);
+  const std::uint32_t a = wheel.insert({0.25, 0.0, 1, 10});
+  const std::uint32_t b = wheel.insert({0.25, 0.0, 2, 11});
+  const std::uint32_t c = wheel.insert({0.75, 0.0, 3, 12});
+  (void)a;
+  (void)c;
+  wheel.remove(b);
+  EXPECT_EQ(wheel.size(), 2u);
+  const std::vector<Entry> out = drain(wheel);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].sched_slot, 10u);
+  EXPECT_EQ(out[1].sched_slot, 12u);
+}
+
+TEST(TimingWheel, RemoveHeadOfBucket) {
+  TimingWheel wheel(1e-3);
+  wheel.insert({0.25, 0.0, 1, 10});
+  // Most-recent insert is the list head; removing it must keep the rest.
+  const std::uint32_t head = wheel.insert({0.2504, 0.0, 2, 11});
+  wheel.remove(head);
+  const std::vector<Entry> out = drain(wheel);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].sched_slot, 10u);
+}
+
+TEST(TimingWheel, MinAtBoundNeverExceedsResidentMin) {
+  TimingWheel wheel(1e-3);
+  Random rng(7);
+  std::vector<std::pair<Time, std::uint32_t>> live;  // (at, node)
+  for (int i = 0; i < 500; ++i) {
+    const Time at = rng.uniform(1e-3, 50.0);
+    if (!wheel.accepts(at)) continue;
+    live.emplace_back(at, wheel.insert({at, 0.0,
+                                        static_cast<std::uint64_t>(i), 0}));
+    if (live.size() > 3 && rng.uniform() < 0.3) {
+      const auto idx = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(live.size()) - 1));
+      wheel.remove(live[idx].second);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    Time true_min = kTimeNever;
+    for (const auto& [t, n] : live) true_min = std::min(true_min, t);
+    // The bound may be stale-low after removals, never high: a high bound
+    // would let the scheduler pop the heap past a wheel resident.
+    EXPECT_LE(wheel.min_at_bound(), true_min);
+  }
+}
+
+TEST(TimingWheel, FarListRefillsWhenLevelsDrain) {
+  // Granularity 1 ns: 64^5 ticks ~= 1.07 s, so seconds-scale deadlines
+  // land in the far list and must re-bucket when the levels empty.
+  TimingWheel wheel(1e-9);
+  wheel.insert({2.0, 0.0, 1, 1});
+  wheel.insert({5.0, 0.0, 2, 2});
+  wheel.insert({0.5, 0.0, 3, 3});  // in-level
+  std::vector<Entry> out;
+  wheel.pop_earliest(out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].at, 0.5);
+  const std::vector<Entry> rest = drain(wheel);
+  ASSERT_EQ(rest.size(), 2u);
+  EXPECT_DOUBLE_EQ(rest[0].at, 2.0);
+  EXPECT_DOUBLE_EQ(rest[1].at, 5.0);
+}
+
+// ---------------------------------------------------------------------------
+// Differential fuzz: heap-only vs wheel-routed scheduler.
+
+class HeapWheelDifferential : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(HeapWheelDifferential, IdenticalFireSequences) {
+  // Two schedulers, one script. `exact` routes everything to the heap;
+  // `soft` routes the same events through schedule_soft_at (wheel for
+  // far-future deadlines). Their pop sequences must match event for
+  // event, including same-instant FIFO ties.
+  Random rng(GetParam());
+  Scheduler exact;
+  Scheduler soft;
+  std::vector<std::pair<EventId, EventId>> ids;  // (exact, soft)
+  std::vector<std::pair<Time, int>> fired_exact;
+  std::vector<std::pair<Time, int>> fired_soft;
+  Time now = 0.0;
+  int next_label = 0;
+
+  for (int step = 0; step < 8000; ++step) {
+    const double op = rng.uniform();
+    if (op < 0.55) {
+      // Deadlines from sub-tick to far future; a burst of duplicates at
+      // the same instant exercises cross-structure FIFO ties.
+      Time at;
+      const double kind = rng.uniform();
+      if (kind < 0.2) {
+        at = now + rng.uniform(0.0, 1e-4);
+      } else if (kind < 0.9) {
+        at = now + rng.uniform(0.0, 5.0);
+      } else {
+        at = now + rng.uniform(0.0, 500.0);
+      }
+      const int reps = rng.uniform() < 0.1 ? 3 : 1;
+      for (int r = 0; r < reps; ++r) {
+        const int label = next_label++;
+        const EventId e = exact.schedule_at(
+            at, [&fired_exact, at, label] {
+              fired_exact.emplace_back(at, label);
+            },
+            now);
+        const EventId s = soft.schedule_soft_at(
+            at, [&fired_soft, at, label] {
+              fired_soft.emplace_back(at, label);
+            },
+            now);
+        ids.emplace_back(e, s);
+      }
+    } else if (op < 0.70 && !ids.empty()) {
+      const auto idx = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(ids.size()) - 1));
+      EXPECT_EQ(exact.pending(ids[idx].first), soft.pending(ids[idx].second));
+      exact.cancel(ids[idx].first);
+      soft.cancel(ids[idx].second);
+    } else if (!exact.empty()) {
+      ASSERT_FALSE(soft.empty());
+      const Time te = exact.next_time();
+      const Time ts = soft.next_time();
+      EXPECT_DOUBLE_EQ(te, ts);
+      now = te;
+      exact.take_next().fn();
+      soft.take_next().fn();
+      ASSERT_FALSE(fired_exact.empty());
+      ASSERT_FALSE(fired_soft.empty());
+      EXPECT_EQ(fired_exact.back(), fired_soft.back())
+          << "backends diverged at t=" << now;
+    }
+    EXPECT_EQ(exact.size(), soft.size());
+  }
+  while (!exact.empty()) {
+    ASSERT_FALSE(soft.empty());
+    exact.take_next().fn();
+    soft.take_next().fn();
+    EXPECT_EQ(fired_exact.back(), fired_soft.back());
+  }
+  EXPECT_TRUE(soft.empty());
+  EXPECT_EQ(fired_exact, fired_soft);
+  // The script must actually have exercised the wheel.
+  EXPECT_GT(soft.scheduled_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeapWheelDifferential,
+                         ::testing::Values(11u, 27u, 301u, 4096u));
+
+}  // namespace
+}  // namespace burst
