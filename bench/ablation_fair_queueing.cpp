@@ -45,7 +45,9 @@ HogResult run_hog(GatewayQueue q, Time duration) {
 
   HogResult out;
   std::uint64_t light_arr = 0, light_drop = 0;
-  for (const auto& [flow, c] : monitor.flows()) {
+  const auto& flow_table = monitor.flow_table();
+  for (std::size_t flow = 0; flow < flow_table.size(); ++flow) {
+    const FlowMonitor::FlowCounters& c = flow_table[flow];
     if (flow == 0) {
       out.hog_loss_frac = c.arrivals == 0
                               ? 0.0

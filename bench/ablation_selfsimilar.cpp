@@ -63,7 +63,9 @@ AggregateResult run_aggregate(Transport transport, bool pareto_sources,
   sim.run(sc.duration);
 
   AggregateResult out;
-  const auto xs = to_doubles(bins.bins());
+  // complete_bins: the horizon rarely lands on a bin boundary, and a
+  // truncated final bin would bias every scale's c.o.v. upward.
+  const auto xs = to_doubles(bins.complete_bins(sc.duration));
   out.covs = cov_across_scales(xs, kScales);
   out.hurst_vt = hurst_variance_time(xs, {1, 2, 4, 8, 16, 32, 64});
   out.hurst_rs = hurst_rescaled_range(xs, {16, 32, 64, 128, 256});

@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
   // Summaries the paper reads off these plots.
   const auto cuts = decrease_counts(r.cwnd_traces, 0.0, sc.duration);
   std::cout << "\nwindow decreases per traced flow:";
-  for (int c : cuts) std::cout << ' ' << c;
+  for (const auto c : cuts) std::cout << ' ' << c;
   std::cout << "\nmax synchronized-cut fraction: "
             << fmt(max_sync_fraction(r.cwnd_traces, 0.1, 0.0, sc.duration), 3)
             << "\nexperiment summary: " << to_json(r) << "\n";

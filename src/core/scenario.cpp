@@ -1,5 +1,6 @@
 #include "src/core/scenario.hpp"
 
+#include <cmath>
 #include <sstream>
 
 #include "src/net/packet.hpp"
@@ -30,7 +31,36 @@ std::string to_string(GatewayQueue q) {
 int Scenario::wire_bytes() const { return payload_bytes + kHeaderBytes; }
 
 double Scenario::bottleneck_pps() const {
-  return bottleneck_bw_bps / (8.0 * wire_bytes());
+  return scaled_bottleneck_bw_bps() / (8.0 * wire_bytes());
+}
+
+double Scenario::meanfield_factor() const {
+  if (meanfield_base <= 0) return 1.0;
+  return static_cast<double>(num_clients) / static_cast<double>(meanfield_base);
+}
+
+double Scenario::scaled_bottleneck_bw_bps() const {
+  // Early-out rather than *1.0 so base==0 is byte-for-byte the raw value
+  // (multiplying by 1.0 is also exact, but the intent reads better).
+  if (meanfield_base <= 0) return bottleneck_bw_bps;
+  return bottleneck_bw_bps * meanfield_factor();
+}
+
+std::size_t Scenario::scaled_gateway_buffer() const {
+  if (meanfield_base <= 0) return gateway_buffer;
+  const double scaled =
+      static_cast<double>(gateway_buffer) * meanfield_factor();
+  return static_cast<std::size_t>(std::llround(scaled));
+}
+
+double Scenario::scaled_red_min_th() const {
+  if (meanfield_base <= 0) return red_min_th;
+  return red_min_th * meanfield_factor();
+}
+
+double Scenario::scaled_red_max_th() const {
+  if (meanfield_base <= 0) return red_max_th;
+  return red_max_th * meanfield_factor();
 }
 
 double Scenario::offered_pps() const {
@@ -51,12 +81,13 @@ Time Scenario::client_delay_for(int i) const {
 
 RedConfig Scenario::red_config() const {
   RedConfig cfg;
-  cfg.min_th = red_min_th;
-  cfg.max_th = red_max_th;
+  cfg.min_th = scaled_red_min_th();
+  cfg.max_th = scaled_red_max_th();
   cfg.max_p = red_max_p;
   cfg.weight = red_weight;
-  cfg.capacity = gateway_buffer;
-  cfg.mean_pkt_tx_time = transmission_time(wire_bytes(), bottleneck_bw_bps);
+  cfg.capacity = scaled_gateway_buffer();
+  cfg.mean_pkt_tx_time =
+      transmission_time(wire_bytes(), scaled_bottleneck_bw_bps());
   cfg.ecn = ecn;
   cfg.adaptive = adaptive_red;
   return cfg;
@@ -64,7 +95,7 @@ RedConfig Scenario::red_config() const {
 
 DrrConfig Scenario::drr_config() const {
   DrrConfig cfg;
-  cfg.capacity = gateway_buffer;
+  cfg.capacity = scaled_gateway_buffer();
   cfg.quantum_bytes = wire_bytes();
   return cfg;
 }

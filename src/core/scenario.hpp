@@ -32,6 +32,14 @@ struct Scenario {
   bool adaptive_red = false;  // self-configuring RED (the paper's ref [5])
   bool limited_transmit = false;  // RFC 3042 at the senders
   bool cwnd_validation = false;   // RFC 2861-style growth gating
+  /// Mean-field scaling base N0 (0 = off). When set, the capacity-side
+  /// parameters — bottleneck bandwidth, gateway buffer, RED thresholds —
+  /// scale by num_clients / meanfield_base, so per-flow capacity stays
+  /// fixed as N grows: the McDonald–Reynier many-flows limit in which
+  /// aggregate fluctuations decay as 1/sqrt(N). The factor is exactly 1.0
+  /// at num_clients == meanfield_base, so the scaled scenario at the base
+  /// N is bit-identical to the unscaled one.
+  int meanfield_base = 0;
 
   // --- Table 1 ---------------------------------------------------------
   double client_bw_bps = 10e6;        // client link bandwidth (mu_c)
@@ -75,6 +83,17 @@ struct Scenario {
   /// Number of clients at which offered load equals capacity (the paper's
   /// 38/39-client crossover).
   double saturation_clients() const;
+
+  /// num_clients / meanfield_base, or 1.0 when mean-field scaling is off.
+  double meanfield_factor() const;
+  /// Capacity-side parameters after mean-field scaling. With
+  /// meanfield_base == 0 these return the raw Table 1 values unchanged
+  /// (same bits — no multiply happens), so every historical scenario is
+  /// untouched.
+  double scaled_bottleneck_bw_bps() const;
+  std::size_t scaled_gateway_buffer() const;
+  double scaled_red_min_th() const;
+  double scaled_red_max_th() const;
 
   RedConfig red_config() const;
   DrrConfig drr_config() const;

@@ -14,21 +14,43 @@ void FlowMonitor::attach(Queue& queue) {
       [this](const Packet& p, Time now) { on_drop(p, now); });
 }
 
+void FlowMonitor::reserve_flows(std::size_t n) {
+  if (n > flows_.size()) {
+    flows_.resize(n);
+    event_mark_.resize(n, 0);
+  }
+}
+
+FlowMonitor::FlowCounters& FlowMonitor::counters(FlowId flow) {
+  const auto idx = static_cast<std::size_t>(flow);
+  if (idx >= flows_.size()) {
+    flows_.resize(idx + 1);
+    event_mark_.resize(idx + 1, 0);
+  }
+  FlowCounters& c = flows_[idx];
+  if (c.arrivals == 0 && c.drops == 0) ++flows_seen_;
+  return c;
+}
+
 void FlowMonitor::on_arrival(const Queue& q, const Packet& p, Time /*now*/) {
   if (p.type != PacketType::kData) return;
-  ++flows_[p.flow].arrivals;
+  ++counters(p.flow).arrivals;
   queue_at_arrival_.add(static_cast<double>(q.len()));
 }
 
 void FlowMonitor::on_drop(const Packet& p, Time now) {
   if (p.type != PacketType::kData) return;
-  ++flows_[p.flow].drops;
+  ++counters(p.flow).drops;
   if (last_drop_ >= 0.0 && now - last_drop_ > event_gap_) close_event();
   last_drop_ = now;
-  if (open_event_start_ < 0.0) open_event_start_ = now;
+  if (open_event_start_ < 0.0) {
+    open_event_start_ = now;
+    ++event_epoch_;
+  }
   ++open_event_drops_;
-  if (std::find(open_event_flows_.begin(), open_event_flows_.end(), p.flow) ==
-      open_event_flows_.end()) {
+  const auto idx = static_cast<std::size_t>(p.flow);
+  if (event_mark_[idx] != event_epoch_) {
+    event_mark_[idx] = event_epoch_;
     open_event_flows_.push_back(p.flow);
   }
 }
@@ -80,7 +102,7 @@ int FlowMonitor::max_flows_hit() const {
 double FlowMonitor::loss_fraction_spread(std::uint64_t min_arrivals) const {
   double lo = 1.0, hi = 0.0;
   int counted = 0;
-  for (const auto& [flow, c] : flows_) {
+  for (const FlowCounters& c : flows_) {
     if (c.arrivals < min_arrivals) continue;
     const double frac = static_cast<double>(c.drops) /
                         static_cast<double>(c.arrivals);

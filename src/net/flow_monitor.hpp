@@ -15,10 +15,14 @@
 // the quantity that matters for synchronization — flows don't care which
 // hop dropped them. With a TraceSink attached, each closed congestion
 // event is emitted as a kCongestionEvent record.
+//
+// Flow counters live in a dense vector indexed by FlowId (builders assign
+// ids 0..N-1), not a hash map: at mean-field scale (10^5+ flows) the
+// table is touched on every gateway arrival, and the dense layout keeps
+// that hot path a single indexed load. reserve_flows() pre-sizes it.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "src/net/queue.hpp"
@@ -48,6 +52,10 @@ class FlowMonitor {
   /// must outlive every attached queue's tap invocations.
   void attach(Queue& queue);
 
+  /// Pre-sizes the per-flow table for ids [0, n) so the arrival path
+  /// never reallocates mid-run.
+  void reserve_flows(std::size_t n);
+
   /// Emits a kCongestionEvent record (against @p site) into @p sink each
   /// time a drop cluster closes.
   void set_trace(TraceSink* sink, std::uint8_t site = 0) {
@@ -55,8 +63,18 @@ class FlowMonitor {
     trace_site_ = site;
   }
 
-  const std::unordered_map<FlowId, FlowCounters>& flows() const {
-    return flows_;
+  /// Dense per-flow counter table, indexed by FlowId. Entries for flows
+  /// never seen are zero; the table extends to the highest id observed
+  /// (or reserved).
+  const std::vector<FlowCounters>& flow_table() const { return flows_; }
+
+  /// Number of distinct flows with at least one arrival or drop.
+  std::size_t flows_seen() const { return flows_seen_; }
+
+  /// Counters for @p flow (zeros if the id was never observed).
+  FlowCounters flow(FlowId flow) const {
+    const auto idx = static_cast<std::size_t>(flow);
+    return flow >= 0 && idx < flows_.size() ? flows_[idx] : FlowCounters{};
   }
 
   /// Queue occupancy seen by arriving data packets (PASTA sampler),
@@ -82,15 +100,22 @@ class FlowMonitor {
   void on_arrival(const Queue& q, const Packet& p, Time now);
   void on_drop(const Packet& p, Time now);
   void close_event() const;
+  FlowCounters& counters(FlowId flow);
 
   Time event_gap_;
-  std::unordered_map<FlowId, FlowCounters> flows_;
+  std::vector<FlowCounters> flows_;
+  /// Event-epoch stamp per flow, parallel to flows_: dedups the flows hit
+  /// by the open event in O(1) per drop (a linear membership scan would
+  /// go quadratic when one synchronized event clips 10^5 flows).
+  mutable std::vector<std::uint64_t> event_mark_;
+  std::size_t flows_seen_ = 0;
   RunningStats queue_at_arrival_;
 
   // Current (possibly open) drop event. Mutable: readers close it lazily.
   mutable std::vector<int> flows_hit_;
   mutable std::vector<FlowId> open_event_flows_;
-  mutable Time open_event_start_ = -1.0;  // first drop of the open event
+  mutable std::uint64_t event_epoch_ = 0;  // 0 = "no event yet" mark value
+  mutable Time open_event_start_ = -1.0;   // first drop of the open event
   mutable std::uint64_t open_event_drops_ = 0;
   Time last_drop_ = -1.0;
   TraceSink* trace_ = nullptr;

@@ -7,28 +7,26 @@
 
 namespace burst {
 
-namespace {
-
-// Direct-indexed upsert / lookup shared by both tables. Ids come from the
-// topology builders and are small (clients + gateways + servers), so a
-// vector indexed by id is both the fastest and the simplest table.
 template <typename V>
-void upsert(std::vector<V*>& table, int key, V* value) {
+void Node::DenseTable<V>::upsert(int key, V* value) {
   assert(key >= 0);
-  if (static_cast<std::size_t>(key) >= table.size()) {
-    table.resize(static_cast<std::size_t>(key) + 1, nullptr);
+  if (slots.empty()) {
+    base = key;
+    slots.push_back(value);
+    return;
   }
-  table[static_cast<std::size_t>(key)] = value;
+  if (key < base) {
+    // Rare (builders install ascending ids): shift the window down.
+    slots.insert(slots.begin(), static_cast<std::size_t>(base - key),
+                 nullptr);
+    base = key;
+    slots.front() = value;
+    return;
+  }
+  const auto idx = static_cast<std::size_t>(key - base);
+  if (idx >= slots.size()) slots.resize(idx + 1, nullptr);
+  slots[idx] = value;
 }
-
-template <typename V>
-V* lookup(const std::vector<V*>& table, int key) {
-  const auto idx = static_cast<std::size_t>(key);
-  // A single unsigned compare also rejects negative keys.
-  return idx < table.size() ? table[idx] : nullptr;
-}
-
-}  // namespace
 
 void Node::add_route(NodeId dst, PacketChannel* channel) {
   assert(channel != nullptr);
@@ -36,17 +34,17 @@ void Node::add_route(NodeId dst, PacketChannel* channel) {
     default_route_ = channel;
     return;
   }
-  upsert(routes_, dst, channel);
+  routes_.upsert(dst, channel);
 }
 
 void Node::attach(FlowId flow, PacketHandler* handler) {
   assert(handler != nullptr);
-  upsert(handlers_, flow, handler);
+  handlers_.upsert(flow, handler);
 }
 
 void Node::receive(const Packet& p) {
   if (p.dst == id_) {
-    PacketHandler* h = lookup(handlers_, p.flow);
+    PacketHandler* h = handlers_.lookup(p.flow);
     if (h == nullptr) {
       ++routing_errors_;
       return;
@@ -62,7 +60,7 @@ void Node::receive(const Packet& p) {
 }
 
 void Node::send(const Packet& p) {
-  PacketChannel* ch = lookup(routes_, p.dst);
+  PacketChannel* ch = routes_.lookup(p.dst);
   if (ch == nullptr) ch = default_route_;
   if (ch == nullptr) {
     ++routing_errors_;

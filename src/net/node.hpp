@@ -50,16 +50,39 @@ class Node {
   /// correctly wired topology; tests assert on it).
   std::uint64_t routing_errors() const { return routing_errors_; }
 
+  /// Capacity hints from the topology builder (huge-N mode: avoids
+  /// regrowth while the tables fill during construction).
+  void reserve_routes(std::size_t n) { routes_.slots.reserve(n); }
+  void reserve_handlers(std::size_t n) { handlers_.slots.reserve(n); }
+
   static constexpr NodeId kDefaultRoute = -1;
 
  private:
+  // Direct-indexed table with a base offset: node and flow ids are small
+  // dense non-negative ints assigned by the topology builders, so a
+  // route/handler lookup — once per packet per hop — is a single
+  // bounds-checked load instead of a hash or search. The base makes the
+  // footprint proportional to the id *range actually installed* rather
+  // than the absolute ids: client i of an N-client dumbbell holds one
+  // handler at flow i, not an i+1-entry vector, which is what keeps
+  // total table memory O(N) instead of O(N^2) at mean-field scale.
+  template <typename V>
+  struct DenseTable {
+    int base = 0;
+    std::vector<V*> slots;
+
+    void upsert(int key, V* value);
+    V* lookup(int key) const {
+      // A single unsigned compare also rejects keys below base.
+      const auto idx = static_cast<std::size_t>(key - base);
+      return idx < slots.size() ? slots[idx] : nullptr;
+    }
+  };
+
   NodeId id_;
-  // Direct-indexed tables: node and flow ids are small dense non-negative
-  // ints assigned by the topology builders, so a route/handler lookup —
-  // once per packet per hop — is a single bounds-checked load instead of
-  // a hash or search. The default route is hoisted out of the table.
-  std::vector<PacketChannel*> routes_;    // indexed by destination NodeId
-  std::vector<PacketHandler*> handlers_;  // indexed by FlowId
+  DenseTable<PacketChannel> routes_;    // keyed by destination NodeId
+  DenseTable<PacketHandler> handlers_;  // keyed by FlowId
+  // The default route is hoisted out of the table.
   PacketChannel* default_route_ = nullptr;
   std::uint64_t routing_errors_ = 0;
 };

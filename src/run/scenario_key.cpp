@@ -105,6 +105,11 @@ std::string canonical_string(const Scenario& s, const ExperimentOptions& opts) {
   c.field("adaptive_red", s.adaptive_red);
   c.field("limited_transmit", s.limited_transmit);
   c.field("cwnd_validation", s.cwnd_validation);
+  // Appended only when active so every pre-existing scenario keeps its
+  // historical key (and topo fingerprint) byte-for-byte.
+  if (s.meanfield_base != 0) {
+    c.field("meanfield_base", static_cast<std::int64_t>(s.meanfield_base));
+  }
   // Table 1.
   c.field("client_bw_bps", s.client_bw_bps);
   c.field("client_delay", s.client_delay);

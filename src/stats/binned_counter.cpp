@@ -12,27 +12,38 @@ void BinnedCounter::record(Time t) {
   ++bins_[idx];
 }
 
+std::size_t BinnedCounter::complete_bin_count(Time end) const {
+  if (end <= start_) return bins_.size();
+  // Number of *complete* bins in [start, end). When end sits on a bin
+  // boundary the quotient is an integer only up to floating-point
+  // rounding — e.g. the paper's default span (20.0 - 2.0) / 0.08
+  // evaluates to 224.999...97, and a bare floor() silently loses the
+  // final bin (or gains one when the error lands high). Snap quotients
+  // within a relative epsilon of an integer before flooring.
+  const double raw = (end - start_) / bin_width_;
+  const double snapped = std::round(raw);
+  const double n = std::abs(raw - snapped) <= 1e-9 * std::max(1.0, raw)
+                       ? snapped
+                       : std::floor(raw);
+  return static_cast<std::size_t>(n);
+}
+
 RunningStats BinnedCounter::stats_until(Time end) const {
   RunningStats rs;
-  std::size_t total_bins = bins_.size();
-  if (end > start_) {
-    // Number of *complete* bins in [start, end). When end sits on a bin
-    // boundary the quotient is an integer only up to floating-point
-    // rounding — e.g. the paper's default span (20.0 - 2.0) / 0.08
-    // evaluates to 224.999...97, and a bare floor() silently loses the
-    // final bin (or gains one when the error lands high). Snap quotients
-    // within a relative epsilon of an integer before flooring.
-    const double raw = (end - start_) / bin_width_;
-    const double snapped = std::round(raw);
-    const double n = std::abs(raw - snapped) <= 1e-9 * std::max(1.0, raw)
-                         ? snapped
-                         : std::floor(raw);
-    total_bins = static_cast<std::size_t>(n);
-  }
+  const std::size_t total_bins = complete_bin_count(end);
   for (std::size_t i = 0; i < total_bins; ++i) {
     rs.add(i < bins_.size() ? static_cast<double>(bins_[i]) : 0.0);
   }
   return rs;
+}
+
+std::vector<std::uint64_t> BinnedCounter::complete_bins(Time end) const {
+  const std::size_t total_bins = complete_bin_count(end);
+  std::vector<std::uint64_t> out(total_bins, 0);
+  const std::size_t have = std::min(total_bins, bins_.size());
+  std::copy(bins_.begin(), bins_.begin() + static_cast<std::ptrdiff_t>(have),
+            out.begin());
+  return out;
 }
 
 }  // namespace burst

@@ -21,8 +21,18 @@ class BinnedCounter {
   /// (they come from a simulation clock).
   void record(Time t);
 
-  /// Per-bin counts up to and including the last non-empty bin.
+  /// Per-bin counts up to and including the last non-empty bin. The last
+  /// entry may be a PARTIAL bin (the horizon rarely lands on a boundary);
+  /// series analysis should use complete_bins() so a truncated final bin
+  /// never drags the tail of the series down.
   const std::vector<std::uint64_t>& bins() const { return bins_; }
+
+  /// Per-bin counts for every *complete* bin in [start, end): the partial
+  /// final bin is dropped, and trailing empty complete bins are padded
+  /// with zeros ("no arrivals" is real data). Boundary determination
+  /// matches stats_until (epsilon-snapped), so
+  /// series_stats(to_doubles(complete_bins(end))) == stats_until(end).
+  std::vector<std::uint64_t> complete_bins(Time end) const;
 
   /// Statistics over all bins in [start, end): trailing empty bins up to
   /// @p end are included, since "no arrivals" is real data. An @p end on a
@@ -34,6 +44,8 @@ class BinnedCounter {
   Time bin_width() const { return bin_width_; }
 
  private:
+  std::size_t complete_bin_count(Time end) const;
+
   Time bin_width_;
   Time start_;
   std::vector<std::uint64_t> bins_;

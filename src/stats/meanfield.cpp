@@ -1,0 +1,57 @@
+#include "src/stats/meanfield.hpp"
+
+#include <cmath>
+
+namespace burst {
+
+MeanfieldFixedPoint red_meanfield_fixed_point(const MeanfieldParams& p) {
+  MeanfieldFixedPoint fp;
+  if (p.capacity_pps <= 0.0 || p.num_flows <= 0.0 || p.base_rtt < 0.0 ||
+      p.red_min_th < 0.0 || p.red_max_th <= p.red_min_th ||
+      p.red_max_p <= 0.0 || p.red_max_p > 1.0) {
+    return fp;  // converged=false
+  }
+
+  // Window-limited regime: even with an empty queue each flow would need
+  // more than its advertised window to fill the pipe. Queue stays empty.
+  const double w_fill = p.capacity_pps * p.base_rtt / p.num_flows;
+  if (p.max_window > 0.0 && w_fill >= p.max_window) {
+    fp.queue_pkts = 0.0;
+    fp.drop_prob = 0.0;
+    fp.window_pkts = p.max_window;
+    fp.rtt = p.base_rtt;
+    fp.converged = true;
+    return fp;
+  }
+
+  constexpr int kMaxIter = 10000;
+  constexpr double kDamp = 0.25;
+  constexpr double kRelTol = 1e-12;
+  double x = 0.5 * (p.red_min_th + p.red_max_th);
+  double w = 0.0, prob = 0.0;
+  for (int i = 1; i <= kMaxIter; ++i) {
+    const double rtt = p.base_rtt + x / p.capacity_pps;
+    w = p.capacity_pps * rtt / p.num_flows;
+    // Inverse square-root law w = sqrt(3/(2p)). Clamp to the linear RED
+    // region: demand beyond max_p means the true operating point sits in
+    // the cliff above max_th, which this model does not chase.
+    prob = 1.5 / (w * w);
+    if (prob > p.red_max_p) prob = p.red_max_p;
+    const double x_new =
+        p.red_min_th + prob * (p.red_max_th - p.red_min_th) / p.red_max_p;
+    const double step = x_new - x;
+    x += kDamp * step;
+    fp.iterations = i;
+    if (std::abs(step) <= kRelTol * (1.0 + std::abs(x))) {
+      fp.converged = true;
+      break;
+    }
+  }
+  fp.queue_pkts = x;
+  fp.drop_prob = prob;
+  fp.window_pkts = w;
+  fp.rtt = p.base_rtt + x / p.capacity_pps;
+  return fp;
+}
+
+}  // namespace burst

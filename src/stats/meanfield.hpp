@@ -1,0 +1,49 @@
+// Mean-field (many-flows) fixed point for TCP over a RED bottleneck.
+//
+// In the McDonald–Reynier limit, N synchronized-free TCP flows sharing a
+// RED gateway whose capacity and thresholds scale with N behave like one
+// deterministic "mean" flow: the average queue settles at the occupancy
+// x* where the RED drop probability p(x*) makes the square-root TCP
+// window exactly fill the pipe. Aggregate fluctuations around x* decay
+// as 1/sqrt(N) — the property the fig_meanfield campaign measures.
+//
+// The fixed point couples three relations:
+//   RTT(x)  = R0 + x / C                    (queueing delay at capacity C)
+//   w(x)    = C * RTT(x) / N                (per-flow window at utilization 1)
+//   p(w)    = 3 / (2 w^2)                   (inverse TCP square-root law)
+//   x(p)    = min_th + p * (max_th - min_th) / max_p   (RED linear profile)
+// solved by damped iteration on x. Pure arithmetic — no Scenario or
+// simulator dependency — so callers pass already-scaled parameters.
+#pragma once
+
+namespace burst {
+
+struct MeanfieldParams {
+  double capacity_pps = 0.0;  ///< bottleneck service rate, data packets/s
+  double base_rtt = 0.0;      ///< two-way propagation delay R0, seconds
+  double num_flows = 0.0;     ///< N
+  double red_min_th = 0.0;    ///< RED thresholds/probability, packets
+  double red_max_th = 0.0;
+  double red_max_p = 0.0;
+  /// Per-flow advertised-window cap, packets (0 = uncapped). When the
+  /// uncongested window C*R0/N already exceeds this cap the link cannot
+  /// be filled and the fixed point degenerates to an empty queue.
+  double max_window = 0.0;
+};
+
+struct MeanfieldFixedPoint {
+  double queue_pkts = 0.0;   ///< x*: mean RED (average) occupancy
+  double drop_prob = 0.0;    ///< p*: equilibrium drop/mark probability
+  double window_pkts = 0.0;  ///< w*: per-flow congestion window
+  double rtt = 0.0;          ///< R0 + x*/C
+  bool converged = false;
+  int iterations = 0;
+};
+
+/// Solves the fixed point above. Requires capacity_pps > 0, num_flows > 0,
+/// and a valid RED profile (0 <= min_th < max_th, 0 < max_p <= 1);
+/// returns converged=false otherwise or if the damped iteration fails to
+/// settle (it converges in a handful of steps for any sane profile).
+MeanfieldFixedPoint red_meanfield_fixed_point(const MeanfieldParams& params);
+
+}  // namespace burst

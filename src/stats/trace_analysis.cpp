@@ -4,12 +4,12 @@
 
 namespace burst {
 
-std::vector<int> decrease_counts(const std::vector<TraceSeries>& traces,
-                                 Time t0, Time t1) {
-  std::vector<int> out;
+std::vector<std::int64_t> decrease_counts(
+    const std::vector<TraceSeries>& traces, Time t0, Time t1) {
+  std::vector<std::int64_t> out;
   out.reserve(traces.size());
   for (const auto& t : traces) {
-    int count = 0;
+    std::int64_t count = 0;
     for (std::size_t i = 1; i < t.points().size(); ++i) {
       const auto& [at, v] = t.points()[i];
       if (at < t0 || at >= t1) continue;
@@ -24,7 +24,7 @@ double max_sync_fraction(const std::vector<TraceSeries>& traces, Time bin,
                          Time t0, Time t1) {
   if (traces.empty() || bin <= 0.0 || t1 <= t0) return 0.0;
   const auto n_bins = static_cast<std::size_t>((t1 - t0) / bin) + 1;
-  std::vector<int> flows_cutting(n_bins, 0);
+  std::vector<std::int64_t> flows_cutting(n_bins, 0);
   for (const auto& t : traces) {
     std::size_t last_marked = n_bins;  // avoid double-counting one flow
     for (std::size_t i = 1; i < t.points().size(); ++i) {
@@ -38,8 +38,8 @@ double max_sync_fraction(const std::vector<TraceSeries>& traces, Time bin,
       }
     }
   }
-  int max_count = 0;
-  for (int c : flows_cutting) max_count = std::max(max_count, c);
+  std::int64_t max_count = 0;
+  for (std::int64_t c : flows_cutting) max_count = std::max(max_count, c);
   return static_cast<double>(max_count) / static_cast<double>(traces.size());
 }
 

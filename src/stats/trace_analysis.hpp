@@ -3,15 +3,18 @@
 // reproducing Figs 6-9 and 12.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "src/sim/trace.hpp"
 
 namespace burst {
 
-/// Window-decrease events per series within [t0, t1).
-std::vector<int> decrease_counts(const std::vector<TraceSeries>& traces,
-                                 Time t0, Time t1);
+/// Window-decrease events per series within [t0, t1). 64-bit: at
+/// mean-field scale a long trace can accumulate beyond what 32 bits
+/// hold, and event counters are uint64/int64 throughout the codebase.
+std::vector<std::int64_t> decrease_counts(
+    const std::vector<TraceSeries>& traces, Time t0, Time t1);
 
 /// Loss-synchronization: the largest fraction of traced flows that cut
 /// their window inside the same time bin of width @p bin over [t0, t1).

@@ -77,9 +77,37 @@ TopoNet::TopoNet(Simulator& sim, const TopoSpec& spec)
   const Scenario& sc = spec_.scenario;
   const int total = spec_.total_nodes();
   assert(total >= 2);
+  nodes_.reserve(static_cast<std::size_t>(total));
   for (int id = 0; id < total; ++id) {
     nodes_.push_back(std::make_unique<Node>(id));
   }
+
+  // --- Pre-size every per-flow/per-link container (huge-N mode): the
+  // expanded counts are known from the spec, so nothing regrows while
+  // the graph and the flow population are built.
+  std::size_t expanded_links = 0;
+  for (const TopoLinkSpec& l : spec_.links) {
+    expanded_links += static_cast<std::size_t>(
+        std::max(spec_.node_count(l.from), spec_.node_count(l.to)));
+  }
+  links_.reserve(expanded_links);
+  link_base_.reserve(spec_.links.size());
+  link_ends_.reserve(expanded_links);
+
+  std::size_t total_flows = 0;
+  std::size_t tcp_flows = 0;
+  for (const TopoFlowSpec& f : spec_.flows) {
+    const auto n = static_cast<std::size_t>(spec_.node_count(f.src));
+    total_flows += n;
+    if (f.transport != Transport::kUdp) tcp_flows += n;
+  }
+  senders_.reserve(total_flows);
+  sinks_.reserve(total_flows);
+  sources_.reserve(total_flows);
+  // One contiguous struct-of-arrays block for every TCP flow's mutable
+  // scalars; the agents constructed below are views over its slots.
+  arena_.reserve(tcp_flows, tcp_flows,
+                 FlowArena::ring_capacity_for(sc.advertised_window));
 
   // --- Links: expand each statement in declaration order. --------------
   // Fork discipline: one sim.rng().fork() per expanded link with an
@@ -119,19 +147,64 @@ TopoNet::TopoNet(Simulator& sim, const TopoSpec& spec)
   // --- Routing: per-node BFS over the expanded graph. -------------------
   // Out-links in expansion order + FIFO frontier = the first-declared
   // shortest path wins, deterministically.
+  //
+  // Huge-N fast path: when the graph is strongly connected, a node with
+  // exactly one out-link reaches every destination through it, so its
+  // whole BFS route table collapses to one default route — functionally
+  // identical next hops (route tables never affect packet timing), and
+  // the all-pairs O(N^2) BFS shrinks to one pass per multi-out-link hub
+  // (the gateway, in a dumbbell). Graphs that are not strongly connected
+  // keep the historical full BFS so unreachable destinations still count
+  // routing_errors instead of being silently forwarded.
   {
     std::vector<std::vector<int>> out(static_cast<std::size_t>(total));
+    std::vector<std::vector<int>> in(static_cast<std::size_t>(total));
     for (std::size_t e = 0; e < link_ends_.size(); ++e) {
       out[static_cast<std::size_t>(link_ends_[e].first)].push_back(
           static_cast<int>(e));
+      in[static_cast<std::size_t>(link_ends_[e].second)].push_back(
+          static_cast<int>(e));
     }
-    std::vector<SimplexLink*> first_hop(static_cast<std::size_t>(total));
+
     std::vector<char> seen(static_cast<std::size_t>(total));
+    std::queue<int> frontier;
+    const auto reaches_all = [&](const std::vector<std::vector<int>>& adj,
+                                 const bool forward) {
+      std::fill(seen.begin(), seen.end(), 0);
+      seen[0] = 1;
+      int reached = 1;
+      frontier.push(0);
+      while (!frontier.empty()) {
+        const int u = frontier.front();
+        frontier.pop();
+        for (const int e : adj[static_cast<std::size_t>(u)]) {
+          const auto& ends = link_ends_[static_cast<std::size_t>(e)];
+          const int v = forward ? ends.second : ends.first;
+          if (seen[static_cast<std::size_t>(v)]) continue;
+          seen[static_cast<std::size_t>(v)] = 1;
+          ++reached;
+          frontier.push(v);
+        }
+      }
+      return reached == total;
+    };
+    const bool strongly_connected =
+        reaches_all(out, true) && reaches_all(in, false);
+
+    std::vector<SimplexLink*> first_hop(static_cast<std::size_t>(total));
     for (int src = 0; src < total; ++src) {
+      Node& src_node = *nodes_[static_cast<std::size_t>(src)];
+      const auto& src_out = out[static_cast<std::size_t>(src)];
+      if (strongly_connected && src_out.size() == 1) {
+        src_node.add_route(
+            Node::kDefaultRoute,
+            links_[static_cast<std::size_t>(src_out[0])].get());
+        continue;
+      }
+      if (src_out.empty()) continue;  // BFS would install nothing
       std::fill(first_hop.begin(), first_hop.end(), nullptr);
       std::fill(seen.begin(), seen.end(), 0);
       seen[static_cast<std::size_t>(src)] = 1;
-      std::queue<int> frontier;
       frontier.push(src);
       while (!frontier.empty()) {
         const int u = frontier.front();
@@ -146,7 +219,7 @@ TopoNet::TopoNet(Simulator& sim, const TopoSpec& spec)
           frontier.push(v);
         }
       }
-      Node& src_node = *nodes_[static_cast<std::size_t>(src)];
+      src_node.reserve_routes(static_cast<std::size_t>(total));
       for (int dst = 0; dst < total; ++dst) {
         if (dst == src) continue;
         if (SimplexLink* hop = first_hop[static_cast<std::size_t>(dst)]) {
@@ -157,6 +230,10 @@ TopoNet::TopoNet(Simulator& sim, const TopoSpec& spec)
   }
 
   // --- Flows: one sender/sink/source triple per expanded src member. ---
+  for (const TopoFlowSpec& f : spec_.flows) {
+    nodes_[static_cast<std::size_t>(spec_.node_id(f.dst, 0))]
+        ->reserve_handlers(static_cast<std::size_t>(spec_.node_count(f.src)));
+  }
   const TcpConfig tcp_cfg = make_tcp_config(sc);
   for (const TopoFlowSpec& f : spec_.flows) {
     const int dst = spec_.node_id(f.dst, 0);
@@ -173,24 +250,24 @@ TopoNet::TopoNet(Simulator& sim, const TopoSpec& spec)
               std::make_unique<UdpSink>(sim_, dst_node, flow, src));
           break;
         case Transport::kTahoe:
-          senders_.push_back(std::make_unique<TcpTahoe>(sim_, src_node, flow,
-                                                        dst, tcp_cfg));
+          senders_.push_back(std::make_unique<TcpTahoe>(
+              sim_, src_node, flow, dst, tcp_cfg, &arena_));
           break;
         case Transport::kReno:
-          senders_.push_back(
-              std::make_unique<TcpReno>(sim_, src_node, flow, dst, tcp_cfg));
+          senders_.push_back(std::make_unique<TcpReno>(
+              sim_, src_node, flow, dst, tcp_cfg, &arena_));
           break;
         case Transport::kNewReno:
-          senders_.push_back(std::make_unique<TcpNewReno>(sim_, src_node, flow,
-                                                          dst, tcp_cfg));
+          senders_.push_back(std::make_unique<TcpNewReno>(
+              sim_, src_node, flow, dst, tcp_cfg, &arena_));
           break;
         case Transport::kVegas:
           senders_.push_back(std::make_unique<TcpVegas>(
-              sim_, src_node, flow, dst, tcp_cfg, sc.vegas));
+              sim_, src_node, flow, dst, tcp_cfg, sc.vegas, &arena_));
           break;
         case Transport::kSack:
-          senders_.push_back(
-              std::make_unique<TcpSack>(sim_, src_node, flow, dst, tcp_cfg));
+          senders_.push_back(std::make_unique<TcpSack>(
+              sim_, src_node, flow, dst, tcp_cfg, &arena_));
           break;
       }
       if (f.transport != Transport::kUdp) {
@@ -198,7 +275,7 @@ TopoNet::TopoNet(Simulator& sim, const TopoSpec& spec)
         sink_cfg.delayed_ack = f.delayed_ack;
         sink_cfg.sack = f.transport == Transport::kSack;
         sinks_.push_back(std::make_unique<TcpSink>(sim_, dst_node, flow, src,
-                                                   sink_cfg));
+                                                   sink_cfg, &arena_));
       }
       sources_.push_back(std::make_unique<PoissonSource>(
           sim_, *senders_.back(), f.mean_interarrival, sim_.rng().fork()));
@@ -242,6 +319,7 @@ void TopoNet::attach_trace(TraceSink& sink, const TopoTraceNames& names) {
   }
 
   monitor_ = std::make_unique<FlowMonitor>();
+  monitor_->reserve_flows(senders_.size());
   monitor_->attach(measured_->queue());
   monitor_->set_trace(&sink, queue_site);
 }

@@ -95,9 +95,16 @@ class TopoNet {
 
   const TopoSpec& spec() const { return spec_; }
 
+  /// The shared per-flow state arena (bytes_reserved() feeds the huge-N
+  /// memory-budget assertions).
+  const FlowArena& flow_arena() const { return arena_; }
+
  private:
   Simulator& sim_;
   TopoSpec spec_;
+  // Declared before senders_/sinks_: the agents are views over arena
+  // slots and must be destroyed first (reverse declaration order).
+  FlowArena arena_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<SimplexLink>> links_;
   /// links_ index of each link statement's first expanded member.

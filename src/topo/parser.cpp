@@ -129,6 +129,7 @@ bool scenario_field_value(const Scenario& sc, const std::string& name,
   else if (name == "red_maxp") *out = sc.red_max_p;
   else if (name == "red_weight") *out = sc.red_weight;
   else if (name == "seed") *out = static_cast<double>(sc.seed);
+  else if (name == "meanfield_base") *out = sc.meanfield_base;
   else return false;
   return true;
 }
@@ -275,6 +276,11 @@ bool apply_scenario_field(Scenario* sc, const std::string& field,
   } else if (field == "seed") {
     if (!str_to_u64(value, &u)) return bad_value("seed");
     sc->seed = u;
+  } else if (field == "meanfield_base") {
+    if (!str_to_double(value, &d) || d < 0 || d != static_cast<int>(d)) {
+      return bad_value("base client count");
+    }
+    sc->meanfield_base = static_cast<int>(d);
   } else {
     *msg = "unknown scenario field '" + field + "'";
     return false;

@@ -72,9 +72,9 @@ PortQueueSpec gateway_port_queue(const Scenario& sc) {
   switch (sc.gateway) {
     case GatewayQueue::kRed: {
       q.kind = PortQueueSpec::Kind::kRed;
-      q.capacity = sc.gateway_buffer;
-      q.red_min_th = sc.red_min_th;
-      q.red_max_th = sc.red_max_th;
+      q.capacity = sc.scaled_gateway_buffer();
+      q.red_min_th = sc.scaled_red_min_th();
+      q.red_max_th = sc.scaled_red_max_th();
       q.red_max_p = sc.red_max_p;
       q.red_weight = sc.red_weight;
       q.red_ecn = sc.ecn;
@@ -83,12 +83,12 @@ PortQueueSpec gateway_port_queue(const Scenario& sc) {
     }
     case GatewayQueue::kDrr:
       q.kind = PortQueueSpec::Kind::kDrr;
-      q.capacity = sc.gateway_buffer;
+      q.capacity = sc.scaled_gateway_buffer();
       q.drr_quantum_bytes = sc.wire_bytes();
       break;
     case GatewayQueue::kDropTail:
       q.kind = PortQueueSpec::Kind::kDropTail;
-      q.capacity = sc.gateway_buffer;
+      q.capacity = sc.scaled_gateway_buffer();
       break;
   }
   return q;
@@ -111,7 +111,7 @@ TopoSpec make_dumbbell_spec(const Scenario& sc) {
   TopoLinkSpec bottleneck;
   bottleneck.from = gateway;
   bottleneck.to = server;
-  bottleneck.rate_bps = sc.bottleneck_bw_bps;
+  bottleneck.rate_bps = sc.scaled_bottleneck_bw_bps();
   bottleneck.delay = sc.bottleneck_delay;
   bottleneck.queue = gateway_port_queue(sc);
   spec.links.push_back(bottleneck);
@@ -119,7 +119,7 @@ TopoSpec make_dumbbell_spec(const Scenario& sc) {
   TopoLinkSpec reverse;
   reverse.from = server;
   reverse.to = gateway;
-  reverse.rate_bps = sc.bottleneck_bw_bps;
+  reverse.rate_bps = sc.scaled_bottleneck_bw_bps();
   reverse.delay = sc.bottleneck_delay;
   spec.links.push_back(reverse);
 
@@ -160,12 +160,12 @@ TopoSpec make_tandem_spec(const Scenario& sc, double second_hop_ratio) {
   spec.nodes.push_back({"gw2", 1, 0});
   spec.nodes.push_back({"server", 1, 0});
   const int client = 0, gw1 = 1, gw2 = 2, server = 3;
-  const double bw2 = sc.bottleneck_bw_bps * second_hop_ratio;
+  const double bw2 = sc.scaled_bottleneck_bw_bps() * second_hop_ratio;
 
   TopoLinkSpec hop1;
   hop1.from = gw1;
   hop1.to = gw2;
-  hop1.rate_bps = sc.bottleneck_bw_bps;
+  hop1.rate_bps = sc.scaled_bottleneck_bw_bps();
   hop1.delay = sc.bottleneck_delay;
   hop1.queue = gateway_port_queue(sc);
   spec.links.push_back(hop1);
@@ -188,7 +188,7 @@ TopoSpec make_tandem_spec(const Scenario& sc, double second_hop_ratio) {
   TopoLinkSpec rev2;
   rev2.from = gw2;
   rev2.to = gw1;
-  rev2.rate_bps = sc.bottleneck_bw_bps;
+  rev2.rate_bps = sc.scaled_bottleneck_bw_bps();
   rev2.delay = sc.bottleneck_delay;
   spec.links.push_back(rev2);
 

@@ -1,0 +1,128 @@
+#include "src/transport/flow_arena.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+namespace burst {
+
+namespace {
+
+std::size_t g_default_budget_bytes = 0;  // 0 = unlimited
+
+std::size_t next_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+void FlowArena::set_default_budget_bytes(std::size_t bytes) {
+  g_default_budget_bytes = bytes;
+}
+
+std::size_t FlowArena::default_budget_bytes() {
+  return g_default_budget_bytes;
+}
+
+std::size_t FlowArena::ring_capacity_for(double advertised_window) {
+  // Live span is bounded by the advertised window plus limited-transmit
+  // slack in every window-limited phase; +4 keeps the common case
+  // collision-free, and next_pow2 keeps masking cheap.
+  const auto span =
+      static_cast<std::size_t>(advertised_window < 1.0
+                                   ? 1.0
+                                   : advertised_window) + 4;
+  return next_pow2(span < 8 ? 8 : span);
+}
+
+std::size_t FlowArena::sender_bytes(std::size_t ring_capacity) {
+  return 2 * sizeof(double)            // cwnd, ssthresh
+         + 4 * sizeof(std::int64_t)    // snd_una/nxt/max, app_total
+         + sizeof(int)                 // dupacks
+         + sizeof(Time)                // last_ecn_cut
+         + sizeof(RtoState)            // srtt/rttvar/backoff
+         + ring_capacity * (sizeof(std::int64_t) + sizeof(Time));
+}
+
+std::size_t FlowArena::sink_bytes() {
+  return sizeof(std::int64_t) + sizeof(Time) + 3 * sizeof(std::uint8_t);
+}
+
+void FlowArena::reserve(std::size_t senders, std::size_t sinks,
+                        std::size_t ring_capacity) {
+  assert(reserved_senders_ == 0 && reserved_sinks_ == 0 &&
+         "FlowArena::reserve is one-shot (slots hand out stable pointers)");
+  assert(ring_capacity > 0 && (ring_capacity & (ring_capacity - 1)) == 0 &&
+         "ring capacity must be a power of two");
+  const std::size_t projected =
+      senders * sender_bytes(ring_capacity) + sinks * sink_bytes();
+  if (budget_bytes_ != 0 && projected > budget_bytes_) {
+    throw std::length_error(
+        "FlowArena: reserving " + std::to_string(senders) + " senders + " +
+        std::to_string(sinks) + " sinks needs " + std::to_string(projected) +
+        " bytes, over the " + std::to_string(budget_bytes_) +
+        "-byte budget");
+  }
+  reserved_senders_ = senders;
+  reserved_sinks_ = sinks;
+  ring_cap_ = ring_capacity;
+  bytes_reserved_ = projected;
+
+  cwnd_.reserve(senders);
+  ssthresh_.reserve(senders);
+  snd_una_.reserve(senders);
+  snd_nxt_.reserve(senders);
+  snd_max_.reserve(senders);
+  app_total_.reserve(senders);
+  dupacks_.reserve(senders);
+  last_ecn_cut_.reserve(senders);
+  rto_.reserve(senders);
+  ring_seq_.reserve(senders * ring_capacity);
+  ring_time_.reserve(senders * ring_capacity);
+
+  rcv_nxt_.reserve(sinks);
+  echo_ts_.reserve(sinks);
+  echo_rexmit_.reserve(sinks);
+  echo_ece_.reserve(sinks);
+  delack_pending_.reserve(sinks);
+}
+
+std::uint32_t FlowArena::allocate_sender(double initial_cwnd,
+                                         double initial_ssthresh) {
+  if (sender_count_ >= reserved_senders_) {
+    throw std::length_error(
+        "FlowArena: sender slots exhausted (reserve() before allocating; "
+        "growth would invalidate RtoState pointers)");
+  }
+  const auto s = static_cast<std::uint32_t>(sender_count_++);
+  cwnd_.push_back(initial_cwnd);
+  ssthresh_.push_back(initial_ssthresh);
+  snd_una_.push_back(0);
+  snd_nxt_.push_back(0);
+  snd_max_.push_back(0);
+  app_total_.push_back(0);
+  dupacks_.push_back(0);
+  last_ecn_cut_.push_back(-1.0);
+  rto_.push_back(RtoState{});
+  ring_seq_.resize(ring_seq_.size() + ring_cap_, kRingEmpty);
+  ring_time_.resize(ring_time_.size() + ring_cap_, 0.0);
+  return s;
+}
+
+std::uint32_t FlowArena::allocate_sink() {
+  if (sink_count_ >= reserved_sinks_) {
+    throw std::length_error(
+        "FlowArena: sink slots exhausted (reserve() before allocating)");
+  }
+  const auto s = static_cast<std::uint32_t>(sink_count_++);
+  rcv_nxt_.push_back(0);
+  echo_ts_.push_back(0.0);
+  echo_rexmit_.push_back(0);
+  echo_ece_.push_back(0);
+  delack_pending_.push_back(0);
+  return s;
+}
+
+}  // namespace burst

@@ -1,0 +1,213 @@
+// Struct-of-arrays storage for per-flow transport state (huge-N mode).
+//
+// At the paper's scale (N=60) a heap-allocated TcpSender/TcpSink pair per
+// flow is free; at mean-field scale (N=10^4..10^6, ROADMAP item 1) the
+// per-object layout costs an allocation, a cache line and an
+// unordered_map per flow. A FlowArena packs the mutable per-flow scalars
+// (cwnd/ssthresh/sequence cursors/RTO estimator state/receiver cursors)
+// into a few contiguous vectors sized once up front, and replaces each
+// sender's sent-at hash map with a slice of one shared tag-checked ring.
+//
+// The Agent classes stay the interface: a TcpSender constructed against a
+// shared arena is a *view* over slot i of these arrays. Construction
+// without an arena (tests, single-flow tools) transparently self-hosts a
+// one-slot arena, so both paths execute identical arithmetic — which is
+// why the N=60 identity hashes and conformance goldens survive the
+// refactor bit-for-bit (see DESIGN.md sec. 12).
+//
+// A hard memory budget (set_default_budget_bytes or set_budget_bytes)
+// turns an oversized reserve() into a std::length_error instead of an
+// OOM-killed process; fig_meanfield and the slow N=1e5 smoke test pin the
+// bytes/flow ceiling in CI.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/time.hpp"
+#include "src/transport/rto_estimator.hpp"
+
+namespace burst {
+
+class FlowArena {
+ public:
+  /// Ring slot tag meaning "no sequence stored here".
+  static constexpr std::int64_t kRingEmpty = -1;
+
+  FlowArena() = default;
+  FlowArena(const FlowArena&) = delete;
+  FlowArena& operator=(const FlowArena&) = delete;
+
+  // --- Budget knob -----------------------------------------------------
+  /// Process-wide default budget applied to newly constructed arenas.
+  /// 0 = unlimited. Thread-compatible with the campaign executor: set it
+  /// before spawning workers.
+  static void set_default_budget_bytes(std::size_t bytes);
+  static std::size_t default_budget_bytes();
+  /// Per-arena override; call before reserve().
+  void set_budget_bytes(std::size_t bytes) { budget_bytes_ = bytes; }
+  std::size_t budget_bytes() const { return budget_bytes_; }
+
+  // --- Capacity --------------------------------------------------------
+  /// Sizes every array for @p senders sender slots and @p sinks sink
+  /// slots, with @p ring_capacity (a power of two) sent-at ring entries
+  /// per sender. Throws std::length_error if the projected footprint
+  /// exceeds the budget. Must be called before the first allocate_*();
+  /// callable once per arena (slots hand out stable RtoState pointers, so
+  /// the arrays never reallocate afterwards).
+  void reserve(std::size_t senders, std::size_t sinks,
+               std::size_t ring_capacity);
+
+  /// Smallest power-of-two ring that covers the live sequence span
+  /// [snd_una, snd_max) of a window-limited sender (advertised window
+  /// plus limited-transmit/rewind slack). Overflows spill to a shared map
+  /// (exact semantics either way), so this is a performance hint, not a
+  /// correctness bound.
+  static std::size_t ring_capacity_for(double advertised_window);
+
+  /// Projected bytes for one sender slot (scalars + RtoState + ring).
+  static std::size_t sender_bytes(std::size_t ring_capacity);
+  /// Projected bytes for one sink slot.
+  static std::size_t sink_bytes();
+  /// Bytes actually reserved by this arena's arrays.
+  std::size_t bytes_reserved() const { return bytes_reserved_; }
+
+  std::uint32_t allocate_sender(double initial_cwnd,
+                                double initial_ssthresh);
+  std::uint32_t allocate_sink();
+  std::size_t sender_count() const { return sender_count_; }
+  std::size_t sink_count() const { return sink_count_; }
+
+  // --- Sender fields (hot; slot index from allocate_sender) ------------
+  double& cwnd(std::uint32_t s) { return cwnd_[s]; }
+  double& ssthresh(std::uint32_t s) { return ssthresh_[s]; }
+  std::int64_t& snd_una(std::uint32_t s) { return snd_una_[s]; }
+  std::int64_t& snd_nxt(std::uint32_t s) { return snd_nxt_[s]; }
+  std::int64_t& snd_max(std::uint32_t s) { return snd_max_[s]; }
+  std::int64_t& app_total(std::uint32_t s) { return app_total_[s]; }
+  int& dupacks(std::uint32_t s) { return dupacks_[s]; }
+  Time& last_ecn_cut(std::uint32_t s) { return last_ecn_cut_[s]; }
+  RtoState& rto_state(std::uint32_t s) { return rto_[s]; }
+
+  double cwnd(std::uint32_t s) const { return cwnd_[s]; }
+  double ssthresh(std::uint32_t s) const { return ssthresh_[s]; }
+  std::int64_t snd_una(std::uint32_t s) const { return snd_una_[s]; }
+  std::int64_t snd_nxt(std::uint32_t s) const { return snd_nxt_[s]; }
+  std::int64_t snd_max(std::uint32_t s) const { return snd_max_[s]; }
+  std::int64_t app_total(std::uint32_t s) const { return app_total_[s]; }
+  int dupacks(std::uint32_t s) const { return dupacks_[s]; }
+  Time last_ecn_cut(std::uint32_t s) const { return last_ecn_cut_[s]; }
+
+  // --- Sent-at ring ----------------------------------------------------
+  // Per-sender slice [s*cap, (s+1)*cap) of one tag-checked ring. The
+  // three operations reproduce unordered_map<seq, Time> semantics
+  // exactly: a slot is valid only when its tag equals the sequence, and
+  // the rare live collision (SACK recovery can stretch the in-flight
+  // span past the ring) spills to a shared overflow map, preserving the
+  // stored timestamps bit-for-bit.
+  void ring_store(std::uint32_t s, std::int64_t seq, Time at) {
+    const std::size_t pos = ring_pos(s, seq);
+    if (ring_seq_[pos] == seq) {
+      ring_time_[pos] = at;
+      return;
+    }
+    if (!overflow_.empty()) {
+      auto it = overflow_.find(overflow_key(s, seq));
+      if (it != overflow_.end()) {
+        it->second = at;
+        return;
+      }
+    }
+    if (ring_seq_[pos] == kRingEmpty) {
+      ring_seq_[pos] = seq;
+      ring_time_[pos] = at;
+      return;
+    }
+    overflow_[overflow_key(s, seq)] = at;  // live collision (rare)
+  }
+
+  Time ring_lookup(std::uint32_t s, std::int64_t seq) const {
+    const std::size_t pos = ring_pos(s, seq);
+    if (ring_seq_[pos] == seq) return ring_time_[pos];
+    if (!overflow_.empty()) {
+      auto it = overflow_.find(overflow_key(s, seq));
+      if (it != overflow_.end()) return it->second;
+    }
+    return kTimeNever;
+  }
+
+  void ring_erase(std::uint32_t s, std::int64_t seq) {
+    const std::size_t pos = ring_pos(s, seq);
+    if (ring_seq_[pos] == seq) {
+      ring_seq_[pos] = kRingEmpty;
+      return;
+    }
+    if (!overflow_.empty()) overflow_.erase(overflow_key(s, seq));
+  }
+
+  /// Entries currently parked in the collision overflow map (0 in every
+  /// window-limited scenario; a regression here costs speed, not
+  /// correctness).
+  std::size_t ring_overflow_entries() const { return overflow_.size(); }
+
+  // --- Sink fields -----------------------------------------------------
+  std::int64_t& rcv_nxt(std::uint32_t s) { return rcv_nxt_[s]; }
+  Time& echo_ts(std::uint32_t s) { return echo_ts_[s]; }
+  std::int64_t rcv_nxt(std::uint32_t s) const { return rcv_nxt_[s]; }
+  Time echo_ts(std::uint32_t s) const { return echo_ts_[s]; }
+  bool echo_rexmit(std::uint32_t s) const { return echo_rexmit_[s] != 0; }
+  void set_echo_rexmit(std::uint32_t s, bool v) { echo_rexmit_[s] = v; }
+  bool echo_ece(std::uint32_t s) const { return echo_ece_[s] != 0; }
+  void set_echo_ece(std::uint32_t s, bool v) { echo_ece_[s] = v; }
+  bool delack_pending(std::uint32_t s) const {
+    return delack_pending_[s] != 0;
+  }
+  void set_delack_pending(std::uint32_t s, bool v) {
+    delack_pending_[s] = v;
+  }
+
+ private:
+  std::size_t ring_pos(std::uint32_t s, std::int64_t seq) const {
+    return static_cast<std::size_t>(s) * ring_cap_ +
+           (static_cast<std::size_t>(seq) & (ring_cap_ - 1));
+  }
+  // Sequences stay far below 2^40 (packets per flow per run), so slot and
+  // sequence pack into one map key.
+  static std::uint64_t overflow_key(std::uint32_t s, std::int64_t seq) {
+    return (static_cast<std::uint64_t>(s) << 40) |
+           static_cast<std::uint64_t>(seq);
+  }
+
+  std::size_t budget_bytes_ = default_budget_bytes();
+  std::size_t bytes_reserved_ = 0;
+  std::size_t reserved_senders_ = 0;
+  std::size_t reserved_sinks_ = 0;
+  std::size_t sender_count_ = 0;
+  std::size_t sink_count_ = 0;
+  std::size_t ring_cap_ = 0;
+
+  // Sender arrays (parallel, indexed by sender slot).
+  std::vector<double> cwnd_;
+  std::vector<double> ssthresh_;
+  std::vector<std::int64_t> snd_una_;
+  std::vector<std::int64_t> snd_nxt_;
+  std::vector<std::int64_t> snd_max_;
+  std::vector<std::int64_t> app_total_;
+  std::vector<int> dupacks_;
+  std::vector<Time> last_ecn_cut_;
+  std::vector<RtoState> rto_;
+  std::vector<std::int64_t> ring_seq_;
+  std::vector<Time> ring_time_;
+  std::unordered_map<std::uint64_t, Time> overflow_;
+
+  // Sink arrays (parallel, indexed by sink slot).
+  std::vector<std::int64_t> rcv_nxt_;
+  std::vector<Time> echo_ts_;
+  std::vector<std::uint8_t> echo_rexmit_;
+  std::vector<std::uint8_t> echo_ece_;
+  std::vector<std::uint8_t> delack_pending_;
+};
+
+}  // namespace burst

@@ -5,22 +5,36 @@
 
 namespace burst {
 
+namespace {
+
+/// Standalone mode: a private one-slot arena so a sender constructed
+/// without a shared FlowArena behaves exactly as before the SoA refactor.
+std::unique_ptr<FlowArena> make_own_arena(const TcpConfig& cfg) {
+  auto arena = std::make_unique<FlowArena>();
+  arena->set_budget_bytes(0);  // a single slot never breaks a budget
+  arena->reserve(1, 0, FlowArena::ring_capacity_for(cfg.advertised_window));
+  return arena;
+}
+
+}  // namespace
+
 TcpSender::TcpSender(Simulator& sim, Node& node, FlowId flow, NodeId peer,
-                     TcpConfig cfg)
+                     TcpConfig cfg, FlowArena* arena)
     : Agent(sim, node, flow, peer),
       cfg_(cfg),
-      estimator_(cfg.rto),
+      own_arena_(arena != nullptr ? nullptr : make_own_arena(cfg)),
+      arena_(arena != nullptr ? arena : own_arena_.get()),
+      slot_(arena_->allocate_sender(cfg.initial_cwnd, cfg.initial_ssthresh)),
+      estimator_(cfg.rto, &arena_->rto_state(slot_)),
       // Lazy mode: the RTO deadline is pushed forward by every ACK; a
       // soft-deadline timer turns that churn into a field write, and its
       // armed event rides the scheduler's timing wheel, so 10^5+ flows'
       // worth of idle-armed RTOs never deepen the packet-event heap.
-      rto_timer_(sim, [this] { on_rto(); }, Timer::Mode::kLazy),
-      cwnd_(cfg.initial_cwnd),
-      ssthresh_(cfg.initial_ssthresh) {}
+      rto_timer_(sim, [this] { on_rto(); }, Timer::Mode::kLazy) {}
 
 void TcpSender::set_cwnd_trace(TraceSeries* trace) {
   cwnd_trace_ = trace;
-  if (cwnd_trace_) cwnd_trace_->record(sim_.now(), cwnd_);
+  if (cwnd_trace_) cwnd_trace_->record(sim_.now(), cwnd());
 }
 
 void TcpSender::notify(TcpSenderEvent::Kind kind, std::int64_t seq,
@@ -31,30 +45,30 @@ void TcpSender::notify(TcpSenderEvent::Kind kind, std::int64_t seq,
   e.time = sim_.now();
   e.seq = seq;
   e.retransmit = retransmit;
-  e.cwnd = cwnd_;
-  e.ssthresh = ssthresh_;
-  e.snd_una = snd_una_;
-  e.snd_nxt = snd_nxt_;
+  e.cwnd = cwnd();
+  e.ssthresh = ssthresh();
+  e.snd_una = snd_una();
+  e.snd_nxt = snd_nxt();
   e.flight = flight();
-  e.dupacks = dupacks_;
+  e.dupacks = dupacks();
   e.rtt_samples = stats_.rtt_samples;
   e.state = cc_state();
   observer_->on_sender_event(e);
 }
 
 void TcpSender::set_cwnd(double v) {
-  cwnd_ = std::max(1.0, v);
-  if (cwnd_trace_) cwnd_trace_->record(sim_.now(), cwnd_);
+  arena_->cwnd(slot_) = std::max(1.0, v);
+  if (cwnd_trace_) cwnd_trace_->record(sim_.now(), cwnd());
 }
 
 void TcpSender::app_send(int packets) {
   stats_.app_packets += static_cast<std::uint64_t>(packets);
-  app_total_ += packets;
+  arena_->app_total(slot_) += packets;
   try_send();
 }
 
 double TcpSender::effective_window() const {
-  return std::max(1.0, std::min(std::floor(cwnd_), cfg_.advertised_window));
+  return std::max(1.0, std::min(std::floor(cwnd()), cfg_.advertised_window));
 }
 
 bool TcpSender::window_limited() const {
@@ -64,18 +78,18 @@ bool TcpSender::window_limited() const {
 
 void TcpSender::standard_growth() {
   if (cfg_.cwnd_validation && !window_limited()) return;
-  if (cwnd_ < ssthresh_) {
-    set_cwnd(cwnd_ + 1.0);  // slow start: one packet per ACK
+  if (cwnd() < ssthresh()) {
+    set_cwnd(cwnd() + 1.0);  // slow start: one packet per ACK
   } else {
-    set_cwnd(cwnd_ + 1.0 / cwnd_);  // congestion avoidance
+    set_cwnd(cwnd() + 1.0 / cwnd());  // congestion avoidance
   }
 }
 
 void TcpSender::try_send() {
-  while (snd_nxt_ < app_total_ &&
+  while (snd_nxt() < arena_->app_total(slot_) &&
          static_cast<double>(flight()) < effective_window()) {
-    send_seq(snd_nxt_);
-    ++snd_nxt_;
+    send_seq(snd_nxt());
+    ++arena_->snd_nxt(slot_);
   }
 }
 
@@ -86,10 +100,10 @@ void TcpSender::send_seq(std::int64_t seq) {
   p.size_bytes = cfg_.payload_bytes + kHeaderBytes;
   p.seq = seq;
   p.ts_echo = sim_.now();
-  p.retransmit = seq < snd_max_;
+  p.retransmit = seq < snd_max();
   p.ecn_capable = cfg_.ecn;
-  snd_max_ = std::max(snd_max_, seq + 1);
-  sent_at_[seq] = sim_.now();
+  arena_->snd_max(slot_) = std::max(snd_max(), seq + 1);
+  arena_->ring_store(slot_, seq, sim_.now());
 
   ++stats_.data_pkts_sent;
   if (p.retransmit) ++stats_.retransmits;
@@ -98,29 +112,24 @@ void TcpSender::send_seq(std::int64_t seq) {
   notify(TcpSenderEvent::Kind::kSend, seq, p.retransmit);
 }
 
-void TcpSender::retransmit_una() { send_seq(snd_una_); }
+void TcpSender::retransmit_una() { send_seq(snd_una()); }
 
 void TcpSender::send_segment(std::int64_t seq) { send_seq(seq); }
 
 bool TcpSender::send_new_segment() {
-  if (snd_nxt_ >= app_total_) return false;
-  send_seq(snd_nxt_);
-  ++snd_nxt_;
+  if (snd_nxt() >= arena_->app_total(slot_)) return false;
+  send_seq(snd_nxt());
+  ++arena_->snd_nxt(slot_);
   return true;
 }
 
 void TcpSender::restart_rto_timer() { rto_timer_.schedule(estimator_.rto()); }
 
-Time TcpSender::sent_at(std::int64_t seq) const {
-  auto it = sent_at_.find(seq);
-  return it == sent_at_.end() ? kTimeNever : it->second;
-}
-
 void TcpSender::on_ecn_echo() {
   // Default (RFC 2481 / Reno-style): a congestion echo is treated like a
   // fast-retransmit loss signal, except nothing needs retransmitting.
-  ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
-  set_cwnd(ssthresh_);
+  set_ssthresh(std::max(cwnd() / 2.0, 2.0));
+  set_cwnd(ssthresh());
   ++stats_.ecn_reductions;
 }
 
@@ -133,20 +142,23 @@ void TcpSender::handle(const Packet& p) {
     ++stats_.ecn_echoes;
     // At most one window reduction per round-trip (like one loss event).
     const Time guard = estimator_.has_sample() ? estimator_.srtt() : 0.1;
-    if (last_ecn_cut_ < 0.0 || sim_.now() - last_ecn_cut_ > guard) {
-      last_ecn_cut_ = sim_.now();
+    Time& last_cut = arena_->last_ecn_cut(slot_);
+    if (last_cut < 0.0 || sim_.now() - last_cut > guard) {
+      last_cut = sim_.now();
       on_ecn_echo();
       notify(TcpSenderEvent::Kind::kEcnEcho, p.ack, false);
     }
   }
 
-  if (p.ack > snd_una_) {
-    const std::int64_t acked = p.ack - snd_una_;
-    for (std::int64_t s = snd_una_; s < p.ack; ++s) sent_at_.erase(s);
-    snd_una_ = p.ack;
-    snd_nxt_ = std::max(snd_nxt_, snd_una_);
+  if (p.ack > snd_una()) {
+    const std::int64_t acked = p.ack - snd_una();
+    for (std::int64_t s = snd_una(); s < p.ack; ++s) {
+      arena_->ring_erase(slot_, s);
+    }
+    arena_->snd_una(slot_) = p.ack;
+    arena_->snd_nxt(slot_) = std::max(snd_nxt(), snd_una());
     ++stats_.new_acks;
-    dupacks_ = 0;
+    arena_->dupacks(slot_) = 0;
 
     // Karn's rule: only segments never retransmitted yield RTT samples.
     if (!p.retransmit) {
@@ -159,7 +171,7 @@ void TcpSender::handle(const Packet& p) {
 
     on_new_ack(acked, p.ack);
 
-    if (snd_una_ == snd_nxt_ && backlog() == 0) {
+    if (snd_una() == snd_nxt() && backlog() == 0) {
       rto_timer_.cancel();
     } else {
       restart_rto_timer();
@@ -169,16 +181,16 @@ void TcpSender::handle(const Packet& p) {
     return;
   }
 
-  if (p.ack == snd_una_ && flight() > 0) {
-    ++dupacks_;
+  if (p.ack == snd_una() && flight() > 0) {
+    ++arena_->dupacks(slot_);
     ++stats_.dupacks;
-    if (cfg_.limited_transmit && dupacks_ <= 2 &&
+    if (cfg_.limited_transmit && dupacks() <= 2 &&
         static_cast<double>(flight()) <
-            std::min(cwnd_, cfg_.advertised_window) + 2.0) {
+            std::min(cwnd(), cfg_.advertised_window) + 2.0) {
       send_new_segment();  // RFC 3042: keep the dup-ACK clock alive
     }
     on_dup_ack();
-    notify(TcpSenderEvent::Kind::kDupAck, snd_una_, false);
+    notify(TcpSenderEvent::Kind::kDupAck, snd_una(), false);
     try_send();  // recovery inflation may have opened the window
   }
 }
@@ -187,12 +199,12 @@ void TcpSender::on_rto() {
   ++stats_.timeouts;
   estimator_.backoff();
   // Multiplicative decrease of the threshold, computed before the rewind.
-  ssthresh_ = std::max(static_cast<double>(flight()) / 2.0, 2.0);
-  dupacks_ = 0;
-  snd_nxt_ = snd_una_;  // go-back-N recovery from the hole
+  set_ssthresh(std::max(static_cast<double>(flight()) / 2.0, 2.0));
+  arena_->dupacks(slot_) = 0;
+  arena_->snd_nxt(slot_) = snd_una();  // go-back-N recovery from the hole
   on_timeout_window();
   rto_timer_.schedule(estimator_.rto());
-  notify(TcpSenderEvent::Kind::kRto, snd_una_, false);
+  notify(TcpSenderEvent::Kind::kRto, snd_una(), false);
   try_send();
 }
 

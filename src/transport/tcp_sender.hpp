@@ -13,11 +13,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string_view>
-#include <unordered_map>
 
 #include "src/sim/trace.hpp"
 #include "src/transport/agent.hpp"
+#include "src/transport/flow_arena.hpp"
 #include "src/transport/rto_estimator.hpp"
 #include "src/sim/timer.hpp"
 
@@ -93,24 +94,29 @@ class TcpSenderObserver {
 
 class TcpSender : public Agent {
  public:
+  /// @p arena: shared struct-of-arrays storage for the per-flow scalars
+  /// (huge-N mode; see flow_arena.hpp). Null self-hosts a one-slot arena,
+  /// so standalone construction behaves exactly as before.
   TcpSender(Simulator& sim, Node& node, FlowId flow, NodeId peer,
-            TcpConfig cfg = {});
+            TcpConfig cfg = {}, FlowArena* arena = nullptr);
 
   void app_send(int packets) override;
   void handle(const Packet& p) override;
 
   // --- Introspection --------------------------------------------------
-  double cwnd() const { return cwnd_; }
-  double ssthresh() const { return ssthresh_; }
-  std::int64_t snd_una() const { return snd_una_; }
-  std::int64_t snd_nxt() const { return snd_nxt_; }
+  double cwnd() const { return arena_->cwnd(slot_); }
+  double ssthresh() const { return arena_->ssthresh(slot_); }
+  std::int64_t snd_una() const { return arena_->snd_una(slot_); }
+  std::int64_t snd_nxt() const { return arena_->snd_nxt(slot_); }
   /// One past the highest sequence ever transmitted (>= snd_nxt; they
   /// differ after a go-back-N rewind).
-  std::int64_t snd_max() const { return snd_max_; }
+  std::int64_t snd_max() const { return arena_->snd_max(slot_); }
   /// Application packets buffered but not yet transmitted.
-  std::int64_t backlog() const { return app_total_ - snd_nxt_; }
+  std::int64_t backlog() const {
+    return arena_->app_total(slot_) - snd_nxt();
+  }
   /// Packets in flight (sent, not yet cumulatively acknowledged).
-  std::int64_t flight() const { return snd_nxt_ - snd_una_; }
+  std::int64_t flight() const { return snd_nxt() - snd_una(); }
   const TcpSenderStats& stats() const { return stats_; }
   const RtoEstimator& rto_estimator() const { return estimator_; }
   const TcpConfig& config() const { return cfg_; }
@@ -126,7 +132,7 @@ class TcpSender : public Agent {
   /// Human-readable congestion-control phase for traces ("slow-start",
   /// "cong-avoid"; policies override to expose recovery/Vegas phases).
   virtual std::string_view cc_state() const {
-    return cwnd_ < ssthresh_ ? "slow-start" : "cong-avoid";
+    return cwnd() < ssthresh() ? "slow-start" : "cong-avoid";
   }
 
  protected:
@@ -148,7 +154,7 @@ class TcpSender : public Agent {
   // --- Services for subclasses -----------------------------------------
   /// Updates cwnd (floored at 1 packet) and records the trace point.
   void set_cwnd(double v);
-  void set_ssthresh(double v) { ssthresh_ = v; }
+  void set_ssthresh(double v) { arena_->ssthresh(slot_) = v; }
   /// Standard slow-start / congestion-avoidance growth on a new ACK,
   /// honoring cwnd_validation. Used by the Reno-family policies.
   void standard_growth();
@@ -166,13 +172,17 @@ class TcpSender : public Agent {
   virtual void on_ack_info(const Packet& p) { (void)p; }
   /// Restarts the retransmission timer with the current RTO.
   void restart_rto_timer();
-  int dupacks() const { return dupacks_; }
-  /// Time the given outstanding sequence was (last) transmitted.
-  Time sent_at(std::int64_t seq) const;
+  int dupacks() const { return arena_->dupacks(slot_); }
+  /// Time the given outstanding sequence was (last) transmitted. Defined
+  /// for outstanding sequences (>= snd_una); acknowledged sequences have
+  /// been forgotten and report kTimeNever.
+  Time sent_at(std::int64_t seq) const {
+    return arena_->ring_lookup(slot_, seq);
+  }
   /// Sends as much buffered data as the window permits.
   void try_send();
   /// Rewinds snd_nxt to snd_una (go-back-N; Tahoe uses this on loss).
-  void rewind_to_una() { snd_nxt_ = snd_una_; }
+  void rewind_to_una() { arena_->snd_nxt(slot_) = snd_una(); }
   Time now() const { return sim_.now(); }
 
   TcpSenderStats stats_;
@@ -185,18 +195,15 @@ class TcpSender : public Agent {
   void notify(TcpSenderEvent::Kind kind, std::int64_t seq, bool retransmit);
 
   TcpConfig cfg_;
+  // Storage for the per-flow scalars. Shared arena in huge-N mode;
+  // self-hosted single-slot arena otherwise. Declared before estimator_:
+  // the estimator binds to the slot's RtoState.
+  std::unique_ptr<FlowArena> own_arena_;
+  FlowArena* arena_;
+  std::uint32_t slot_;
   RtoEstimator estimator_;
   Timer rto_timer_;
 
-  double cwnd_;
-  double ssthresh_;
-  std::int64_t snd_una_ = 0;   // first unacknowledged sequence
-  std::int64_t snd_nxt_ = 0;   // next sequence to transmit
-  std::int64_t snd_max_ = 0;   // highest sequence ever transmitted + 1
-  std::int64_t app_total_ = 0; // packets submitted by the application
-  int dupacks_ = 0;
-  Time last_ecn_cut_ = -1.0;
-  std::unordered_map<std::int64_t, Time> sent_at_;
   TraceSeries* cwnd_trace_ = nullptr;
   TcpSenderObserver* observer_ = nullptr;
 };

@@ -2,14 +2,28 @@
 
 namespace burst {
 
+namespace {
+
+std::unique_ptr<FlowArena> make_own_sink_arena() {
+  auto arena = std::make_unique<FlowArena>();
+  arena->set_budget_bytes(0);  // a single slot never breaks a budget
+  arena->reserve(0, 1, 8);
+  return arena;
+}
+
+}  // namespace
+
 TcpSink::TcpSink(Simulator& sim, Node& node, FlowId flow, NodeId peer,
-                 TcpSinkConfig cfg)
+                 TcpSinkConfig cfg, FlowArena* arena)
     : Agent(sim, node, flow, peer),
       cfg_(cfg),
+      own_arena_(arena != nullptr ? nullptr : make_own_sink_arena()),
+      arena_(arena != nullptr ? arena : own_arena_.get()),
+      slot_(arena_->allocate_sink()),
       delack_timer_(
           sim,
           [this] {
-            delack_pending_ = false;
+            arena_->set_delack_pending(slot_, false);
             send_ack();
           },
           // Lazy mode: armed/cancelled once per held segment, so cancels
@@ -23,11 +37,12 @@ void TcpSink::send_ack() {
   a.uid = next_uid();
   a.type = PacketType::kAck;
   a.size_bytes = kAckBytes;
-  a.ack = rcv_nxt_;
-  a.ts_echo = echo_ts_;
-  a.retransmit = echo_rexmit_;
-  a.ece = echo_ece_;
-  echo_ece_ = false;  // one echo per mark; the sender rate-limits cuts
+  a.ack = rcv_nxt();
+  a.ts_echo = arena_->echo_ts(slot_);
+  a.retransmit = arena_->echo_rexmit(slot_);
+  a.ece = arena_->echo_ece(slot_);
+  // One echo per mark; the sender rate-limits cuts.
+  arena_->set_echo_ece(slot_, false);
   if (cfg_.sack && !ooo_.empty()) {
     // Report up to kMaxSackBlocks contiguous runs of buffered data.
     std::int64_t run_lo = -1, prev = -2;
@@ -62,24 +77,25 @@ void TcpSink::send_ack() {
 
 void TcpSink::arm_or_flush_delack(const Packet& p) {
   if (!cfg_.delayed_ack) {
-    echo_ts_ = p.ts_echo;
-    echo_rexmit_ = p.retransmit;
+    arena_->echo_ts(slot_) = p.ts_echo;
+    arena_->set_echo_rexmit(slot_, p.retransmit);
     send_ack();
     return;
   }
-  if (delack_pending_) {
+  if (arena_->delack_pending(slot_)) {
     // Second in-order segment: ACK now, covering both.
     delack_timer_.cancel();
-    delack_pending_ = false;
+    arena_->set_delack_pending(slot_, false);
     // Keep the *older* echo timestamp (RFC 7323 rule for delayed ACKs);
     // the retransmit flag must taint the sample if either segment was a
     // retransmission.
-    echo_rexmit_ = echo_rexmit_ || p.retransmit;
+    arena_->set_echo_rexmit(slot_,
+                            arena_->echo_rexmit(slot_) || p.retransmit);
     send_ack();
   } else {
-    delack_pending_ = true;
-    echo_ts_ = p.ts_echo;
-    echo_rexmit_ = p.retransmit;
+    arena_->set_delack_pending(slot_, true);
+    arena_->echo_ts(slot_) = p.ts_echo;
+    arena_->set_echo_rexmit(slot_, p.retransmit);
     delack_timer_.schedule(cfg_.delack_interval);
   }
 }
@@ -88,15 +104,17 @@ void TcpSink::handle(const Packet& p) {
   if (p.type != PacketType::kData) return;
   ++stats_.data_arrivals;
   delay_.add(sim_.now() - p.ts_echo);
-  if (p.ecn_marked) echo_ece_ = true;  // latch until the next ACK goes out
+  if (p.ecn_marked) {
+    arena_->set_echo_ece(slot_, true);  // latch until the next ACK goes out
+  }
 
-  if (p.seq == rcv_nxt_) {
+  if (p.seq == rcv_nxt()) {
     ++stats_.unique_packets;
-    ++rcv_nxt_;
+    ++arena_->rcv_nxt(slot_);
     // Drain any buffered segments this arrival made contiguous.
     auto it = ooo_.begin();
-    while (it != ooo_.end() && *it == rcv_nxt_) {
-      ++rcv_nxt_;
+    while (it != ooo_.end() && *it == rcv_nxt()) {
+      ++arena_->rcv_nxt(slot_);
       it = ooo_.erase(it);
     }
     if (!ooo_.empty()) {
@@ -108,7 +126,7 @@ void TcpSink::handle(const Packet& p) {
     return;
   }
 
-  if (p.seq > rcv_nxt_) {
+  if (p.seq > rcv_nxt()) {
     ++stats_.out_of_order;
     if (ooo_.insert(p.seq).second) ++stats_.unique_packets;
     else ++stats_.duplicate_packets;
@@ -121,18 +139,19 @@ void TcpSink::handle(const Packet& p) {
 }
 
 void TcpSink::flush_immediate(const Packet& p) {
-  if (delack_pending_) {
+  if (arena_->delack_pending(slot_)) {
     // The ACK going out also covers the segment whose ACK was being
     // delayed, so the RFC 7323 delayed-ACK rule applies: echo the *older*
     // timestamp (the held one), not @p p's — overwriting it with the new
     // arrival's timestamp yields optimistically small RTT samples. Karn's
     // taint is the conservative OR of both segments' retransmit flags.
     delack_timer_.cancel();
-    delack_pending_ = false;
-    echo_rexmit_ = echo_rexmit_ || p.retransmit;
+    arena_->set_delack_pending(slot_, false);
+    arena_->set_echo_rexmit(slot_,
+                            arena_->echo_rexmit(slot_) || p.retransmit);
   } else {
-    echo_ts_ = p.ts_echo;
-    echo_rexmit_ = p.retransmit;
+    arena_->echo_ts(slot_) = p.ts_echo;
+    arena_->set_echo_rexmit(slot_, p.retransmit);
   }
   send_ack();
 }

@@ -7,12 +7,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <set>
 
 #include "src/obs/trace.hpp"
 #include "src/sim/timer.hpp"
 #include "src/stats/running_stats.hpp"
 #include "src/transport/agent.hpp"
+#include "src/transport/flow_arena.hpp"
 
 namespace burst {
 
@@ -33,14 +35,16 @@ struct TcpSinkStats {
 
 class TcpSink : public Agent {
  public:
+  /// @p arena: shared struct-of-arrays storage for the receiver cursors
+  /// (huge-N mode); null self-hosts a one-slot arena.
   TcpSink(Simulator& sim, Node& node, FlowId flow, NodeId peer,
-          TcpSinkConfig cfg = {});
+          TcpSinkConfig cfg = {}, FlowArena* arena = nullptr);
 
   void app_send(int) override {}  // sinks do not send data
   void handle(const Packet& p) override;
 
   /// Next in-order sequence expected (== packets delivered in order).
-  std::int64_t rcv_nxt() const { return rcv_nxt_; }
+  std::int64_t rcv_nxt() const { return arena_->rcv_nxt(slot_); }
   const TcpSinkStats& stats() const { return stats_; }
 
   /// One-way delay of arriving data packets (transmission timestamp to
@@ -62,16 +66,14 @@ class TcpSink : public Agent {
   void flush_immediate(const Packet& p);
 
   TcpSinkConfig cfg_;
+  // Receiver cursors + echo state (timestamp, Karn retransmit flag, ECN
+  // congestion-experienced mark) live in the arena; shared in huge-N
+  // mode, self-hosted single slot otherwise.
+  std::unique_ptr<FlowArena> own_arena_;
+  FlowArena* arena_;
+  std::uint32_t slot_;
   Timer delack_timer_;
-  std::int64_t rcv_nxt_ = 0;
   std::set<std::int64_t> ooo_;  // buffered out-of-order sequences
-
-  // Echo state for the next ACK (timestamp + Karn retransmit flag + ECN
-  // congestion-experienced mark of the segment(s) being acknowledged).
-  Time echo_ts_ = 0.0;
-  bool echo_rexmit_ = false;
-  bool echo_ece_ = false;
-  bool delack_pending_ = false;
 
   TcpSinkStats stats_;
   RunningStats delay_;

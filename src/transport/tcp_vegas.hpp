@@ -43,7 +43,8 @@ struct VegasConfig {
 class TcpVegas : public TcpSender {
  public:
   TcpVegas(Simulator& sim, Node& node, FlowId flow, NodeId peer,
-           TcpConfig cfg = {}, VegasConfig vegas = {});
+           TcpConfig cfg = {}, VegasConfig vegas = {},
+           FlowArena* arena = nullptr);
 
   double base_rtt() const { return base_rtt_; }
   bool in_slow_start() const { return in_ss_; }

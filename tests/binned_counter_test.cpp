@@ -86,6 +86,43 @@ TEST(BinnedCounter, BoundarySnapDoesNotSwallowRealPartialBins) {
   EXPECT_EQ(rs.count(), 224u);
 }
 
+TEST(BinnedCounter, CompleteBinsDropsPartialFinalBin) {
+  BinnedCounter c(1.0);
+  c.record(0.5);
+  c.record(1.5);
+  c.record(2.5);
+  ASSERT_EQ(c.bins().size(), 3u);  // raw view includes the partial bin
+  // A horizon of 2.7 only covers two complete bins.
+  const auto xs = c.complete_bins(2.7);
+  ASSERT_EQ(xs.size(), 2u);
+  EXPECT_EQ(xs[0], 1u);
+  EXPECT_EQ(xs[1], 1u);
+}
+
+TEST(BinnedCounter, CompleteBinsPadsTrailingZeros) {
+  BinnedCounter c(1.0);
+  c.record(0.5);  // only the first bin was ever touched
+  const auto xs = c.complete_bins(5.0);
+  ASSERT_EQ(xs.size(), 5u);
+  EXPECT_EQ(xs[0], 1u);
+  for (std::size_t i = 1; i < xs.size(); ++i) EXPECT_EQ(xs[i], 0u);
+}
+
+TEST(BinnedCounter, CompleteBinsMatchesStatsUntilBoundary) {
+  // complete_bins and stats_until must agree on the paper's snapped
+  // boundary: 225 bins in [2, 20) at width 0.08.
+  BinnedCounter c(0.08, /*start=*/2.0);
+  for (int i = 0; i < 100; ++i) c.record(2.0 + 0.17 * i);
+  const auto xs = c.complete_bins(20.0);
+  EXPECT_EQ(xs.size(), 225u);
+  RunningStats rs;
+  for (const auto x : xs) rs.add(static_cast<double>(x));
+  const auto ref = c.stats_until(20.0);
+  EXPECT_EQ(rs.count(), ref.count());
+  EXPECT_DOUBLE_EQ(rs.mean(), ref.mean());
+  EXPECT_DOUBLE_EQ(rs.variance(), ref.variance());
+}
+
 TEST(BinnedCounter, BinWidthAccessor) {
   BinnedCounter c(0.08);
   EXPECT_DOUBLE_EQ(c.bin_width(), 0.08);

@@ -1,0 +1,133 @@
+#include "src/transport/flow_arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace burst {
+namespace {
+
+TEST(FlowArena, RingCapacityCoversAdvertisedWindow) {
+  // adv=20 needs >= 24 live sequences (window + rewind slack) -> 32.
+  EXPECT_EQ(FlowArena::ring_capacity_for(20.0), 32u);
+  // Power of two, always.
+  for (double adv : {1.0, 5.0, 20.0, 100.0, 1000.0}) {
+    const std::size_t cap = FlowArena::ring_capacity_for(adv);
+    EXPECT_EQ(cap & (cap - 1), 0u) << "adv=" << adv;
+    EXPECT_GE(cap, static_cast<std::size_t>(adv));
+  }
+}
+
+TEST(FlowArena, ReserveWithinBudgetSucceedsAndAccounts) {
+  FlowArena a;
+  const std::size_t cap = FlowArena::ring_capacity_for(20.0);
+  a.set_budget_bytes(100 * FlowArena::sender_bytes(cap) +
+                     100 * FlowArena::sink_bytes());
+  a.reserve(100, 100, cap);
+  EXPECT_GT(a.bytes_reserved(), 0u);
+  EXPECT_LE(a.bytes_reserved(), a.budget_bytes());
+}
+
+TEST(FlowArena, ReserveOverBudgetThrowsLengthError) {
+  FlowArena a;
+  a.set_budget_bytes(1024);  // far below 10^4 sender slots
+  EXPECT_THROW(a.reserve(10000, 10000, 32), std::length_error);
+}
+
+TEST(FlowArena, DefaultBudgetAppliesToNewArenas) {
+  FlowArena::set_default_budget_bytes(1024);
+  FlowArena a;
+  EXPECT_EQ(a.budget_bytes(), 1024u);
+  EXPECT_THROW(a.reserve(10000, 10000, 32), std::length_error);
+  FlowArena::set_default_budget_bytes(0);
+  FlowArena b;
+  EXPECT_EQ(b.budget_bytes(), 0u);  // unlimited
+}
+
+TEST(FlowArena, AllocateBeyondReservedSlotsThrows) {
+  FlowArena a;
+  a.reserve(1, 1, 8);
+  EXPECT_EQ(a.allocate_sender(1.0, 64.0), 0u);
+  EXPECT_THROW(a.allocate_sender(1.0, 64.0), std::length_error);
+  EXPECT_EQ(a.allocate_sink(), 0u);
+  EXPECT_THROW(a.allocate_sink(), std::length_error);
+}
+
+TEST(FlowArena, SenderSlotInitialValues) {
+  FlowArena a;
+  a.reserve(1, 0, 8);
+  const std::uint32_t s = a.allocate_sender(2.0, 10.0);
+  EXPECT_DOUBLE_EQ(a.cwnd(s), 2.0);
+  EXPECT_DOUBLE_EQ(a.ssthresh(s), 10.0);
+  EXPECT_EQ(a.snd_una(s), 0);
+  EXPECT_EQ(a.snd_nxt(s), 0);
+  EXPECT_EQ(a.snd_max(s), 0);
+  EXPECT_EQ(a.dupacks(s), 0);
+  EXPECT_FALSE(a.rto_state(s).has_sample);
+  EXPECT_EQ(a.rto_state(s).backoff, 1);
+}
+
+TEST(FlowArena, RingStoreLookupErase) {
+  FlowArena a;
+  a.reserve(1, 0, 8);
+  const std::uint32_t s = a.allocate_sender(1.0, 64.0);
+  EXPECT_EQ(a.ring_lookup(s, 3), kTimeNever);
+  a.ring_store(s, 3, 1.25);
+  EXPECT_DOUBLE_EQ(a.ring_lookup(s, 3), 1.25);
+  a.ring_store(s, 3, 2.5);  // update in place
+  EXPECT_DOUBLE_EQ(a.ring_lookup(s, 3), 2.5);
+  EXPECT_EQ(a.ring_overflow_entries(), 0u);
+  a.ring_erase(s, 3);
+  EXPECT_EQ(a.ring_lookup(s, 3), kTimeNever);
+}
+
+TEST(FlowArena, RingCollisionSpillsToOverflowExactly) {
+  FlowArena a;
+  a.reserve(1, 0, 8);
+  const std::uint32_t s = a.allocate_sender(1.0, 64.0);
+  // seq 2 and seq 10 share ring position (cap 8); both must be readable.
+  a.ring_store(s, 2, 0.5);
+  a.ring_store(s, 10, 0.75);
+  EXPECT_EQ(a.ring_overflow_entries(), 1u);
+  EXPECT_DOUBLE_EQ(a.ring_lookup(s, 2), 0.5);
+  EXPECT_DOUBLE_EQ(a.ring_lookup(s, 10), 0.75);
+  // Updating the overflowed entry must hit the overflow map, not steal
+  // the ring slot.
+  a.ring_store(s, 10, 1.0);
+  EXPECT_DOUBLE_EQ(a.ring_lookup(s, 2), 0.5);
+  EXPECT_DOUBLE_EQ(a.ring_lookup(s, 10), 1.0);
+  // Erase the ring occupant; the overflowed seq keeps its exact value
+  // (the write path checks overflow before claiming an empty slot).
+  a.ring_erase(s, 2);
+  a.ring_store(s, 10, 1.5);
+  EXPECT_EQ(a.ring_lookup(s, 2), kTimeNever);
+  EXPECT_DOUBLE_EQ(a.ring_lookup(s, 10), 1.5);
+  EXPECT_EQ(a.ring_overflow_entries(), 1u);
+  a.ring_erase(s, 10);
+  EXPECT_EQ(a.ring_lookup(s, 10), kTimeNever);
+  EXPECT_EQ(a.ring_overflow_entries(), 0u);
+}
+
+TEST(FlowArena, RingSlicesArePerSender) {
+  FlowArena a;
+  a.reserve(2, 0, 8);
+  const std::uint32_t s0 = a.allocate_sender(1.0, 64.0);
+  const std::uint32_t s1 = a.allocate_sender(1.0, 64.0);
+  a.ring_store(s0, 5, 1.0);
+  a.ring_store(s1, 5, 2.0);
+  EXPECT_DOUBLE_EQ(a.ring_lookup(s0, 5), 1.0);
+  EXPECT_DOUBLE_EQ(a.ring_lookup(s1, 5), 2.0);
+  a.ring_erase(s0, 5);
+  EXPECT_EQ(a.ring_lookup(s0, 5), kTimeNever);
+  EXPECT_DOUBLE_EQ(a.ring_lookup(s1, 5), 2.0);
+}
+
+TEST(FlowArena, BytesPerFlowStaysUnderMeanfieldBudget) {
+  // The fig_meanfield bench reserves under 2048 bytes/flow; keep the
+  // static projection honest so the bench can't start failing silently.
+  const std::size_t cap = FlowArena::ring_capacity_for(20.0);
+  EXPECT_LE(FlowArena::sender_bytes(cap) + FlowArena::sink_bytes(), 2048u);
+}
+
+}  // namespace
+}  // namespace burst

@@ -29,17 +29,33 @@ TEST(FlowMonitor, CountsPerFlowArrivals) {
   q.enqueue(data(1), 0.0);
   q.enqueue(data(1), 0.0);
   q.enqueue(data(2), 0.0);
-  ASSERT_EQ(m.flows().size(), 2u);
-  EXPECT_EQ(m.flows().at(1).arrivals, 2u);
-  EXPECT_EQ(m.flows().at(2).arrivals, 1u);
-  EXPECT_EQ(m.flows().at(1).drops, 0u);
+  ASSERT_EQ(m.flows_seen(), 2u);
+  EXPECT_EQ(m.flow(1).arrivals, 2u);
+  EXPECT_EQ(m.flow(2).arrivals, 1u);
+  EXPECT_EQ(m.flow(1).drops, 0u);
+  // The dense table extends to the highest id observed; flow 0 was never
+  // seen, so its entry (and any out-of-range lookup) reads as zeros.
+  EXPECT_EQ(m.flow_table().size(), 3u);
+  EXPECT_EQ(m.flow(0).arrivals, 0u);
+  EXPECT_EQ(m.flow(999).arrivals, 0u);
+}
+
+TEST(FlowMonitor, ReserveFlowsPresizesWithoutMarkingSeen) {
+  DropTailQueue q(100);
+  FlowMonitor m(q);
+  m.reserve_flows(64);
+  EXPECT_EQ(m.flow_table().size(), 64u);
+  EXPECT_EQ(m.flows_seen(), 0u);
+  q.enqueue(data(5), 0.0);
+  EXPECT_EQ(m.flows_seen(), 1u);
+  EXPECT_EQ(m.flow(5).arrivals, 1u);
 }
 
 TEST(FlowMonitor, IgnoresAcks) {
   DropTailQueue q(100);
   FlowMonitor m(q);
   q.enqueue(ack(1), 0.0);
-  EXPECT_TRUE(m.flows().empty());
+  EXPECT_EQ(m.flows_seen(), 0u);
   EXPECT_EQ(m.queue_at_arrival().count(), 0u);
 }
 
@@ -59,8 +75,8 @@ TEST(FlowMonitor, PerFlowDrops) {
   q.enqueue(data(1), 0.0);
   q.enqueue(data(2), 0.0);  // dropped (full)
   q.enqueue(data(2), 0.0);  // dropped
-  EXPECT_EQ(m.flows().at(2).drops, 2u);
-  EXPECT_EQ(m.flows().at(1).drops, 0u);
+  EXPECT_EQ(m.flow(2).drops, 2u);
+  EXPECT_EQ(m.flow(1).drops, 0u);
 }
 
 TEST(FlowMonitor, DropEventClustering) {
@@ -114,8 +130,8 @@ TEST(FlowMonitor, MultiQueueAttachClustersDropsJointly) {
   EXPECT_EQ(m.flows_hit_per_event()[0], 2);
   // Arrivals and PASTA samples pool over both queues: 2 fills + 2 drops.
   EXPECT_EQ(m.queue_at_arrival().count(), 4u);
-  EXPECT_EQ(m.flows().at(1).arrivals, 1u);
-  EXPECT_EQ(m.flows().at(2).drops, 1u);
+  EXPECT_EQ(m.flow(1).arrivals, 1u);
+  EXPECT_EQ(m.flow(2).drops, 1u);
 }
 
 TEST(FlowMonitor, EmitsCongestionEventRecords) {

@@ -1,0 +1,116 @@
+#include "src/stats/meanfield.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/core/scenario.hpp"
+
+namespace burst {
+namespace {
+
+MeanfieldParams scaled_paper_params(int clients) {
+  Scenario sc = Scenario::paper_default();
+  sc.gateway = GatewayQueue::kRed;
+  sc.meanfield_base = 60;
+  sc.num_clients = clients;
+  MeanfieldParams p;
+  p.capacity_pps = sc.bottleneck_pps();
+  p.base_rtt = sc.rtt_prop();
+  p.num_flows = clients;
+  p.red_min_th = sc.scaled_red_min_th();
+  p.red_max_th = sc.scaled_red_max_th();
+  p.red_max_p = sc.red_max_p;
+  p.max_window = sc.advertised_window;
+  return p;
+}
+
+TEST(Meanfield, RejectsInvalidParams) {
+  MeanfieldParams p;  // all zero
+  EXPECT_FALSE(red_meanfield_fixed_point(p).converged);
+  p = scaled_paper_params(1000);
+  p.red_max_th = p.red_min_th;  // degenerate profile
+  EXPECT_FALSE(red_meanfield_fixed_point(p).converged);
+  p = scaled_paper_params(1000);
+  p.red_max_p = 0.0;
+  EXPECT_FALSE(red_meanfield_fixed_point(p).converged);
+}
+
+TEST(Meanfield, FixedPointSatisfiesAllFourRelations) {
+  const MeanfieldParams p = scaled_paper_params(1000);
+  const MeanfieldFixedPoint fp = red_meanfield_fixed_point(p);
+  ASSERT_TRUE(fp.converged);
+  // x* must land inside the linear RED region for the paper profile.
+  EXPECT_GT(fp.queue_pkts, p.red_min_th);
+  EXPECT_LT(fp.queue_pkts, p.red_max_th);
+  // Plug x* back into each relation.
+  const double rtt = p.base_rtt + fp.queue_pkts / p.capacity_pps;
+  EXPECT_NEAR(fp.rtt, rtt, 1e-9 * rtt);
+  const double w = p.capacity_pps * rtt / p.num_flows;
+  EXPECT_NEAR(fp.window_pkts, w, 1e-9 * w);
+  const double prob = 1.5 / (w * w);
+  EXPECT_NEAR(fp.drop_prob, prob, 1e-9 * prob);
+  const double x = p.red_min_th +
+                   prob * (p.red_max_th - p.red_min_th) / p.red_max_p;
+  EXPECT_NEAR(fp.queue_pkts, x, 1e-6 * x);
+}
+
+TEST(Meanfield, FixedPointScalesLinearlyWithN) {
+  // Under proportional (mean-field) scaling the normalized occupancy
+  // x*/N is an invariant of the limit: doubling N, capacity, and
+  // thresholds together exactly doubles x*.
+  const MeanfieldFixedPoint a = red_meanfield_fixed_point(
+      scaled_paper_params(1000));
+  const MeanfieldFixedPoint b = red_meanfield_fixed_point(
+      scaled_paper_params(10000));
+  ASSERT_TRUE(a.converged);
+  ASSERT_TRUE(b.converged);
+  EXPECT_NEAR(a.queue_pkts / 1000.0, b.queue_pkts / 10000.0,
+              1e-6 * (a.queue_pkts / 1000.0));
+  // Per-flow window and drop probability are N-invariant.
+  EXPECT_NEAR(a.window_pkts, b.window_pkts, 1e-6 * a.window_pkts);
+  EXPECT_NEAR(a.drop_prob, b.drop_prob, 1e-6 * a.drop_prob);
+}
+
+TEST(Meanfield, WindowLimitedRegimeLeavesQueueEmpty) {
+  MeanfieldParams p = scaled_paper_params(1000);
+  p.max_window = 1.0;  // 1-packet windows cannot fill the scaled pipe
+  const MeanfieldFixedPoint fp = red_meanfield_fixed_point(p);
+  ASSERT_TRUE(fp.converged);
+  EXPECT_DOUBLE_EQ(fp.queue_pkts, 0.0);
+  EXPECT_DOUBLE_EQ(fp.drop_prob, 0.0);
+  EXPECT_DOUBLE_EQ(fp.window_pkts, 1.0);
+  EXPECT_DOUBLE_EQ(fp.rtt, p.base_rtt);
+}
+
+TEST(Meanfield, ScenarioScalingIsExactAtBaseAndOffByDefault) {
+  Scenario sc = Scenario::paper_default();
+  // Off by default: scaled accessors return the raw Table 1 values.
+  EXPECT_EQ(sc.meanfield_base, 0);
+  EXPECT_DOUBLE_EQ(sc.meanfield_factor(), 1.0);
+  EXPECT_DOUBLE_EQ(sc.scaled_bottleneck_bw_bps(), sc.bottleneck_bw_bps);
+  EXPECT_EQ(sc.scaled_gateway_buffer(), sc.gateway_buffer);
+  EXPECT_DOUBLE_EQ(sc.scaled_red_min_th(), sc.red_min_th);
+  EXPECT_DOUBLE_EQ(sc.scaled_red_max_th(), sc.red_max_th);
+  // At N == base the factor is exactly 1.0, so the scaled scenario is
+  // bit-identical to the unscaled one (the identity-hash guarantee).
+  sc.meanfield_base = 60;
+  sc.num_clients = 60;
+  EXPECT_DOUBLE_EQ(sc.meanfield_factor(), 1.0);
+  EXPECT_DOUBLE_EQ(sc.scaled_bottleneck_bw_bps(), sc.bottleneck_bw_bps);
+  EXPECT_EQ(sc.scaled_gateway_buffer(), sc.gateway_buffer);
+  EXPECT_DOUBLE_EQ(sc.scaled_red_min_th(), sc.red_min_th);
+  EXPECT_DOUBLE_EQ(sc.scaled_red_max_th(), sc.red_max_th);
+  // Away from the base everything capacity-side scales proportionally.
+  sc.num_clients = 600;
+  EXPECT_DOUBLE_EQ(sc.meanfield_factor(), 10.0);
+  EXPECT_DOUBLE_EQ(sc.scaled_bottleneck_bw_bps(), 10.0 * sc.bottleneck_bw_bps);
+  EXPECT_EQ(sc.scaled_gateway_buffer(), 10u * sc.gateway_buffer);
+  EXPECT_DOUBLE_EQ(sc.scaled_red_min_th(), 10.0 * sc.red_min_th);
+  EXPECT_DOUBLE_EQ(sc.scaled_red_max_th(), 10.0 * sc.red_max_th);
+  // Offered load and capacity scale together: utilization is invariant.
+  Scenario base = Scenario::paper_default();
+  base.num_clients = 60;
+  EXPECT_NEAR(sc.utilization(), base.utilization(), 1e-12);
+}
+
+}  // namespace
+}  // namespace burst

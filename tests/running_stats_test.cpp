@@ -69,6 +69,32 @@ TEST(RunningStats, CovZeroMeanGuard) {
   EXPECT_DOUBLE_EQ(rs.cov(), 0.0);  // mean == 0 -> defined as 0
 }
 
+TEST(RunningStats, CovAllZeroSamplesIsZeroNotNan) {
+  // The huge-N sweep can legitimately produce an all-idle series (no
+  // arrivals in any bin); its c.o.v. is 0 by convention, never NaN.
+  RunningStats rs;
+  for (int i = 0; i < 100; ++i) rs.add(0.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.cov(), 0.0);
+  EXPECT_FALSE(std::isnan(rs.cov()));
+}
+
+TEST(RunningStats, CountSurvives32BitBoundary) {
+  // Per-flow accumulators are uint64 throughout: merging a serialized
+  // accumulator holding 2^32 - 1 samples with a live one must cross the
+  // 32-bit boundary exactly, not wrap to a small count.
+  const std::uint64_t big_n = 4294967295ULL;  // 2^32 - 1
+  RunningStats big = RunningStats::from_moments(big_n, 5.0, 0.0, 5.0, 5.0);
+  RunningStats small;
+  small.add(5.0);
+  small.add(5.0);
+  small.add(5.0);
+  big.merge(small);
+  EXPECT_EQ(big.count(), 4294967298ULL);  // 2^32 + 2, exact
+  EXPECT_NEAR(big.mean(), 5.0, 1e-9);
+  EXPECT_NEAR(big.variance(), 0.0, 1e-9);
+}
+
 TEST(RunningStats, MergeEqualsSequential) {
   RunningStats whole, left, right;
   for (int i = 0; i < 100; ++i) {

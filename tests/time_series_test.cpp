@@ -52,6 +52,15 @@ TEST(TimeSeries, CovFallsAsSqrtMForIidCounts) {
   }
 }
 
+TEST(TimeSeries, CovScalesAllZeroSeriesIsZeroNotNan) {
+  // An idle trace (every bin zero) has mean 0 at every scale; the
+  // guarded cov convention makes each entry 0 instead of NaN.
+  std::vector<double> xs(1024, 0.0);
+  auto covs = cov_across_scales(xs, {1, 4, 16});
+  ASSERT_EQ(covs.size(), 3u);
+  for (double c : covs) EXPECT_DOUBLE_EQ(c, 0.0);
+}
+
 TEST(TimeSeries, CovScalesEmptyInput) {
   EXPECT_TRUE(cov_across_scales({}, {}).empty());
   auto covs = cov_across_scales({1.0, 2.0}, {8});

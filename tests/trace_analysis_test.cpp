@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+
 namespace burst {
 namespace {
 
@@ -12,22 +16,31 @@ TraceSeries steps(const std::vector<std::pair<Time, double>>& pts,
   return t;
 }
 
+// Event counters are 64-bit end to end: at mean-field scale a long trace
+// can pass what a 32-bit accumulator holds.
+static_assert(
+    std::is_same_v<decltype(decrease_counts(
+                       std::declval<const std::vector<TraceSeries>&>(), 0.0,
+                       1.0)),
+                   std::vector<std::int64_t>>,
+    "decrease_counts must count in 64 bits");
+
 TEST(TraceAnalysis, DecreaseCountsPerWindow) {
   auto t = steps({{0, 1}, {1, 2}, {2, 1}, {3, 4}, {4, 2}, {5, 1}});
   // Decreases at t=2, 4, 5.
   auto all = decrease_counts({t}, 0.0, 10.0);
-  EXPECT_EQ(all, (std::vector<int>{3}));
+  EXPECT_EQ(all, (std::vector<std::int64_t>{3}));
   auto early = decrease_counts({t}, 0.0, 3.0);
-  EXPECT_EQ(early, (std::vector<int>{1}));
+  EXPECT_EQ(early, (std::vector<std::int64_t>{1}));
   auto late = decrease_counts({t}, 3.0, 10.0);
-  EXPECT_EQ(late, (std::vector<int>{2}));
+  EXPECT_EQ(late, (std::vector<std::int64_t>{2}));
 }
 
 TEST(TraceAnalysis, DecreaseCountsMultipleSeries) {
   auto a = steps({{0, 2}, {1, 1}});
   auto b = steps({{0, 2}, {1, 3}});
   auto counts = decrease_counts({a, b}, 0.0, 10.0);
-  EXPECT_EQ(counts, (std::vector<int>{1, 0}));
+  EXPECT_EQ(counts, (std::vector<std::int64_t>{1, 0}));
 }
 
 TEST(TraceAnalysis, MaxSyncFractionAllTogether) {
