@@ -31,15 +31,19 @@
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/net/flow_monitor.hpp"
+#include "src/sim/parallel/runtime.hpp"
 #include "src/sim/scheduler.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/stats/binned_counter.hpp"
 #include "src/stats/meanfield.hpp"
 #include "src/topo/builder.hpp"
+#include "src/topo/partition.hpp"
 #include "src/topo/spec.hpp"
 #include "src/transport/flow_arena.hpp"
 
@@ -134,33 +138,58 @@ Time duration_for(int clients) {
   return 20.0;
 }
 
-BenchRow run_meanfield(int clients) {
+// @p lp_shards > 1 runs the same scenario on the conservative parallel
+// engine (clients sharded | gateway | server); the dynamics — cov,
+// occupancy, drops, events — must match the sequential row at the same N
+// (scripts/check_parallel.py enforces events exactly), only the wall
+// clock may differ.
+BenchRow run_meanfield(int clients, int lp_shards = 1) {
   const Scenario sc = meanfield_scenario(clients, duration_for(clients));
 
   // The budget knob is the point, not a formality: reserve under a hard
   // per-flow ceiling so any per-flow state growth fails loudly here.
+  // Sharded builds split the reservation across per-LP arenas; the sum
+  // still has to respect the same per-flow budget.
   FlowArena::set_default_budget_bytes(
       (static_cast<std::size_t>(clients) + 1) * kBudgetPerFlowBytes);
 
-  Simulator sim(sc.seed);
-  TopoNet net(sim, make_dumbbell_spec(sc));
+  const TopoSpec spec = make_dumbbell_spec(sc);
+  const LpPartition part = make_lp_partition(spec, lp_shards);
+  std::unique_ptr<Simulator> seq;
+  std::unique_ptr<ParallelRuntime> rt;
+  std::unique_ptr<TopoNet> net;
+  if (part.shards > 1) {
+    rt = std::make_unique<ParallelRuntime>(part.shards, part.lookahead,
+                                           sc.seed);
+    net = std::make_unique<TopoNet>(*rt, part, spec);
+  } else {
+    seq = std::make_unique<Simulator>(sc.seed);
+    net = std::make_unique<TopoNet>(*seq, spec);
+  }
   FlowArena::set_default_budget_bytes(0);
 
   BinnedCounter bins(sc.rtt_prop(), sc.warmup);
-  net.measured_queue().taps().add_arrival_listener(
+  net->measured_queue().taps().add_arrival_listener(
       [&bins](const Packet& p, Time now) {
         if (p.type == PacketType::kData) bins.record(now);
       });
-  FlowMonitor monitor(net.measured_queue());
+  FlowMonitor monitor(net->measured_queue());
   monitor.reserve_flows(static_cast<std::size_t>(clients));
 
-  net.start_sources();
+  net->start_sources();
   const double t0 = now_s();
-  sim.run(sc.duration);
+  if (rt != nullptr) {
+    rt->run(sc.duration);
+  } else {
+    seq->run(sc.duration);
+  }
   const double wall = now_s() - t0;
+  const std::uint64_t events =
+      rt != nullptr ? rt->total_events() : seq->events_run();
 
-  BenchRow r = finish("meanfield_n" + std::to_string(clients),
-                      sim.events_run(), wall);
+  std::string name = "meanfield_n" + std::to_string(clients);
+  if (part.shards > 1) name += "_lp" + std::to_string(part.shards);
+  BenchRow r = finish(std::move(name), events, wall);
   r.clients = clients;
   r.cov = bins.stats_until(sc.duration).cov();
   r.queue_mean = monitor.queue_at_arrival().mean();
@@ -176,11 +205,11 @@ BenchRow run_meanfield(int clients) {
   const MeanfieldFixedPoint fp = red_meanfield_fixed_point(mp);
   r.queue_fixed_point = fp.converged ? fp.queue_pkts : -1.0;
 
-  const QueueStats& qs = net.measured_queue().stats();
+  const QueueStats& qs = net->measured_queue().stats();
   r.drop_frac = qs.arrivals == 0 ? 0.0
                                  : static_cast<double>(qs.drops) /
                                        static_cast<double>(qs.arrivals);
-  r.bytes_per_flow = static_cast<double>(net.flow_arena().bytes_reserved()) /
+  r.bytes_per_flow = static_cast<double>(net->arena_bytes_reserved()) /
                      static_cast<double>(clients);
   return r;
 }
@@ -191,6 +220,7 @@ void write_json(const std::string& path, const std::vector<BenchRow>& rows,
   out << "{\n  \"bench\": \"fig_meanfield\",\n  \"mode\": \""
       << (smoke ? "smoke" : "full") << "\",\n  \"schema\": 1,\n"
       << "  \"budget_bytes_per_flow\": " << kBudgetPerFlowBytes << ",\n"
+      << "  \"hw_threads\": " << std::thread::hardware_concurrency() << ",\n"
       << "  \"results\": [\n";
   out.precision(10);
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -264,6 +294,22 @@ int main(int argc, char** argv) {
   }
   std::cout << (cov_decays ? "PASS" : "DEVIATION")
             << ": c.o.v. decays to the mean-field floor across the N grid\n";
+
+  // Parallel-engine rows: the same scenarios on 2 and 4 LPs for every
+  // N >= 10000 (so smoke and full runs share row names). Appended after
+  // the c.o.v. sanity check, which reasons over the sequential sweep
+  // only; scripts/check_parallel.py gates these (events exactly equal to
+  // the matching sequential row, wall within budget, speedup floors when
+  // the hardware has the cores).
+  for (const int n : grid) {
+    if (n < 10000) continue;
+    for (const int lp : {2, 4}) {
+      rows.push_back(run_meanfield(n, lp));
+      const BenchRow& r = rows.back();
+      std::cout << r.name << ": events=" << r.ops << " wall=" << r.wall_s
+                << " s cov=" << r.cov << " drop_frac=" << r.drop_frac << "\n";
+    }
+  }
 
   write_json(out_path, rows, smoke);
   return 0;

@@ -24,6 +24,9 @@
 //                         wheel; the rearm cost must not grow with them)
 //   fig02_n60_reno_red    full N=60 Reno/RED experiment (the paper's
 //                         heavy-congestion regime), ns per executed event
+//   fig02_n60_reno_red_lp2    the same experiment on the conservative
+//                         parallel engine with 2 LPs; counters must match
+//                         the sequential row exactly (see check_parallel.py)
 //   fig02_n60_reno_red_traced    same run with a TraceSink attached to
 //                         every tap (the observability overhead row; the
 //                         CI gate keeps its wall ratio honest)
@@ -312,6 +315,37 @@ BenchRow bench_fig02_traced(double duration, int repeat) {
   return r;
 }
 
+// The same heavy-congestion point on the conservative parallel engine
+// with 2 LPs (clients | gateway+server). The deterministic counters must
+// match the untraced row exactly: every cross-LP delivery event replaces
+// the fused local one 1:1. The wall ratio against the sequential row is
+// the engine's speedup (≥ 1x only with ≥ 2 hardware threads — on one
+// core the windows serialize and the barriers are pure overhead, which
+// is why scripts/check_parallel.py normalizes by the calibration row and
+// gates speedup only on multicore hardware).
+BenchRow bench_fig02_lp2(double duration, int repeat) {
+  Scenario sc = Scenario::paper_default();
+  sc.num_clients = 60;
+  sc.transport = Transport::kReno;
+  sc.gateway = GatewayQueue::kRed;
+  sc.duration = duration;
+  ExperimentOptions opts;
+  opts.lp_shards = 2;
+  double best = 1e99;
+  std::uint64_t events = 0, delivered = 0;
+  for (int rep = 0; rep < repeat; ++rep) {
+    const double t0 = now_s();
+    const ExperimentResult r = run_experiment(sc, opts);
+    best = std::min(best, now_s() - t0);
+    events = r.sim_events ? r.sim_events : 1;
+    delivered = r.delivered;
+  }
+  BenchRow r = finish("fig02_n60_reno_red_lp2", events, best);
+  r.sim_events = events;
+  r.delivered = delivered;
+  return r;
+}
+
 // The same point with a Profiler installed: per-phase wall attribution.
 // Ungated — the scope clock reads shift absolute wall time, which is the
 // price this row exists to report.
@@ -419,6 +453,7 @@ int main(int argc, char** argv) {
   rows.push_back(bench_timer_rearm(hops, repeat));
   rows.push_back(bench_timer_rearm_pending(hops, 100'000, repeat));
   rows.push_back(bench_fig02_point(exp_duration, repeat));
+  rows.push_back(bench_fig02_lp2(exp_duration, repeat));
   rows.push_back(bench_fig02_traced(exp_duration, repeat));
   rows.push_back(bench_fig02_profiled(exp_duration, repeat));
 

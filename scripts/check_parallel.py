@@ -1,0 +1,245 @@
+#!/usr/bin/env python3
+"""Gate the conservative parallel engine's bench rows.
+
+Usage:
+  check_parallel.py --packet-path BENCH_packet_path.json \
+                    --meanfield BENCH_meanfield.json \
+                    [--baseline bench/baselines/BENCH_parallel.json] \
+                    [--threshold F] [--write-baseline PATH]
+
+Three kinds of checks:
+
+* Events exact (within each current file, no baseline needed): a parallel
+  row must execute EXACTLY as many simulator events as its sequential
+  twin — the remote delivery event replaces the producer-side fused local
+  delivery one-for-one, so any drift means the engines diverged.
+  ``fig02_n60_reno_red_lp2`` is checked against ``fig02_n60_reno_red``
+  (sim_events and delivered), and every ``meanfield_nN_lpK`` row against
+  ``meanfield_nN`` (ops).
+
+* Wall time, normalized by the ``calib_sched_pop_d64`` row of the same
+  file and compared per-row against the committed baseline (same scheme
+  as check_packet_path.py — the ratio cancels the machine). Budget:
+  --threshold (default 25%). Rows absent from the baseline are skipped.
+
+* Speedup floors (meanfield, full mode only): at N=1e5 the 2-LP row must
+  run >= 1.4x faster than the sequential row and the 4-LP row >= 2.0x —
+  but ONLY when the reporting machine has at least that many hardware
+  threads (the file's ``hw_threads`` field). A 1-core runner executes the
+  LP threads serially plus barrier overhead; demanding speedup there
+  would gate on hardware, not code.
+
+--write-baseline snapshots the rows this script cares about (calibration,
+parallel rows, their sequential twins) from the current files into a
+combined baseline JSON; run it on a quiet machine after an intentional
+perf change, same as re-pinning the other bench baselines.
+
+Exit code 0 = within budget, 1 = regression, 2 = bad invocation/input.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+CALIB_ROW = "calib_sched_pop_d64"
+MEANFIELD_LP = re.compile(r"^(meanfield_n\d+)_lp(\d+)$")
+PACKET_LP = re.compile(r"^(fig02_n60_reno_red)_lp(\d+)$")
+# (sequential row, parallel row, floor) — enforced at full mode only,
+# and only when hw_threads covers the LP count.
+SPEEDUP_FLOORS = [
+    ("meanfield_n100000", "meanfield_n100000_lp2", 2, 1.4),
+    ("meanfield_n100000", "meanfield_n100000_lp4", 4, 2.0),
+]
+
+
+def load(path, bench):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"check_parallel: cannot read {path}: {e}")
+    if doc.get("bench") != bench:
+        sys.exit(f"check_parallel: {path} is not a {bench} result")
+    return doc
+
+
+def rows_by_name(doc):
+    return {row["name"]: row for row in doc.get("results", [])}
+
+
+def check_events_exact(rows, pattern, fields, failures):
+    """Every parallel row's counters must equal its sequential twin's."""
+    found = 0
+    for name in sorted(rows):
+        m = pattern.match(name)
+        if not m:
+            continue
+        found += 1
+        seq = rows.get(m.group(1))
+        if seq is None:
+            failures.append(f"{name}: sequential twin {m.group(1)} missing")
+            continue
+        for field in fields:
+            c, b = rows[name].get(field), seq.get(field)
+            ok = c == b and c is not None
+            print(
+                f"  {name}: {field} {c} vs sequential {b}"
+                f" {'exact' if ok else 'MISMATCH'}"
+            )
+            if not ok:
+                failures.append(
+                    f"{name}: {field} {c} != sequential twin's {b}"
+                )
+    return found
+
+
+def check_normalized_wall(label, cur, base, threshold, failures):
+    """Same row/calib ratio scheme as check_packet_path.py, lp rows only."""
+    if base is None:
+        print(f"  {label}: no baseline rows — normalized-wall check skipped")
+        return
+    if CALIB_ROW not in cur or CALIB_ROW not in base:
+        failures.append(f"{label}: {CALIB_ROW} row missing (current or baseline)")
+        return
+    cur_calib = cur[CALIB_ROW]["ns_per_op"]
+    base_calib = base[CALIB_ROW]["ns_per_op"]
+    for name in sorted(cur):
+        if "_lp" not in name or name not in base:
+            continue
+        c_ratio = cur[name]["ns_per_op"] / cur_calib
+        b_ratio = base[name]["ns_per_op"] / base_calib
+        ok = c_ratio <= b_ratio * (1 + threshold)
+        print(
+            f"  {name}: normalized {c_ratio:.3f} vs baseline {b_ratio:.3f}"
+            f" ({(c_ratio / b_ratio - 1) * 100:+.1f}%)"
+            f" {'ok' if ok else 'REGRESSION'}"
+        )
+        if not ok:
+            failures.append(
+                f"{name}: normalized wall {c_ratio:.3f} exceeds baseline "
+                f"{b_ratio:.3f} by more than {threshold * 100:.0f}%"
+            )
+
+
+def check_speedup(doc, rows, failures):
+    if doc.get("mode") != "full":
+        print("  speedup floors: smoke mode — skipped (full-size rows only)")
+        return
+    hw = int(doc.get("hw_threads", 0))
+    for seq_name, lp_name, lanes, floor in SPEEDUP_FLOORS:
+        if lp_name not in rows or seq_name not in rows:
+            continue
+        if hw < lanes:
+            print(
+                f"  {lp_name}: machine has {hw} hw threads < {lanes} LPs"
+                " — speedup floor not applicable"
+            )
+            continue
+        speedup = rows[seq_name]["wall_s"] / rows[lp_name]["wall_s"]
+        ok = speedup >= floor
+        print(
+            f"  {lp_name}: speedup {speedup:.2f}x vs floor {floor:.1f}x"
+            f" {'ok' if ok else 'REGRESSION'}"
+        )
+        if not ok:
+            failures.append(
+                f"{lp_name}: speedup {speedup:.2f}x below the {floor:.1f}x floor"
+            )
+
+
+def baseline_subset(rows, pattern):
+    """Calibration + parallel rows + their sequential twins."""
+    keep = {CALIB_ROW}
+    for name in rows:
+        m = pattern.match(name)
+        if m:
+            keep.add(name)
+            keep.add(m.group(1))
+    return [rows[n] for n in sorted(keep) if n in rows]
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--packet-path", required=True,
+                    help="freshly measured BENCH_packet_path.json")
+    ap.add_argument("--meanfield", required=True,
+                    help="freshly measured BENCH_meanfield.json")
+    ap.add_argument(
+        "--baseline",
+        default="bench/baselines/BENCH_parallel.json",
+        help="committed reference rows (default: %(default)s)",
+    )
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed fractional regression in normalized wall time "
+        "(default: %(default)s)",
+    )
+    ap.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        help="snapshot the relevant rows of the current files to PATH "
+        "and exit (no gating)",
+    )
+    args = ap.parse_args()
+
+    pp_doc = load(args.packet_path, "packet_path")
+    mf_doc = load(args.meanfield, "fig_meanfield")
+    pp = rows_by_name(pp_doc)
+    mf = rows_by_name(mf_doc)
+
+    if args.write_baseline:
+        doc = {
+            "bench": "parallel",
+            "schema": 1,
+            "packet_path": baseline_subset(pp, PACKET_LP),
+            "meanfield": baseline_subset(mf, MEANFIELD_LP),
+        }
+        with open(args.write_baseline, "w", encoding="utf-8") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+        print(f"wrote {args.write_baseline}")
+        return 0
+
+    failures = []
+
+    print("events exact (parallel vs sequential twin):")
+    n_pp = check_events_exact(pp, PACKET_LP, ("sim_events", "delivered"),
+                              failures)
+    n_mf = check_events_exact(mf, MEANFIELD_LP, ("ops",), failures)
+    if n_pp == 0:
+        failures.append("no fig02 lp rows found in the packet_path file")
+    if n_mf == 0:
+        failures.append("no meanfield lp rows found in the meanfield file")
+
+    base_pp = base_mf = None
+    try:
+        with open(args.baseline, encoding="utf-8") as f:
+            base_doc = json.load(f)
+        base_pp = {r["name"]: r for r in base_doc.get("packet_path", [])}
+        base_mf = {r["name"]: r for r in base_doc.get("meanfield", [])}
+    except OSError:
+        print(f"baseline {args.baseline} not found — wall checks skipped")
+    except ValueError as e:
+        sys.exit(f"check_parallel: cannot parse {args.baseline}: {e}")
+
+    print("calibration-normalized wall (parallel rows vs baseline):")
+    check_normalized_wall("packet_path", pp, base_pp, args.threshold, failures)
+    check_normalized_wall("meanfield", mf, base_mf, args.threshold, failures)
+
+    print("speedup floors (full mode, hardware permitting):")
+    check_speedup(mf_doc, mf, failures)
+
+    if failures:
+        print("\nparallel-engine gate FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("parallel-engine gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

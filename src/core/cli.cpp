@@ -167,6 +167,14 @@ bool apply_option(const std::string& key, const std::string& value,
     req->options.cwnd_sample_period = 0.1;
     return true;
   }
+  if (key == "lp") {
+    int n = 0;
+    if (!need("shard count") || !parse_int(value, &n) || n < 1) {
+      return fail(error, "--lp needs a positive integer");
+    }
+    req->options.lp_shards = n;
+    return true;
+  }
   if (key == "csv") {
     if (!need("path")) return false;
     req->csv_path = value;
@@ -237,6 +245,9 @@ std::string cli_usage() {
       "  --limited-transmit     RFC 3042 limited transmit\n"
       "  --cwnd-validation      RFC 2861-style growth gating\n"
       "  --red-min=X --red-max=X --red-maxp=X   RED parameters\n"
+      "  --lp=N                 logical processes for the conservative\n"
+      "                         parallel engine (default 1 = sequential;\n"
+      "                         traced runs clamp back to 1)\n"
       "  --trace=i,j,...        record cwnd of these clients\n"
       "  --csv=PATH             write traced cwnds as CSV\n"
       "  --trace-out=PATH       structured event trace: writes PATH.jsonl\n"

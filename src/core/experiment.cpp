@@ -8,11 +8,22 @@
 #include "src/sim/simulator.hpp"
 #include "src/stats/binned_counter.hpp"
 #include "src/stats/fairness.hpp"
+#include "src/topo/runner.hpp"
+#include "src/topo/spec.hpp"
 
 namespace burst {
 
 ExperimentResult run_experiment(const Scenario& scenario,
                                 const ExperimentOptions& options) {
+  // Parallel runs go through the generic TopoNet pipeline, which knows how
+  // to shard a spec across LPs. Runs with single-thread observers attached
+  // stay on this sequential path (the request clamps to one LP).
+  if (options.lp_shards > 1 && options.trace == nullptr &&
+      options.trace_clients.empty()) {
+    return run_topo_experiment(make_dumbbell_spec(scenario), options,
+                               /*force_generic=*/true);
+  }
+
   Simulator sim(scenario.seed);
   Dumbbell net(sim, scenario);
   if (options.trace != nullptr) net.attach_trace(*options.trace);

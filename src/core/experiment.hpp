@@ -27,6 +27,30 @@ struct ExperimentOptions {
   /// bit-identical either way (no extra events, no RNG draws) — the
   /// result-identity pins and the differential test enforce this.
   TraceSink* trace = nullptr;
+  /// Logical-process count for the conservative parallel engine
+  /// (DESIGN.md §13). 1 (the default) runs today's sequential engine,
+  /// bit-identical to every historical result. Values > 1 shard the
+  /// topology across threads — results are then deterministic
+  /// per-shard-count but may order exact same-instant ties differently
+  /// than lp=1, so the scenario key is salted with this field whenever it
+  /// exceeds 1 (the result cache must never mix shard counts). Requests
+  /// the topology cannot honor (no cut, zero lookahead) and runs with
+  /// single-thread observers attached (trace, cwnd sampling) clamp back
+  /// to 1.
+  int lp_shards = 1;
+};
+
+/// Per-logical-process accounting from a parallel run (DESIGN.md §13's
+/// profile table). Machine-dependent (wall-clock split) and therefore
+/// never persisted by the result store.
+struct LpPhase {
+  int lp = 0;
+  std::uint64_t events = 0;    // events this LP executed
+  std::uint64_t windows = 0;   // conservative windows it participated in
+  std::uint64_t msgs_in = 0;   // cross-LP packets received
+  std::uint64_t msgs_out = 0;  // cross-LP packets sent
+  double run_s = 0.0;          // wall seconds processing events / merging
+  double wait_s = 0.0;         // wall seconds blocked at window barriers
 };
 
 struct ExperimentResult {
@@ -82,6 +106,15 @@ struct ExperimentResult {
   std::uint64_t peak_pending = 0;  // high-water mark of the event heap
   double sim_wall_s = 0.0;         // wall-clock seconds inside sim.run()
   double events_per_sec = 0.0;     // sim_events / sim_wall_s
+
+  /// Shard count the run actually used (1 when the request was clamped —
+  /// see ExperimentOptions::lp_shards). For parallel runs sim_events /
+  /// peak_pending / the sched.* metrics aggregate across LPs: events and
+  /// scheduled counts sum (so they stay comparable with lp=1), while
+  /// peak_pending takes the max over the per-LP heaps.
+  int lp_shards = 1;
+  /// One row per LP when lp_shards > 1 (empty otherwise). Not persisted.
+  std::vector<LpPhase> lp_phases;
 };
 
 /// Builds the dumbbell, runs for scenario.duration and collects metrics.

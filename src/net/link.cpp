@@ -22,7 +22,7 @@ void SimplexLink::send(const Packet& p) {
   try_transmit();
 }
 
-void SimplexLink::try_transmit() {
+void SimplexLink::try_transmit(bool chained) {
   const Time now = sim_.now();
   if (now < free_at_ || (now == free_at_ && tx_open_)) {
     // Transmitter occupied — or we are AT the completion instant but the
@@ -42,6 +42,13 @@ void SimplexLink::try_transmit() {
   std::optional<Packet> next = queue_->dequeue(now);
   if (!next) return;
   queue_->trace_dequeue(*next, now);
+  if (!chained) {
+    // A transmission not continued by the drain roots a new back-to-back
+    // burst: remember where (and under which parent event) the chain
+    // began — the genesis half of the cross-LP merge key (see RemoteKey).
+    chain_start_ = now;
+    chain_cause_ = sim_.current_tie();
+  }
   const Time tx = transmission_time(next->size_bytes, bandwidth_bps_);
   // Last bit leaves at now+tx; it arrives prop_delay later. Evaluated as
   // (now + tx) + prop_delay — the same association as the old tx-complete
@@ -54,6 +61,19 @@ void SimplexLink::try_transmit() {
   // (by a mid-transmission arrival) must still sort as if inserted here
   // or same-instant drains on sibling links fire in a different order.
   drain_order_ = sim_.reserve_order();
+  if (remote_ != nullptr) {
+    // Cut link: the receiver lives in another LP. Hand the packet off with
+    // the exact key the fused delivery event below would have carried; the
+    // consumer LP inserts the equivalent event at its next window merge.
+    // The drain machinery stays local — the transmitter and its queue
+    // belong to this side of the cut.
+    remote_->post(*this,
+                  RemoteKey{free_at_ + prop_delay_, free_at_, tx_start_,
+                            sim_.current_tie(), chain_start_, chain_cause_},
+                  *next);
+    if (!queue_->queue_empty()) schedule_drain();
+    return;
+  }
   const PacketSlab::Handle h = slab_.put(*next);
   auto deliver = [this, h] {
     const Packet pkt = slab_.take(h);
@@ -89,6 +109,24 @@ void SimplexLink::try_transmit() {
   if (!queue_->queue_empty()) schedule_drain();
 }
 
+void SimplexLink::deliver_remote(const Packet& p, Time now) {
+  ++delivered_;
+  bytes_delivered_ += static_cast<std::uint64_t>(p.size_bytes);
+  if (trace_) {
+    TraceRecord r;
+    r.time = now;
+    r.type = TraceEventType::kLinkDeliver;
+    r.site = trace_site_;
+    r.flow = p.flow;
+    r.seq = p.type == PacketType::kAck ? p.ack : p.seq;
+    r.value = static_cast<double>(p.size_bytes);
+    r.detail = p.type == PacketType::kAck ? kTraceDetailAck : 0;
+    trace_->emit(r);
+  }
+  assert(receiver_ && "SimplexLink has no receiver attached");
+  receiver_(p);
+}
+
 void SimplexLink::schedule_drain() {
   drain_pending_ = true;
   auto drain = [this] {
@@ -98,7 +136,7 @@ void SimplexLink::schedule_drain() {
     // had run).
     drain_pending_ = false;
     tx_open_ = false;
-    try_transmit();
+    try_transmit(/*chained=*/true);
   };
   static_assert(SmallFn::stores_inline<decltype(drain)>(),
                 "the drain closure must fit SmallFn's inline buffer");

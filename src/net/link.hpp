@@ -25,6 +25,50 @@
 
 namespace burst {
 
+class SimplexLink;
+
+/// The deterministic-merge key for one cross-LP packet handoff. `at` and
+/// `tie_time` are the exact scheduler key the fused delivery event would
+/// have carried had the link's endpoints shared an LP; the remaining
+/// fields reconstruct the sequential engine's FIFO order among handoffs
+/// whose (at, tie_time) collide exactly (DESIGN.md §13.3):
+///
+///  * Sequentially, a colliding pair orders by the global rank reserved at
+///    each transmission's start — so an earlier `tx_start` wins outright.
+///  * Equal tx_start means both ranks were reserved at the same instant,
+///    in the execution order of the two reserving parent events, which
+///    order by their own tie-break instants: `cause` (the producer-side
+///    parent's tie, Simulator::current_tie()).
+///  * Equal cause is the phase-locked case — both parents are drain
+///    events of back-to-back burst chains transmitting in lockstep. FIFO
+///    rank then inherits, generation by generation, from the instant the
+///    younger chain STARTED: its genesis parent (tie `chain_cause`, a
+///    distinct instant such as an ACK arrival) raced the older chain's
+///    drain (tie = chain_start − one transmission time). `chain_start` /
+///    `chain_cause` let the consumer's merge replay that race.
+struct RemoteKey {
+  Time at;           // delivery instant: (dequeue + tx) + prop
+  Time tie_time;     // same-instant rank: transmitter free_at
+  Time tx_start;     // when the transmission began (rank reservation)
+  Time cause;        // tie of the producer event that started the tx
+  Time chain_start;  // first tx_start of this back-to-back burst chain
+  Time chain_cause;  // `cause` as of the chain's first transmission
+};
+
+/// Egress hook for links whose endpoints live in different logical
+/// processes (src/sim/parallel). When installed, the link posts each
+/// transmitted packet — stamped with the full RemoteKey above — instead
+/// of scheduling the delivery locally; the receiving LP inserts an
+/// equivalent event at its next window merge, so the parallel run
+/// executes the same total event count in the same key order as the
+/// sequential one.
+class LinkRemoteEgress {
+ public:
+  virtual ~LinkRemoteEgress() = default;
+  virtual void post(SimplexLink& link, const RemoteKey& key,
+                    const Packet& p) = 0;
+};
+
 class SimplexLink : public PacketChannel {
  public:
   /// @p queue buffers packets awaiting transmission; @p bandwidth_bps and
@@ -70,10 +114,25 @@ class SimplexLink : public PacketChannel {
     trace_site_ = site;
   }
 
+  /// Marks this link as a cut edge whose receiver lives in another LP:
+  /// every delivery is handed to @p egress instead of being scheduled on
+  /// this link's (producer-side) simulator. Build-time only.
+  void set_remote_egress(LinkRemoteEgress* egress) { remote_ = egress; }
+
+  /// Runs the delivery half of a cut link on the CONSUMER LP's thread at
+  /// simulated instant @p now (the consumer's clock — this link's own
+  /// sim_.now() belongs to the producer and must not be read here). With
+  /// a remote egress installed, the delivery counters below are touched
+  /// only by this method, i.e. only by the consumer thread.
+  void deliver_remote(const Packet& p, Time now);
+
  private:
   /// Starts transmitting the head-of-line packet if the transmitter is
   /// free; otherwise makes sure a drain event is armed for tx end.
-  void try_transmit();
+  /// @p chained is true only when called from the drain event continuing
+  /// a back-to-back burst — it keeps the chain-genesis stamp (see
+  /// RemoteKey) instead of re-rooting it at the current event.
+  void try_transmit(bool chained = false);
   /// Schedules the (single) queue-drain event at free_at_.
   void schedule_drain();
 
@@ -85,6 +144,8 @@ class SimplexLink : public PacketChannel {
   PacketSlab slab_;            // packets between dequeue and delivery
   Time tx_start_ = 0.0;        // when the current transmission began
   Time free_at_ = 0.0;         // transmitter is busy until this instant
+  Time chain_start_ = 0.0;     // tx_start_ of the current burst's first tx
+  Time chain_cause_ = 0.0;     // parent-event tie at the burst's start
   std::uint64_t drain_order_ = 0;  // FIFO rank reserved at tx start
   bool drain_pending_ = false; // a drain event is armed at free_at_
   bool tx_open_ = false;       // current tx's completion rank not yet run;
@@ -93,6 +154,7 @@ class SimplexLink : public PacketChannel {
   std::uint64_t bytes_delivered_ = 0;
   TraceSink* trace_ = nullptr;
   std::uint8_t trace_site_ = 0;
+  LinkRemoteEgress* remote_ = nullptr;  // non-null iff this is a cut link
 };
 
 }  // namespace burst

@@ -53,6 +53,12 @@ CampaignOutput run_campaign(const std::vector<CampaignSweep>& sweeps,
   const auto t0 = std::chrono::steady_clock::now();
   CampaignOutput out;
 
+  // Every point of a parallel campaign runs (and is keyed) with the same
+  // shard count; the salted key keeps lp>1 results out of sequential
+  // caches and vice versa.
+  ExperimentOptions eopts;
+  eopts.lp_shards = opts.lp_shards;
+
   // ---- Plan: expand every sweep and dedup identical scenarios. --------
   std::vector<PlannedPoint> plan;
   std::vector<Scenario> unique_scenarios;
@@ -67,7 +73,7 @@ CampaignOutput run_campaign(const std::vector<CampaignSweep>& sweeps,
         sweep.configs[c].apply(sc);
         sc.seed = campaign_point_seed(sweep.base, sweep.configs[c].name,
                                       sweep.client_counts[p]);
-        const ScenarioKey key = scenario_key(sc);
+        const ScenarioKey key = scenario_key(sc, eopts);
         const auto [it, inserted] = by_key.emplace(key, unique_scenarios.size());
         if (inserted) {
           unique_scenarios.push_back(sc);
@@ -127,6 +133,7 @@ CampaignOutput run_campaign(const std::vector<CampaignSweep>& sweeps,
     std::atomic<std::size_t> farmed{0};
     std::mutex profile_mu;
     Profiler profile_total;
+    std::vector<LpPhase> lp_totals;
     // Log at most ~20 progress lines regardless of batch size, and flush
     // each one: on a pipe or CI log nothing shows up otherwise.
     const std::size_t stride = std::max<std::size_t>(1, misses.size() / 20);
@@ -149,12 +156,28 @@ CampaignOutput run_campaign(const std::vector<CampaignSweep>& sweeps,
       if (opts.profile) {
         Profiler prof;
         Profiler* prev = Profiler::install(&prof);
-        results[ui] = run_experiment(unique_scenarios[ui]);
+        results[ui] = run_experiment(unique_scenarios[ui], eopts);
         Profiler::install(prev);
         std::lock_guard<std::mutex> lk(profile_mu);
         profile_total.absorb(prof);
       } else {
-        results[ui] = run_experiment(unique_scenarios[ui]);
+        results[ui] = run_experiment(unique_scenarios[ui], eopts);
+      }
+      if (!results[ui].lp_phases.empty()) {
+        std::lock_guard<std::mutex> lk(profile_mu);
+        if (lp_totals.size() < results[ui].lp_phases.size()) {
+          lp_totals.resize(results[ui].lp_phases.size());
+        }
+        for (std::size_t lp = 0; lp < results[ui].lp_phases.size(); ++lp) {
+          const LpPhase& p = results[ui].lp_phases[lp];
+          lp_totals[lp].lp = p.lp;
+          lp_totals[lp].events += p.events;
+          lp_totals[lp].windows += p.windows;
+          lp_totals[lp].msgs_in += p.msgs_in;
+          lp_totals[lp].msgs_out += p.msgs_out;
+          lp_totals[lp].run_s += p.run_s;
+          lp_totals[lp].wait_s += p.wait_s;
+        }
       }
       simulated.fetch_add(1, std::memory_order_relaxed);
     };
@@ -202,6 +225,7 @@ CampaignOutput run_campaign(const std::vector<CampaignSweep>& sweeps,
       out.stats.phase_seconds[ph] =
           profile_total.seconds(static_cast<ProfilePhase>(ph));
     }
+    out.stats.lp_phases = std::move(lp_totals);
     out.stats.simulated = simulated.load();
     out.stats.farmed_out = farmed.load();
     if (opts.log && out.stats.farmed_out > 0) {
@@ -238,6 +262,15 @@ CampaignOutput run_campaign(const std::vector<CampaignSweep>& sweeps,
                   << fmt(total > 0.0 ? 100.0 * s / total : 0.0, 1) << "%)";
       }
       *opts.log << std::endl;
+    }
+    if (opts.log && !out.stats.lp_phases.empty()) {
+      for (const LpPhase& p : out.stats.lp_phases) {
+        *opts.log << "campaign: lp " << p.lp << ": " << p.events
+                  << " events, " << p.msgs_in << "/" << p.msgs_out
+                  << " msgs in/out, run " << fmt(p.run_s, 2)
+                  << " s, barrier wait " << fmt(p.wait_s, 2) << " s"
+                  << std::endl;
+      }
     }
   }
 
@@ -361,7 +394,19 @@ CampaignOutput run_campaign(const std::vector<CampaignSweep>& sweeps,
         mf << (ph ? ", " : "") << "\"" << to_string(static_cast<ProfilePhase>(ph))
            << "\": " << out.stats.phase_seconds[ph];
       }
-      mf << "}},\n";
+      mf << "}";
+      // Parallel-engine accounting: one row per logical process, summed
+      // over the scenarios simulated by this invocation.
+      mf << ", \"lp_shards\": " << opts.lp_shards << ", \"lp_phases\": [";
+      for (std::size_t lp = 0; lp < out.stats.lp_phases.size(); ++lp) {
+        const LpPhase& p = out.stats.lp_phases[lp];
+        mf << (lp ? ", " : "") << "{\"lp\": " << p.lp
+           << ", \"events\": " << p.events << ", \"windows\": " << p.windows
+           << ", \"msgs_in\": " << p.msgs_in
+           << ", \"msgs_out\": " << p.msgs_out << ", \"run_s\": " << p.run_s
+           << ", \"wait_s\": " << p.wait_s << "}";
+      }
+      mf << "]},\n";
       // Campaign-wide counter totals over every unique scenario (cache
       // hits included — the store round-trips the snapshot).
       {

@@ -52,6 +52,12 @@ struct CampaignOptions {
   /// CampaignStats and the log summary. Costs two clock reads per
   /// instrumented scope; leave off for benchmark-comparable timings.
   bool profile = false;
+  /// Logical processes per simulated scenario (conservative parallel
+  /// engine, DESIGN.md §13). 1 = sequential. Values > 1 salt every
+  /// scenario key, so parallel campaigns never share cache entries with
+  /// sequential ones; combine with --threads=1 to avoid oversubscribing
+  /// cores (each miss then runs lp_shards LP threads itself).
+  int lp_shards = 1;
 };
 
 struct CampaignStats {
@@ -73,6 +79,11 @@ struct CampaignStats {
   /// Per-phase self-time seconds summed over all simulated tasks, indexed
   /// by ProfilePhase. All zero unless CampaignOptions::profile was set.
   std::array<double, kProfilePhases> phase_seconds{};
+
+  /// Per-LP totals (events, messages, run vs barrier-wait wall seconds)
+  /// summed over the simulated tasks; one entry per logical process.
+  /// Empty unless lp_shards > 1 (cache hits carry no phase data).
+  std::vector<LpPhase> lp_phases;
 };
 
 struct CampaignOutput {

@@ -144,6 +144,13 @@ std::string canonical_string(const Scenario& s, const ExperimentOptions& opts) {
     c.field("trace_clients", tc.str());
   }
   c.field("cwnd_sample_period", opts.cwnd_sample_period);
+  // Parallel runs are deterministic per shard count but may order exact
+  // same-instant ties differently than the sequential engine, so the
+  // cache must key on the shard count. Appended only when > 1 so every
+  // sequential scenario keeps its historical key byte-for-byte.
+  if (opts.lp_shards > 1) {
+    c.field("lp_shards", static_cast<std::int64_t>(opts.lp_shards));
+  }
   return c.str();
 }
 

@@ -1,0 +1,131 @@
+// Cross-LP packet channel: a bounded single-producer/single-consumer ring
+// with a barrier-synchronized overflow lane.
+//
+// One channel carries every cut link between an ordered pair of LPs, so
+// the channel count is O(LP pairs), not O(cut links) — a sharded dumbbell
+// has 10^5 cut links but only a handful of LP pairs. Each posted handoff
+// is stamped with the full RemoteKey (scheduler sort key plus the
+// producer-side causality stamps — see link.hpp) and a per-channel
+// sequence number assigned in the producer's (deterministic,
+// single-threaded) execution order. The consumer merges messages from all
+// of its inbound channels in (RemoteKey, channel id, seq) order, which
+// makes the merged insertion order a pure function of the keys: no thread
+// timing, no ring-vs-overflow placement, no arrival interleaving can
+// change it. That is the whole deterministic-merge argument — see
+// DESIGN.md §13.
+//
+// Concurrency contract (enforced by the window protocol in runtime.cpp):
+//   * post() is called only by the producer LP's thread, inside its event
+//     window (between the two barriers).
+//   * drain() is called only by the consumer LP's thread, in the merge
+//     phase — after the flush barrier, before the next publish barrier.
+//   * The ring's atomics order the fast path; the overflow vector and the
+//     sequence counter are single-side-at-a-time by the above phasing,
+//     with the barrier's lock providing the happens-before edge.
+//
+// The ring is deliberately NOT a blocking queue: a producer that fills it
+// while the consumer is parked at a barrier must never spin or wait (that
+// is a deadlock on one core and wasted wall time on many), so excess
+// messages simply spill to the overflow vector until the merge phase.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/net/link.hpp"
+#include "src/net/packet.hpp"
+#include "src/sim/time.hpp"
+
+namespace burst {
+
+/// One cross-LP packet handoff, carrying the exact scheduler key (and
+/// causality stamps) the delivery event would have had if the link's
+/// endpoints shared an LP. See RemoteKey in link.hpp.
+struct RemoteEvent {
+  RemoteKey key{};
+  std::uint64_t seq = 0;  // producer execution order within the channel
+  SimplexLink* link = nullptr;
+  Packet pkt;
+};
+
+class SpscChannel final : public LinkRemoteEgress {
+ public:
+  /// @p id is the channel's global creation index — the deterministic
+  /// tie-break between messages from different producers that carry an
+  /// exactly equal (at, tie_time).
+  SpscChannel(int id, int from_lp, int to_lp)
+      : id_(id), from_lp_(from_lp), to_lp_(to_lp) {
+    ring_.resize(kCapacity);
+  }
+
+  int id() const { return id_; }
+  int from_lp() const { return from_lp_; }
+  int to_lp() const { return to_lp_; }
+
+  /// Total messages ever posted (producer-side; read in the merge phase
+  /// and after the run for the per-LP profile table).
+  std::uint64_t posted() const { return posted_; }
+
+  /// Producer-side: true when the next post() would take the overflow
+  /// lane. The LP runtime never needs this (it must not block); tests of
+  /// the lock-free path use it to stay within the ring.
+  bool ring_full() const {
+    return tail_.load(std::memory_order_relaxed) -
+               head_.load(std::memory_order_acquire) >=
+           kCapacity;
+  }
+
+  /// Producer side (the cut link's owning LP, mid-window).
+  void post(SimplexLink& link, const RemoteKey& key,
+            const Packet& p) override {
+    RemoteEvent e;
+    e.key = key;
+    e.seq = next_seq_++;
+    e.link = &link;
+    e.pkt = p;
+    const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    if (t - head_.load(std::memory_order_acquire) < kCapacity) {
+      ring_[t & kMask] = e;
+      tail_.store(t + 1, std::memory_order_release);
+    } else {
+      overflow_.push_back(e);
+    }
+    ++posted_;
+  }
+
+  /// Consumer side (merge phase only). Invokes @p fn on every pending
+  /// message; order within the channel is ring-then-overflow, which the
+  /// caller's key sort canonicalizes anyway.
+  template <typename Fn>
+  void drain(Fn&& fn) {
+    std::uint64_t h = head_.load(std::memory_order_relaxed);
+    const std::uint64_t t = tail_.load(std::memory_order_acquire);
+    for (; h != t; ++h) fn(ring_[h & kMask]);
+    head_.store(h, std::memory_order_release);
+    for (const RemoteEvent& e : overflow_) fn(e);
+    overflow_.clear();
+  }
+
+  /// Ring capacity (messages); the lock-free fast path's bound. A window
+  /// that produces more than this simply spills to the overflow lane.
+  static constexpr std::uint64_t kCapacity = 1024;
+
+ private:
+  static constexpr std::uint64_t kMask = kCapacity - 1;
+  static_assert((kCapacity & kMask) == 0, "ring capacity must be 2^k");
+
+  const int id_;
+  const int from_lp_;
+  const int to_lp_;
+  std::vector<RemoteEvent> ring_;
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // consumer cursor
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // producer cursor
+  // Producer-written, consumer-cleared; never touched concurrently (the
+  // window barriers separate the phases).
+  std::vector<RemoteEvent> overflow_;
+  std::uint64_t next_seq_ = 0;   // producer-only
+  std::uint64_t posted_ = 0;     // producer-only
+};
+
+}  // namespace burst

@@ -195,6 +195,7 @@ Scheduler::Ready Scheduler::take_next() {
   const std::uint32_t idx = heap_slot_[0];
   // Move the callback out before touching the heap: the caller invokes it
   // after we return, and it may schedule freely (growing slots_/keys_).
+  popped_tie_ = keys_[0].tie_time;
   Ready ready{keys_[0].at, std::move(slots_[idx].fn)};
   remove_root();
   free_slot(idx);

@@ -131,6 +131,11 @@ class Scheduler {
   /// Pops the earliest event without invoking it. Precondition: !empty().
   Ready take_next();
 
+  /// The tie-break instant of the most recently popped event (see
+  /// schedule_at). Valid after take_next(); Simulator snapshots it as the
+  /// executing event's causality stamp for cross-LP handoffs.
+  Time popped_tie() const { return popped_tie_; }
+
   /// Total events ever scheduled (for diagnostics / benchmarks).
   std::uint64_t scheduled_count() const { return scheduled_count_; }
 
@@ -219,6 +224,7 @@ class Scheduler {
   std::vector<std::uint32_t> heap_slot_;
   std::vector<std::uint32_t> free_;  // recycled slot indices
   std::uint64_t next_seq_ = 1;
+  Time popped_tie_ = 0.0;
   std::uint64_t scheduled_count_ = 0;
   std::uint64_t peak_pending_ = 0;
   std::uint64_t stale_cancels_ = 0;

@@ -51,10 +51,28 @@ void Simulator::run(Time until) {
     // schedules) observes the event's own timestamp as "now".
     auto ready = scheduler_.take_next();
     now_ = ready.at;
+    current_tie_ = scheduler_.popped_tie();
     ready.fn();
     ++events_run_;
   }
   if (until != kTimeNever && now_ < until) now_ = until;
+}
+
+void Simulator::run_window(Time bound, Time cap) {
+  ProfileScope prof(ProfilePhase::kDispatch);
+  stopped_ = false;
+  while (!stopped_ && !scheduler_.empty()) {
+    const Time next = scheduler_.next_time();
+    // Strictly below the safe bound (events AT the bound may still be
+    // preceded by a cross-LP arrival carrying the same timestamp), and no
+    // later than the horizon, which run() executes inclusively.
+    if (next >= bound || next > cap) return;
+    auto ready = scheduler_.take_next();
+    now_ = ready.at;
+    current_tie_ = scheduler_.popped_tie();
+    ready.fn();
+    ++events_run_;
+  }
 }
 
 }  // namespace burst

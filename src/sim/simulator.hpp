@@ -69,11 +69,41 @@ class Simulator {
   /// (or @p until, if that is earlier than the next event).
   void run(Time until = kTimeNever);
 
+  /// One LP window of the conservative parallel protocol: runs events
+  /// strictly BEFORE @p bound and no later than @p cap (the horizon, which
+  /// run() treats inclusively), then returns with the clock at the last
+  /// executed event — NOT advanced to the window edge, because the next
+  /// window's safe bound is still unknown and cross-LP merges must insert
+  /// events after now(). Only the LP runtime calls this.
+  void run_window(Time bound, Time cap);
+
+  /// Finalizes an LP clock at the horizon, mirroring what run(until) does
+  /// when the queue outlives the horizon. Called once, after the last
+  /// window.
+  void finish_at(Time t) {
+    if (now_ < t) now_ = t;
+  }
+
+  /// Earliest pending event's time (kTimeNever if none): the lower bound
+  /// this LP publishes to the window barrier. Settles the timing wheel,
+  /// so the bound is exact across both storage tiers.
+  Time next_event_time() { return scheduler_.next_time(); }
+
   /// Requests that run() return after the current event completes.
   void stop() { stopped_ = true; }
 
   /// Number of events executed so far (for diagnostics / benchmarks).
   std::uint64_t events_run() const { return events_run_; }
+
+  /// The tie-break instant of the event currently executing (0 outside a
+  /// callback — e.g. during topology build). For a default-scheduled
+  /// event this is the instant it was scheduled, which is exactly the
+  /// discriminator same-instant events execute in: among equal `at`, the
+  /// scheduler orders by (tie_time, insertion seq). Cross-LP handoffs
+  /// carry it as a causality stamp so the consumer's merge can reproduce
+  /// the sequential engine's same-instant order without a global
+  /// insertion counter (DESIGN.md §13.3).
+  Time current_tie() const { return current_tie_; }
 
   Random& rng() { return rng_; }
   Scheduler& scheduler() { return scheduler_; }
@@ -82,6 +112,7 @@ class Simulator {
   Scheduler scheduler_;
   Random rng_;
   Time now_ = 0.0;
+  Time current_tie_ = 0.0;
   bool stopped_ = false;
   std::uint64_t events_run_ = 0;
 };

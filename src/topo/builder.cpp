@@ -16,16 +16,6 @@ namespace burst {
 
 namespace {
 
-/// Expanded member @p j's propagation delay: the same expression as
-/// Scenario::client_delay_for, evaluated over the link's member count, so
-/// a dumbbell spec reproduces the hard-coded delays bit-for-bit.
-Time member_delay(const TopoLinkSpec& l, int j, int count) {
-  if (l.delay_spread <= 0.0 || count < 2) return l.delay;
-  const double position =
-      2.0 * static_cast<double>(j) / static_cast<double>(count - 1) - 1.0;
-  return l.delay * (1.0 + l.delay_spread * position);
-}
-
 std::unique_ptr<Queue> make_port_queue(const TopoLinkSpec& l,
                                        const Scenario& sc, Random rng) {
   const PortQueueSpec& q = l.queue;
@@ -73,7 +63,22 @@ TcpConfig make_tcp_config(const Scenario& sc) {
 }  // namespace
 
 TopoNet::TopoNet(Simulator& sim, const TopoSpec& spec)
-    : sim_(sim), spec_(spec) {
+    : TopoNet(&sim, nullptr, nullptr, spec) {}
+
+TopoNet::TopoNet(ParallelRuntime& rt, const LpPartition& part,
+                 const TopoSpec& spec)
+    : TopoNet(nullptr, &rt, &part, spec) {}
+
+TopoNet::TopoNet(Simulator* sim, ParallelRuntime* rt, const LpPartition* part,
+                 const TopoSpec& spec)
+    : sim_(sim), rt_(rt), spec_(spec) {
+  assert((rt_ != nullptr) != (sim_ != nullptr));
+  if (part != nullptr) {
+    part_ = *part;
+    assert(rt_ != nullptr && part_.shards == rt_->shards());
+    assert(part_.node_lp.size() ==
+           static_cast<std::size_t>(spec_.total_nodes()));
+  }
   const Scenario& sc = spec_.scenario;
   const int total = spec_.total_nodes();
   assert(total >= 2);
@@ -95,19 +100,40 @@ TopoNet::TopoNet(Simulator& sim, const TopoSpec& spec)
   link_ends_.reserve(expanded_links);
 
   std::size_t total_flows = 0;
-  std::size_t tcp_flows = 0;
   for (const TopoFlowSpec& f : spec_.flows) {
-    const auto n = static_cast<std::size_t>(spec_.node_count(f.src));
-    total_flows += n;
-    if (f.transport != Transport::kUdp) tcp_flows += n;
+    total_flows += static_cast<std::size_t>(spec_.node_count(f.src));
   }
   senders_.reserve(total_flows);
   sinks_.reserve(total_flows);
   sources_.reserve(total_flows);
-  // One contiguous struct-of-arrays block for every TCP flow's mutable
-  // scalars; the agents constructed below are views over its slots.
-  arena_.reserve(tcp_flows, tcp_flows,
-                 FlowArena::ring_capacity_for(sc.advertised_window));
+  // One contiguous struct-of-arrays block per LP for its TCP flows'
+  // mutable scalars; the agents constructed below are views over its
+  // slots. A sequential build has exactly one arena (bit-identical to the
+  // historical single-arena layout); a sharded build gives each LP its
+  // own so no per-flow container is ever written from two LP threads.
+  {
+    const int shards = rt_ != nullptr ? part_.shards : 1;
+    std::vector<std::size_t> tcp_senders(static_cast<std::size_t>(shards), 0);
+    std::vector<std::size_t> tcp_sinks(static_cast<std::size_t>(shards), 0);
+    for (const TopoFlowSpec& f : spec_.flows) {
+      if (f.transport == Transport::kUdp) continue;
+      const auto dst_lp = static_cast<std::size_t>(
+          part_.lp_of(spec_.node_id(f.dst, 0)));
+      for (int j = 0; j < spec_.node_count(f.src); ++j) {
+        ++tcp_senders[static_cast<std::size_t>(
+            part_.lp_of(spec_.node_id(f.src, j)))];
+        ++tcp_sinks[dst_lp];
+      }
+    }
+    arenas_.reserve(static_cast<std::size_t>(shards));
+    for (int k = 0; k < shards; ++k) {
+      arenas_.push_back(std::make_unique<FlowArena>());
+      arenas_.back()->reserve(tcp_senders[static_cast<std::size_t>(k)],
+                              tcp_sinks[static_cast<std::size_t>(k)],
+                              FlowArena::ring_capacity_for(
+                                  sc.advertised_window));
+    }
+  }
 
   // --- Links: expand each statement in declaration order. --------------
   // Fork discipline: one sim.rng().fork() per expanded link with an
@@ -127,22 +153,29 @@ TopoNet::TopoNet(Simulator& sim, const TopoSpec& spec)
       if (l.queue.kind == PortQueueSpec::Kind::kDefault) {
         q = make_port_queue(l, sc, Random(0));
       } else {
-        q = make_port_queue(l, sc, sim_.rng().fork());
+        q = make_port_queue(l, sc, build_rng().fork());
       }
+      // A link lives with its SENDING node's LP: its queue and transmitter
+      // are driven by that side's events. When the receiver is elsewhere,
+      // the delivery hops LPs through the runtime's channel.
       links_.push_back(std::make_unique<SimplexLink>(
-          sim_, std::move(q), l.rate_bps, member_delay(l, j, count)));
+          nsim(u), std::move(q), l.rate_bps, topo_member_delay(l, j, count)));
       Node& to_node = *nodes_[static_cast<std::size_t>(v)];
       links_.back()->set_receiver(
           [&to_node](const Packet& p) { to_node.receive(p); });
       link_ends_.emplace_back(u, v);
+      if (rt_ != nullptr && part_.lp_of(u) != part_.lp_of(v)) {
+        rt_->register_cut_link(links_.back().get(), part_.lp_of(u),
+                               part_.lp_of(v));
+      }
     }
   }
   assert(spec_.measure_link >= 0 &&
          spec_.measure_link < static_cast<int>(spec_.links.size()));
-  measured_ =
-      links_[static_cast<std::size_t>(
-                 link_base_[static_cast<std::size_t>(spec_.measure_link)])]
-          .get();
+  const auto measured_idx = static_cast<std::size_t>(
+      link_base_[static_cast<std::size_t>(spec_.measure_link)]);
+  measured_ = links_[measured_idx].get();
+  measured_from_node_ = link_ends_[measured_idx].first;
 
   // --- Routing: per-node BFS over the expanded graph. -------------------
   // Out-links in expansion order + FIFO frontier = the first-declared
@@ -238,49 +271,61 @@ TopoNet::TopoNet(Simulator& sim, const TopoSpec& spec)
   for (const TopoFlowSpec& f : spec_.flows) {
     const int dst = spec_.node_id(f.dst, 0);
     Node& dst_node = *nodes_[static_cast<std::size_t>(dst)];
+    Simulator& dsim = nsim(dst);
+    FlowArena* dst_arena = arenas_[static_cast<std::size_t>(part_.lp_of(dst))]
+                               .get();
     for (int j = 0; j < spec_.node_count(f.src); ++j) {
       const int src = spec_.node_id(f.src, j);
       Node& src_node = *nodes_[static_cast<std::size_t>(src)];
+      Simulator& ssim = nsim(src);
+      FlowArena* arena =
+          arenas_[static_cast<std::size_t>(part_.lp_of(src))].get();
       const FlowId flow = static_cast<FlowId>(senders_.size());
       switch (f.transport) {
         case Transport::kUdp:
           senders_.push_back(std::make_unique<UdpSender>(
-              sim_, src_node, flow, dst, sc.payload_bytes));
+              ssim, src_node, flow, dst, sc.payload_bytes));
           sinks_.push_back(
-              std::make_unique<UdpSink>(sim_, dst_node, flow, src));
+              std::make_unique<UdpSink>(dsim, dst_node, flow, src));
           break;
         case Transport::kTahoe:
           senders_.push_back(std::make_unique<TcpTahoe>(
-              sim_, src_node, flow, dst, tcp_cfg, &arena_));
+              ssim, src_node, flow, dst, tcp_cfg, arena));
           break;
         case Transport::kReno:
           senders_.push_back(std::make_unique<TcpReno>(
-              sim_, src_node, flow, dst, tcp_cfg, &arena_));
+              ssim, src_node, flow, dst, tcp_cfg, arena));
           break;
         case Transport::kNewReno:
           senders_.push_back(std::make_unique<TcpNewReno>(
-              sim_, src_node, flow, dst, tcp_cfg, &arena_));
+              ssim, src_node, flow, dst, tcp_cfg, arena));
           break;
         case Transport::kVegas:
           senders_.push_back(std::make_unique<TcpVegas>(
-              sim_, src_node, flow, dst, tcp_cfg, sc.vegas, &arena_));
+              ssim, src_node, flow, dst, tcp_cfg, sc.vegas, arena));
           break;
         case Transport::kSack:
           senders_.push_back(std::make_unique<TcpSack>(
-              sim_, src_node, flow, dst, tcp_cfg, &arena_));
+              ssim, src_node, flow, dst, tcp_cfg, arena));
           break;
       }
       if (f.transport != Transport::kUdp) {
         TcpSinkConfig sink_cfg;
         sink_cfg.delayed_ack = f.delayed_ack;
         sink_cfg.sack = f.transport == Transport::kSack;
-        sinks_.push_back(std::make_unique<TcpSink>(sim_, dst_node, flow, src,
-                                                   sink_cfg, &arena_));
+        sinks_.push_back(std::make_unique<TcpSink>(dsim, dst_node, flow, src,
+                                                   sink_cfg, dst_arena));
       }
       sources_.push_back(std::make_unique<PoissonSource>(
-          sim_, *senders_.back(), f.mean_interarrival, sim_.rng().fork()));
+          ssim, *senders_.back(), f.mean_interarrival, build_rng().fork()));
     }
   }
+}
+
+std::size_t TopoNet::arena_bytes_reserved() const {
+  std::size_t total = 0;
+  for (const auto& a : arenas_) total += a->bytes_reserved();
+  return total;
 }
 
 void TopoNet::start_sources() {
@@ -293,6 +338,9 @@ SimplexLink& TopoNet::link(int statement, int member) {
 }
 
 void TopoNet::attach_trace(TraceSink& sink, const TopoTraceNames& names) {
+  // TraceSink is a single-writer ring; the runner clamps lp to 1 whenever
+  // tracing is requested, so a sharded net never reaches this.
+  assert(rt_ == nullptr && "event tracing requires the sequential engine");
   const std::uint8_t queue_site = sink.register_site(names.queue_site);
   const std::uint8_t link_site = sink.register_site(names.link_site);
   const std::uint8_t sink_site = sink.register_site(names.sink_site);

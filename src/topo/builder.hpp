@@ -26,7 +26,9 @@
 #include "src/net/node.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/transport_trace.hpp"
+#include "src/sim/parallel/runtime.hpp"
 #include "src/sim/simulator.hpp"
+#include "src/topo/partition.hpp"
 #include "src/topo/spec.hpp"
 #include "src/transport/tcp_sender.hpp"
 #include "src/transport/tcp_sink.hpp"
@@ -51,6 +53,17 @@ struct TopoMetricNames {
 class TopoNet {
  public:
   TopoNet(Simulator& sim, const TopoSpec& spec);
+
+  /// Sharded build for the conservative parallel engine: every component
+  /// lands on the Simulator of the LP that @p part assigns its node to,
+  /// links whose endpoints straddle the cut register with @p rt, and each
+  /// LP gets its own FlowArena (per-flow SoA state must never share
+  /// mutable containers across LP threads). Component RNG forks all come
+  /// from rt.build_rng() in the sequential build's global order, so every
+  /// queue discipline and Poisson source sees a value-identical stream
+  /// regardless of shard placement. @p part must have shards >= 2 and
+  /// must outlive only this constructor (it is copied).
+  TopoNet(ParallelRuntime& rt, const LpPartition& part, const TopoSpec& spec);
 
   /// Starts every flow's traffic source.
   void start_sources();
@@ -95,16 +108,38 @@ class TopoNet {
 
   const TopoSpec& spec() const { return spec_; }
 
-  /// The shared per-flow state arena (bytes_reserved() feeds the huge-N
-  /// memory-budget assertions).
-  const FlowArena& flow_arena() const { return arena_; }
+  /// The first LP's per-flow state arena (the only one in a sequential
+  /// build); arena_bytes_reserved() totals all shards for the huge-N
+  /// memory-budget assertions.
+  const FlowArena& flow_arena() const { return *arenas_.front(); }
+  std::size_t arena_bytes_reserved() const;
+
+  /// The Simulator owning the measured link's sending node — the clock
+  /// that measured-queue tap callbacks must read. Sequential builds
+  /// return the build Simulator.
+  Simulator& measured_sim() { return nsim(measured_from_node_); }
 
  private:
-  Simulator& sim_;
+  TopoNet(Simulator* sim, ParallelRuntime* rt, const LpPartition* part,
+          const TopoSpec& spec);
+
+  /// The Simulator hosting @p node under the partition (the build
+  /// Simulator when sequential).
+  Simulator& nsim(int node) {
+    return rt_ != nullptr ? rt_->sim(part_.lp_of(node)) : *sim_;
+  }
+  /// The single generator every build-time fork draws from.
+  Random& build_rng() {
+    return rt_ != nullptr ? rt_->build_rng() : sim_->rng();
+  }
+
+  Simulator* sim_;             // null in a sharded build
+  ParallelRuntime* rt_;        // null in a sequential build
+  LpPartition part_;           // shards == 1 when sequential
   TopoSpec spec_;
   // Declared before senders_/sinks_: the agents are views over arena
   // slots and must be destroyed first (reverse declaration order).
-  FlowArena arena_;
+  std::vector<std::unique_ptr<FlowArena>> arenas_;  // one per LP
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<SimplexLink>> links_;
   /// links_ index of each link statement's first expanded member.
@@ -112,6 +147,7 @@ class TopoNet {
   /// Expanded (from,to) node ids, parallel to links_ (routing BFS input).
   std::vector<std::pair<int, int>> link_ends_;
   SimplexLink* measured_ = nullptr;
+  int measured_from_node_ = 0;
   std::vector<std::unique_ptr<Agent>> senders_;
   std::vector<std::unique_ptr<Agent>> sinks_;
   std::vector<std::unique_ptr<PoissonSource>> sources_;

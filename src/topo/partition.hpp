@@ -1,0 +1,49 @@
+// Node → logical-process assignment for the conservative parallel engine.
+//
+// The partitioner cuts a TopoSpec along the dumbbell's natural seams:
+// traffic-source nodes on one side, the interior (gateways) and the
+// sink-side nodes on the other. Every cut edge crosses a SimplexLink, so
+// the minimum propagation delay over the cut links is a strictly positive
+// lookahead — the YAWNS window's safety margin (DESIGN.md §13).
+//
+// Shapes:
+//   shards == 2:  {all source nodes} | {everything else}
+//   shards >= 3:  (shards - 2) contiguous source shards | interior | sinks
+//
+// A request the topology cannot honor — no cut at all, a zero-delay cut
+// link, fewer source nodes than source shards — degrades gracefully: the
+// partition clamps (down to the sequential engine when shards would reach
+// 1) and records why in `note`, rather than failing the run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/sim/time.hpp"
+#include "src/topo/spec.hpp"
+
+namespace burst {
+
+struct LpPartition {
+  /// Effective LP count after clamping; 1 means "run sequentially".
+  int shards = 1;
+  /// Node id -> owning LP (empty when shards == 1).
+  std::vector<int> node_lp;
+  /// Minimum propagation delay over the cut links: the window lookahead.
+  Time lookahead = 0.0;
+  /// Expanded links whose endpoints land in different LPs.
+  int cut_links = 0;
+  /// Human-readable reason whenever shards differs from the request.
+  std::string note;
+
+  int lp_of(int node) const {
+    return shards <= 1 ? 0 : node_lp[static_cast<std::size_t>(node)];
+  }
+};
+
+/// Partitions @p spec into (up to) @p requested LPs. requested <= 1 — and
+/// any spec the shapes above cannot cut with positive lookahead — yields
+/// the sequential partition (shards == 1).
+LpPartition make_lp_partition(const TopoSpec& spec, int requested);
+
+}  // namespace burst

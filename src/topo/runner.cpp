@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <string>
 
+#include "src/sim/parallel/runtime.hpp"
 #include "src/stats/binned_counter.hpp"
 #include "src/stats/fairness.hpp"
 #include "src/topo/builder.hpp"
+#include "src/topo/partition.hpp"
 
 namespace burst {
 
@@ -18,33 +21,58 @@ ExperimentResult run_topo_experiment(const TopoSpec& spec,
   }
 
   const Scenario& sc = spec.scenario;
-  Simulator sim(sc.seed);
-  TopoNet net(sim, spec);
-  if (options.trace != nullptr) net.attach_trace(*options.trace);
+
+  // Single-writer observers (the trace sink, the periodic cwnd sampler)
+  // read one clock and one buffer; they pin the run to the sequential
+  // engine. Beyond that the partitioner itself may decline (no cut, zero
+  // lookahead) — either way part.shards is what the run actually uses.
+  int requested = options.lp_shards;
+  if (options.trace != nullptr || !options.trace_clients.empty()) {
+    requested = 1;
+  }
+  const LpPartition part = make_lp_partition(spec, requested);
+
+  std::unique_ptr<Simulator> seq;
+  std::unique_ptr<ParallelRuntime> rt;
+  std::unique_ptr<TopoNet> net;
+  if (part.shards > 1) {
+    rt = std::make_unique<ParallelRuntime>(part.shards, part.lookahead,
+                                           sc.seed);
+    net = std::make_unique<TopoNet>(*rt, part, spec);
+  } else {
+    seq = std::make_unique<Simulator>(sc.seed);
+    net = std::make_unique<TopoNet>(*seq, spec);
+  }
+  if (options.trace != nullptr) net->attach_trace(*options.trace);
 
   MetricsRegistry registry;
   Histogram& qlen_hist = registry.histogram(
       "queue.measured.len_at_arrival", {0, 1, 2, 4, 8, 16, 32, 64, 128});
   BinnedCounter arrivals(sc.rtt_prop(), sc.warmup);
-  Queue& measured = net.measured_queue();
+  Queue& measured = net->measured_queue();
+  // The tap runs on whichever LP drives the measured link, so it must
+  // read that LP's clock (== the build Simulator when sequential).
+  Simulator& msim = net->measured_sim();
   measured.taps().add_arrival_listener([&](const Packet& p, Time) {
     if (p.type != PacketType::kData) return;
-    arrivals.record(sim.now());
+    arrivals.record(msim.now());
     qlen_hist.add(static_cast<double>(measured.len()));
   });
 
   ExperimentResult result;
   result.scenario = sc;
+  result.lp_shards = part.shards;
   result.cwnd_traces.reserve(options.trace_clients.size());
   for (int c : options.trace_clients) {
     result.cwnd_traces.emplace_back("client " + std::to_string(c + 1));
   }
   std::size_t ti = 0;
   for (int c : options.trace_clients) {
-    if (c >= 0 && c < net.num_flows()) {
-      if (TcpSender* s = net.tcp_sender(c)) {
+    if (c >= 0 && c < net->num_flows()) {
+      if (TcpSender* s = net->tcp_sender(c)) {
         s->set_cwnd_trace(&result.cwnd_traces[ti]);
         if (options.cwnd_sample_period > 0.0) {
+          Simulator& sim = *seq;  // trace_clients clamp to sequential above
           struct Sampler {
             static void arm(Simulator& sim, TcpSender* s, TraceSeries* t,
                             Time period, Time until) {
@@ -63,14 +91,36 @@ ExperimentResult run_topo_experiment(const TopoSpec& spec,
     ++ti;
   }
 
-  net.start_sources();
+  net->start_sources();
   const auto wall0 = std::chrono::steady_clock::now();
-  sim.run(sc.duration);
+  std::uint64_t scheduled = 0;
+  if (rt != nullptr) {
+    rt->run(sc.duration);
+    result.sim_events = rt->total_events();
+    result.peak_pending = rt->max_peak_pending();
+    scheduled = rt->total_scheduled();
+    result.lp_phases.reserve(rt->stats().size());
+    int lp = 0;
+    for (const LpStats& s : rt->stats()) {
+      LpPhase ph;
+      ph.lp = lp++;
+      ph.events = s.events;
+      ph.windows = s.windows;
+      ph.msgs_in = s.msgs_in;
+      ph.msgs_out = s.msgs_out;
+      ph.run_s = s.run_s;
+      ph.wait_s = s.wait_s;
+      result.lp_phases.push_back(ph);
+    }
+  } else {
+    seq->run(sc.duration);
+    result.sim_events = seq->events_run();
+    result.peak_pending = seq->scheduler().peak_pending();
+    scheduled = seq->scheduler().scheduled_count();
+  }
   result.sim_wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
           .count();
-  result.sim_events = sim.events_run();
-  result.peak_pending = sim.scheduler().peak_pending();
   if (result.sim_wall_s > 0.0) {
     result.events_per_sec =
         static_cast<double>(result.sim_events) / result.sim_wall_s;
@@ -95,15 +145,15 @@ ExperimentResult run_topo_experiment(const TopoSpec& spec,
     }
   }
 
-  result.app_generated = net.total_generated();
-  result.delivered = net.total_delivered();
+  result.app_generated = net->total_generated();
+  result.delivered = net->total_delivered();
   const QueueStats& qs = measured.stats();
   result.gw_arrivals = qs.arrivals;
   result.gw_drops = qs.drops;
   result.loss_pct = 100.0 * qs.loss_fraction();
 
-  for (int i = 0; i < net.num_flows(); ++i) {
-    if (const TcpSender* s = net.tcp_sender(i)) {
+  for (int i = 0; i < net->num_flows(); ++i) {
+    if (const TcpSender* s = net->tcp_sender(i)) {
       const TcpSenderStats& st = s->stats();
       result.timeouts += st.timeouts;
       result.fast_retransmits += st.fast_retransmits;
@@ -117,14 +167,14 @@ ExperimentResult run_topo_experiment(const TopoSpec& spec,
         static_cast<double>(result.timeouts) /
         static_cast<double>(std::max<std::uint64_t>(result.dupacks, 1));
   }
-  result.fairness = jain_fairness(net.per_flow_delivered());
-  result.delay = net.pooled_delay();
-  result.routing_errors = net.routing_errors();
+  result.fairness = jain_fairness(net->per_flow_delivered());
+  result.delay = net->pooled_delay();
+  result.routing_errors = net->routing_errors();
 
-  net.register_metrics(registry);
+  net->register_metrics(registry);
   registry.add_counter("sched.events", result.sim_events);
   registry.add_counter("sched.peak_pending", result.peak_pending);
-  registry.add_counter("sched.scheduled", sim.scheduler().scheduled_count());
+  registry.add_counter("sched.scheduled", scheduled);
   result.metrics = registry.snapshot();
   return result;
 }

@@ -94,6 +94,13 @@ PortQueueSpec gateway_port_queue(const Scenario& sc) {
   return q;
 }
 
+Time topo_member_delay(const TopoLinkSpec& l, int j, int count) {
+  if (l.delay_spread <= 0.0 || count < 2) return l.delay;
+  const double position =
+      2.0 * static_cast<double>(j) / static_cast<double>(count - 1) - 1.0;
+  return l.delay * (1.0 + l.delay_spread * position);
+}
+
 TopoSpec make_dumbbell_spec(const Scenario& sc) {
   TopoSpec spec;
   spec.name = "dumbbell";

@@ -103,6 +103,13 @@ struct TopoSpec {
   std::string canonical() const;
 };
 
+/// Expanded member @p j's propagation delay under @p l's delay_spread —
+/// the same expression as Scenario::client_delay_for, evaluated over the
+/// statement's member count. Shared by the builder (link construction)
+/// and the LP partitioner (cut-lookahead computation), which must agree
+/// bit-for-bit.
+Time topo_member_delay(const TopoLinkSpec& l, int j, int count);
+
 /// The paper's Figure 1 dumbbell for @p sc, as a spec. Building this
 /// through TopoNet is bit-identical to the hard-coded Dumbbell class.
 TopoSpec make_dumbbell_spec(const Scenario& sc);

@@ -34,6 +34,8 @@ options:
   --cache-dir=DIR   result cache location         (default: <out>/cache)
   --no-cache        ignore and do not write the result cache
   --threads=N       worker threads                (default: all cores)
+  --lp=N            logical processes per scenario (conservative parallel
+                    engine; default 1 = sequential; salts the cache key)
   --duration=SECS   simulated seconds per run     (default: paper's 20)
   --seed=N          base RNG seed                 (default: 1)
   --only=NAME[,..]  run a subset of the figures, e.g. --only=fig02_cov
@@ -66,6 +68,7 @@ int main(int argc, char** argv) {
   bool quiet = false;
   bool profile = false;
   unsigned threads = 0;
+  int lp_shards = 1;
   std::string only;
   std::string camp_file;
   Scenario base = Scenario::paper_default();
@@ -96,6 +99,12 @@ int main(int argc, char** argv) {
       cache_dir = value;
     } else if (parse_flag(arg, "--threads", &value)) {
       threads = static_cast<unsigned>(std::atoi(value.c_str()));
+    } else if (parse_flag(arg, "--lp", &value)) {
+      lp_shards = std::atoi(value.c_str());
+      if (lp_shards < 1) {
+        std::cerr << "burstcamp: --lp needs a positive integer\n";
+        return 2;
+      }
     } else if (parse_flag(arg, "--duration", &value)) {
       base.duration = std::atof(value.c_str());
     } else if (parse_flag(arg, "--seed", &value)) {
@@ -195,6 +204,7 @@ int main(int argc, char** argv) {
   opts.artifact_dir = out_dir;
   opts.log = quiet ? nullptr : &std::cerr;
   opts.profile = profile;
+  opts.lp_shards = lp_shards;
 
   const CampaignOutput out = run_campaign(sweeps, opts);
 
@@ -229,6 +239,12 @@ int main(int argc, char** argv) {
            fmt(s, 2) + " s (" +
                fmt(total > 0.0 ? 100.0 * s / total : 0.0, 1) + " %)"});
     }
+  }
+  for (const LpPhase& p : st.lp_phases) {
+    rows.push_back({"lp " + std::to_string(p.lp),
+                    std::to_string(p.events) + " events, run " +
+                        fmt(p.run_s, 2) + " s, barrier wait " +
+                        fmt(p.wait_s, 2) + " s"});
   }
   print_table(std::cout, {"campaign", "value"}, rows);
   std::cout.flush();

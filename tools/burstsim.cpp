@@ -1,4 +1,5 @@
 // burstsim: command-line driver for single experiments. See --help.
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -22,6 +23,25 @@ constexpr const char* kTopoUsage =
                     exit; nonzero exit and a file:line:col diagnostic on
                     any error (no simulation)
 )";
+
+// Per-LP phase breakdown from a parallel run: where each logical process
+// spent its wall clock (processing events vs blocked at window barriers).
+void print_lp_phases(std::ostream& os, const burst::ExperimentResult& r) {
+  if (r.lp_phases.empty()) return;
+  std::vector<std::vector<std::string>> rows;
+  for (const burst::LpPhase& p : r.lp_phases) {
+    rows.push_back({"LP " + std::to_string(p.lp), std::to_string(p.events),
+                    std::to_string(p.windows),
+                    std::to_string(p.msgs_in) + " / " +
+                        std::to_string(p.msgs_out),
+                    burst::fmt(p.run_s, 3) + " s",
+                    burst::fmt(p.wait_s, 3) + " s"});
+  }
+  os << '\n' << "parallel engine: " << r.lp_shards << " LPs\n";
+  burst::print_table(
+      os, {"process", "events", "windows", "msgs in/out", "run", "barrier"},
+      rows);
+}
 
 // Writes one export of the structured trace; returns success.
 bool write_trace_file(const burst::TraceSink& sink, const std::string& path,
@@ -88,9 +108,20 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (!topo_file.empty()) {
-    if (!args.empty()) {
-      std::cerr << "burstsim: --scenario only combines with --set=..., got '"
-                << args[0] << "'\n";
+    ExperimentOptions topt;
+    for (const std::string& arg : args) {
+      if (arg.rfind("--lp=", 0) == 0) {
+        const int n = std::atoi(arg.c_str() + 5);
+        if (n < 1) {
+          std::cerr << "burstsim: --lp needs a positive integer\n";
+          return 2;
+        }
+        topt.lp_shards = n;
+        continue;
+      }
+      std::cerr << "burstsim: --scenario only combines with --set=... and "
+                   "--lp=N, got '"
+                << arg << "'\n";
       return 2;
     }
     TopoError terr;
@@ -103,7 +134,7 @@ int main(int argc, char** argv) {
               << " nodes), " << spec->scenario.duration
               << " s simulated, seed " << spec->scenario.seed
               << "\nfingerprint: " << topo_key(*spec).hex() << "\n";
-    const ExperimentResult r = run_topo_experiment(*spec);
+    const ExperimentResult r = run_topo_experiment(*spec, topt);
     print_table(
         std::cout, {"metric", "value"},
         {
@@ -121,6 +152,7 @@ int main(int argc, char** argv) {
             {"Jain fairness", fmt(r.fairness, 4)},
             {"routing errors", std::to_string(r.routing_errors)},
         });
+    print_lp_phases(std::cout, r);
     return 0;
   }
 
@@ -163,6 +195,7 @@ int main(int argc, char** argv) {
           {"duplicate ACKs received", std::to_string(r.dupacks)},
           {"Jain fairness", fmt(r.fairness, 4)},
       });
+  print_lp_phases(std::cout, r);
 
   if (!request->options.trace_clients.empty()) {
     std::cout << '\n';
