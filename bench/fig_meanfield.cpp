@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "src/net/flow_monitor.hpp"
+#include "src/obs/flight_recorder.hpp"
 #include "src/sim/parallel/runtime.hpp"
 #include "src/sim/scheduler.hpp"
 #include "src/sim/simulator.hpp"
@@ -75,6 +76,10 @@ struct BenchRow {
   double queue_fixed_point = 0.0;  // analytic mean-field x* (packets)
   double drop_frac = 0.0;       // measured gateway drop fraction
   double bytes_per_flow = 0.0;  // arena bytes reserved / N
+  // Flight-recorder extras (zero on non-FR rows).
+  std::uint64_t fr_samples = 0;  // samples held at the end of the run
+  std::uint64_t fr_taken = 0;    // snapshots ever taken (pre-decimation)
+  std::uint64_t fr_bytes = 0;    // fixed budget reserved at arm()
 };
 
 BenchRow finish(std::string name, std::uint64_t ops, double wall) {
@@ -143,7 +148,13 @@ Time duration_for(int clients) {
 // occupancy, drops, events — must match the sequential row at the same N
 // (scripts/check_parallel.py enforces events exactly), only the wall
 // clock may differ.
-BenchRow run_meanfield(int clients, int lp_shards = 1) {
+//
+// @p flight attaches the fixed-budget flight recorder (DESIGN.md §14.3):
+// the huge-N observability story. Sampler events DO change the event
+// count (they are real scheduler work), so FR rows are not gated on
+// event exactness — check_parallel.py instead holds their wall clock
+// within 5% of the matching untraced row and their sample budget fixed.
+BenchRow run_meanfield(int clients, int lp_shards = 1, bool flight = false) {
   const Scenario sc = meanfield_scenario(clients, duration_for(clients));
 
   // The budget knob is the point, not a formality: reserve under a hard
@@ -176,6 +187,26 @@ BenchRow run_meanfield(int clients, int lp_shards = 1) {
   FlowMonitor monitor(net->measured_queue());
   monitor.reserve_flows(static_cast<std::size_t>(clients));
 
+  std::unique_ptr<FlightRecorder> fr;
+  if (flight) {
+    // 1024-sample cap: 128 KiB reserved, exactly the 64-flow ceiling
+    // below; the 6 s run then never needs to decimate at the 0.1 s
+    // default cadence.
+    FlightRecorderOptions fopts;
+    fopts.max_samples = 1024;
+    fr = std::make_unique<FlightRecorder>(fopts);
+    fr->observe_queue(&net->measured_queue());
+    if (rt == nullptr) fr->observe_arena(&net->flow_arena());
+    fr->arm(rt != nullptr ? rt->sim(0) : *seq, sc.duration);
+    // The recorder's whole budget must stay negligible next to the arena
+    // it observes — the point of sampling instead of tracing.
+    if (fr->bytes_reserved() > kBudgetPerFlowBytes * 64) {
+      std::cerr << "fig_meanfield: flight-recorder budget "
+                << fr->bytes_reserved() << " B exceeds its ceiling\n";
+      std::exit(1);
+    }
+  }
+
   net->start_sources();
   const double t0 = now_s();
   if (rt != nullptr) {
@@ -189,7 +220,13 @@ BenchRow run_meanfield(int clients, int lp_shards = 1) {
 
   std::string name = "meanfield_n" + std::to_string(clients);
   if (part.shards > 1) name += "_lp" + std::to_string(part.shards);
+  if (flight) name += "_fr";
   BenchRow r = finish(std::move(name), events, wall);
+  if (fr) {
+    r.fr_samples = fr->samples().size();
+    r.fr_taken = fr->taken();
+    r.fr_bytes = fr->bytes_reserved();
+  }
   r.clients = clients;
   r.cov = bins.stats_until(sc.duration).cov();
   r.queue_mean = monitor.queue_at_arrival().mean();
@@ -232,8 +269,13 @@ void write_json(const std::string& path, const std::vector<BenchRow>& rows,
         << ", \"queue_mean\": " << r.queue_mean
         << ", \"queue_fixed_point\": " << r.queue_fixed_point
         << ", \"drop_frac\": " << r.drop_frac
-        << ", \"bytes_per_flow\": " << r.bytes_per_flow << "}"
-        << (i + 1 < rows.size() ? "," : "") << "\n";
+        << ", \"bytes_per_flow\": " << r.bytes_per_flow;
+    if (r.fr_bytes > 0) {
+      out << ", \"fr_samples\": " << r.fr_samples
+          << ", \"fr_taken\": " << r.fr_taken
+          << ", \"fr_bytes\": " << r.fr_bytes;
+    }
+    out << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
   if (!out.flush()) {
@@ -309,6 +351,19 @@ int main(int argc, char** argv) {
       std::cout << r.name << ": events=" << r.ops << " wall=" << r.wall_s
                 << " s cov=" << r.cov << " drop_frac=" << r.drop_frac << "\n";
     }
+  }
+
+  // Flight-recorder rows: the huge-N sampler on the same scenarios
+  // (sequential engine). scripts/check_parallel.py gates their wall clock
+  // at <= 5% over the matching untraced row and their sample budget
+  // fixed — observability at mean-field scale must stay effectively free.
+  for (const int n : grid) {
+    if (n < 10000) continue;
+    rows.push_back(run_meanfield(n, 1, true));
+    const BenchRow& r = rows.back();
+    std::cout << r.name << ": events=" << r.ops << " wall=" << r.wall_s
+              << " s fr_samples=" << r.fr_samples << " fr_taken=" << r.fr_taken
+              << " fr_bytes=" << r.fr_bytes << "\n";
   }
 
   write_json(out_path, rows, smoke);

@@ -346,6 +346,39 @@ BenchRow bench_fig02_lp2(double duration, int repeat) {
   return r;
 }
 
+// The traced run on 2 LPs: each LP records into its own ring, merged at
+// the end of the run (TraceSink::merge_from). Event tracing still adds
+// no scheduler events and consumes no RNG, so (sim_events, delivered)
+// must match the untraced lp2 row — and trace_records must match the
+// sequential traced row's, since the merged view is byte-identical to
+// the lp=1 trace (scripts/check_parallel.py enforces both pairings).
+BenchRow bench_fig02_lp2_traced(double duration, int repeat) {
+  Scenario sc = Scenario::paper_default();
+  sc.num_clients = 60;
+  sc.transport = Transport::kReno;
+  sc.gateway = GatewayQueue::kRed;
+  sc.duration = duration;
+  double best = 1e99;
+  std::uint64_t events = 0, delivered = 0, records = 0;
+  for (int rep = 0; rep < repeat; ++rep) {
+    TraceSink sink;  // merge target; per-LP rings allocated inside the run
+    ExperimentOptions opts;
+    opts.trace = &sink;
+    opts.lp_shards = 2;
+    const double t0 = now_s();
+    const ExperimentResult r = run_experiment(sc, opts);
+    best = std::min(best, now_s() - t0);
+    events = r.sim_events ? r.sim_events : 1;
+    delivered = r.delivered;
+    records = sink.emitted();
+  }
+  BenchRow r = finish("fig02_n60_reno_red_lp2_traced", events, best);
+  r.sim_events = events;
+  r.delivered = delivered;
+  r.trace_records = records;
+  return r;
+}
+
 // The same point with a Profiler installed: per-phase wall attribution.
 // Ungated — the scope clock reads shift absolute wall time, which is the
 // price this row exists to report.
@@ -455,6 +488,7 @@ int main(int argc, char** argv) {
   rows.push_back(bench_fig02_point(exp_duration, repeat));
   rows.push_back(bench_fig02_lp2(exp_duration, repeat));
   rows.push_back(bench_fig02_traced(exp_duration, repeat));
+  rows.push_back(bench_fig02_lp2_traced(exp_duration, repeat));
   rows.push_back(bench_fig02_profiled(exp_duration, repeat));
 
   for (const BenchRow& r : rows) {

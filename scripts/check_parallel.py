@@ -15,7 +15,15 @@ Three kinds of checks:
   delivery one-for-one, so any drift means the engines diverged.
   ``fig02_n60_reno_red_lp2`` is checked against ``fig02_n60_reno_red``
   (sim_events and delivered), and every ``meanfield_nN_lpK`` row against
-  ``meanfield_nN`` (ops).
+  ``meanfield_nN`` (ops). ``fig02_n60_reno_red_lp2_traced`` is checked
+  against ``fig02_n60_reno_red_traced`` on sim_events, delivered AND
+  trace_records: the merged per-LP rings must reproduce the lp=1 trace
+  record-for-record.
+
+* Flight-recorder overhead (within the meanfield file): every
+  ``meanfield_nN_fr`` row's wall must stay within 5% (+0.15 s slack) of
+  its untraced ``meanfield_nN`` twin, with a nonzero fixed sample budget
+  — the huge-N sampler must be effectively free.
 
 * Wall time, normalized by the ``calib_sched_pop_d64`` row of the same
   file and compared per-row against the committed baseline (same scheme
@@ -45,6 +53,16 @@ import sys
 CALIB_ROW = "calib_sched_pop_d64"
 MEANFIELD_LP = re.compile(r"^(meanfield_n\d+)_lp(\d+)$")
 PACKET_LP = re.compile(r"^(fig02_n60_reno_red)_lp(\d+)$")
+# Traced parallel row vs traced sequential row: per-LP rings merged at
+# export must reproduce the lp=1 trace exactly, so record counts (and the
+# untouched packet counters) must be equal.
+PACKET_LP_TRACED = re.compile(r"^(fig02_n60_reno_red)_lp(\d+)_traced$")
+MEANFIELD_FR = re.compile(r"^(meanfield_n\d+)_fr$")
+# Flight-recorder overhead ceiling: wall within 5% of the untraced twin
+# (plus a small absolute slack so sub-second smoke rows don't gate on
+# scheduler noise).
+FR_WALL_RATIO = 1.05
+FR_WALL_SLACK_S = 0.15
 # (sequential row, parallel row, floor) — enforced at full mode only,
 # and only when hw_threads covers the LP count.
 SPEEDUP_FLOORS = [
@@ -68,7 +86,7 @@ def rows_by_name(doc):
     return {row["name"]: row for row in doc.get("results", [])}
 
 
-def check_events_exact(rows, pattern, fields, failures):
+def check_events_exact(rows, pattern, fields, failures, twin_suffix=""):
     """Every parallel row's counters must equal its sequential twin's."""
     found = 0
     for name in sorted(rows):
@@ -76,9 +94,10 @@ def check_events_exact(rows, pattern, fields, failures):
         if not m:
             continue
         found += 1
-        seq = rows.get(m.group(1))
+        twin = m.group(1) + twin_suffix
+        seq = rows.get(twin)
         if seq is None:
-            failures.append(f"{name}: sequential twin {m.group(1)} missing")
+            failures.append(f"{name}: sequential twin {twin} missing")
             continue
         for field in fields:
             c, b = rows[name].get(field), seq.get(field)
@@ -122,6 +141,44 @@ def check_normalized_wall(label, cur, base, threshold, failures):
             )
 
 
+def check_flight_recorder(rows, failures):
+    """FR rows: wall within the overhead ceiling of the untraced twin,
+    sample budget fixed and nonzero."""
+    found = 0
+    for name in sorted(rows):
+        m = MEANFIELD_FR.match(name)
+        if not m:
+            continue
+        found += 1
+        row, seq = rows[name], rows.get(m.group(1))
+        if seq is None:
+            failures.append(f"{name}: untraced twin {m.group(1)} missing")
+            continue
+        # Overhead = fr wall vs untraced wall; both rows came from the
+        # same invocation on the same machine, so the raw ratio is fair.
+        ok_wall = row["wall_s"] <= seq["wall_s"] * FR_WALL_RATIO + FR_WALL_SLACK_S
+        ok_budget = row.get("fr_bytes", 0) > 0 and row.get("fr_samples", 0) > 0
+        overhead = (
+            (row["wall_s"] / seq["wall_s"] - 1) * 100 if seq["wall_s"] else 0.0
+        )
+        print(
+            f"  {name}: wall {row['wall_s']:.3f} s vs untraced"
+            f" {seq['wall_s']:.3f} s ({overhead:+.1f}%),"
+            f" {row.get('fr_samples', 0)} samples in"
+            f" {row.get('fr_bytes', 0)} B"
+            f" {'ok' if ok_wall and ok_budget else 'REGRESSION'}"
+        )
+        if not ok_wall:
+            failures.append(
+                f"{name}: wall {row['wall_s']:.3f} s exceeds untraced twin's "
+                f"{seq['wall_s']:.3f} s by more than "
+                f"{(FR_WALL_RATIO - 1) * 100:.0f}% (+{FR_WALL_SLACK_S} s slack)"
+            )
+        if not ok_budget:
+            failures.append(f"{name}: flight-recorder budget/sample fields absent")
+    return found
+
+
 def check_speedup(doc, rows, failures):
     if doc.get("mode") != "full":
         print("  speedup floors: smoke mode — skipped (full-size rows only)")
@@ -148,14 +205,15 @@ def check_speedup(doc, rows, failures):
             )
 
 
-def baseline_subset(rows, pattern):
-    """Calibration + parallel rows + their sequential twins."""
+def baseline_subset(rows, patterns):
+    """Calibration + parallel/traced/fr rows + their sequential twins."""
     keep = {CALIB_ROW}
     for name in rows:
-        m = pattern.match(name)
-        if m:
-            keep.add(name)
-            keep.add(m.group(1))
+        for pattern, twin_suffix in patterns:
+            m = pattern.match(name)
+            if m:
+                keep.add(name)
+                keep.add(m.group(1) + twin_suffix)
     return [rows[n] for n in sorted(keep) if n in rows]
 
 
@@ -194,8 +252,12 @@ def main():
         doc = {
             "bench": "parallel",
             "schema": 1,
-            "packet_path": baseline_subset(pp, PACKET_LP),
-            "meanfield": baseline_subset(mf, MEANFIELD_LP),
+            "packet_path": baseline_subset(
+                pp, [(PACKET_LP, ""), (PACKET_LP_TRACED, "_traced")]
+            ),
+            "meanfield": baseline_subset(
+                mf, [(MEANFIELD_LP, ""), (MEANFIELD_FR, "")]
+            ),
         }
         with open(args.write_baseline, "w", encoding="utf-8") as f:
             json.dump(doc, f, indent=2)
@@ -213,6 +275,22 @@ def main():
         failures.append("no fig02 lp rows found in the packet_path file")
     if n_mf == 0:
         failures.append("no meanfield lp rows found in the meanfield file")
+
+    print("traced lp rows (merged trace vs sequential traced twin):")
+    n_tr = check_events_exact(
+        pp,
+        PACKET_LP_TRACED,
+        ("sim_events", "delivered", "trace_records"),
+        failures,
+        twin_suffix="_traced",
+    )
+    if n_tr == 0:
+        failures.append("no traced lp rows found in the packet_path file")
+
+    print("flight-recorder overhead (fr rows vs untraced twin):")
+    n_fr = check_flight_recorder(mf, failures)
+    if n_fr == 0:
+        failures.append("no flight-recorder rows found in the meanfield file")
 
     base_pp = base_mf = None
     try:

@@ -5,12 +5,16 @@ Usage:
     python3 scripts/validate_trace.py TRACE.jsonl [--max-errors=N]
 
 Implements the schema's contract with no third-party dependencies (the
-repository is dependency-free beyond the C++ toolchain): required keys,
-no unknown keys, per-field types/ranges, the type-token enum, the
-cc_state_change <-> "state" pairing, and nondecreasing timestamps (the
-export is sorted by simulated time). Exits 0 when the trace is valid.
+repository is dependency-free beyond the C++ toolchain). A line is either
+a packet/transport trace event (TraceSink export) or a flight-recorder
+sample (FlightRecorder export), discriminated by the "type" token; both
+families are checked for required keys, no unknown keys, per-field
+types/ranges, the cc_state_change <-> "state" pairing, the fr_sample
+histogram shape, and nondecreasing timestamps (every export is sorted by
+simulated time). Exits 0 when the trace is valid.
 
-CI runs this on a small traced scenario; see .github/workflows/ci.yml.
+CI runs this on small traced scenarios (sequential, --lp=2, and a
+flight-recorded run); see .github/workflows/ci.yml.
 """
 import json
 import pathlib
@@ -19,24 +23,95 @@ import sys
 SCHEMA_PATH = pathlib.Path(__file__).resolve().parent / "trace_event.schema.json"
 
 REQUIRED = ("t", "type", "site", "flow", "seq", "value", "aux", "detail")
-OPTIONAL = ("state",)
+OPTIONAL = ("state", "lp")
+FR_REQUIRED = (
+    "t",
+    "type",
+    "lp",
+    "interval",
+    "qlen",
+    "red_avg",
+    "events",
+    "arrivals",
+    "drops",
+    "cov",
+    "cwnd_mean",
+    "cwnd_max",
+    "cwnd_hist",
+)
+FR_HIST_BINS = 12
 
 
-def load_type_tokens():
-    """The TraceEventType enum, read from the schema so the two files
-    cannot drift apart silently."""
+def load_schema_contract():
+    """The TraceEventType enum and fr_sample key list, read from the
+    schema so the two files cannot drift apart silently."""
     with SCHEMA_PATH.open() as f:
         schema = json.load(f)
-    tokens = schema["properties"]["type"]["enum"]
+    defs = schema["definitions"]
+    tokens = defs["trace_event"]["properties"]["type"]["enum"]
     assert tokens, "schema lost its type enum"
+    fr_required = defs["fr_sample"]["required"]
+    assert tuple(fr_required) == FR_REQUIRED, (
+        "schema fr_sample required keys drifted from validate_trace.py"
+    )
+    bins = defs["fr_sample"]["properties"]["cwnd_hist"]["minItems"]
+    assert bins == FR_HIST_BINS, "schema cwnd_hist bin count drifted"
     return set(tokens)
 
 
-def check_record(rec, tokens):
-    """Yields error strings for one parsed record."""
-    if not isinstance(rec, dict):
-        yield "record is not a JSON object"
-        return
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def is_integer(v):
+    return isinstance(v, int) and not isinstance(v, bool)
+
+
+def check_fr_sample(rec):
+    """Yields error strings for one parsed fr_sample record."""
+    for key in FR_REQUIRED:
+        if key not in rec:
+            yield f"missing required key '{key}'"
+    for key in rec:
+        if key not in FR_REQUIRED:
+            yield f"unknown key '{key}'"
+
+    for key, lo in (("t", 0), ("qlen", 0), ("red_avg", -1), ("cov", 0),
+                    ("cwnd_mean", 0), ("cwnd_max", 0)):
+        v = rec.get(key)
+        if v is None:
+            continue
+        if not is_number(v):
+            yield f"'{key}' is not a number"
+        elif v < lo:
+            yield f"'{key}' out of range ({v})"
+
+    interval = rec.get("interval")
+    if interval is not None:
+        if not is_number(interval):
+            yield "'interval' is not a number"
+        elif interval <= 0:
+            yield f"'interval' is not positive ({interval})"
+
+    for key in ("lp", "events", "arrivals", "drops"):
+        v = rec.get(key)
+        if v is None:
+            continue
+        if not is_integer(v):
+            yield f"'{key}' is not an integer"
+        elif v < 0:
+            yield f"'{key}' is negative ({v})"
+
+    hist = rec.get("cwnd_hist")
+    if hist is not None:
+        if not isinstance(hist, list) or len(hist) != FR_HIST_BINS:
+            yield f"'cwnd_hist' is not a {FR_HIST_BINS}-element array"
+        elif any(not is_integer(b) or b < 0 for b in hist):
+            yield "'cwnd_hist' holds a non-counter element"
+
+
+def check_trace_event(rec, tokens):
+    """Yields error strings for one parsed trace-event record."""
     for key in REQUIRED:
         if key not in rec:
             yield f"missing required key '{key}'"
@@ -45,7 +120,7 @@ def check_record(rec, tokens):
             yield f"unknown key '{key}'"
 
     t = rec.get("t")
-    if not isinstance(t, (int, float)) or isinstance(t, bool):
+    if not is_number(t):
         yield "'t' is not a number"
     elif t < 0:
         yield f"'t' is negative ({t})"
@@ -61,9 +136,11 @@ def check_record(rec, tokens):
         yield "'site' is not a non-empty string"
 
     for key, lo, hi in (("flow", -1, None), ("seq", -1, None),
-                        ("detail", 0, 65535)):
+                        ("detail", 0, 65535), ("lp", 0, 255)):
         v = rec.get(key)
-        if not isinstance(v, int) or isinstance(v, bool):
+        if v is None and key == "lp":
+            continue  # lp is optional on trace events
+        if not is_integer(v):
             yield f"'{key}' is not an integer"
             continue
         if v < lo or (hi is not None and v > hi):
@@ -71,7 +148,7 @@ def check_record(rec, tokens):
 
     for key in ("value", "aux"):
         v = rec.get(key)
-        if not isinstance(v, (int, float)) or isinstance(v, bool):
+        if not is_number(v):
             yield f"'{key}' is not a number"
 
     state = rec.get("state")
@@ -82,8 +159,19 @@ def check_record(rec, tokens):
             yield "'state' is not a non-empty string"
 
 
+def check_record(rec, tokens):
+    """Yields error strings for one parsed record of either family."""
+    if not isinstance(rec, dict):
+        yield "record is not a JSON object"
+        return
+    if rec.get("type") == "fr_sample":
+        yield from check_fr_sample(rec)
+    else:
+        yield from check_trace_event(rec, tokens)
+
+
 def validate(path, max_errors):
-    tokens = load_type_tokens()
+    tokens = load_schema_contract()
     errors = 0
     records = 0
     prev_t = None

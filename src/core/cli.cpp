@@ -185,6 +185,31 @@ bool apply_option(const std::string& key, const std::string& value,
     req->trace_path = value;
     return true;
   }
+  if (key == "fr-out") {
+    if (!need("path stem")) return false;
+    req->fr_path = value;
+    return true;
+  }
+  if (key == "fr-period") {
+    double p = 0.0;
+    if (!need("seconds") || !parse_double(value, &p) || !(p > 0.0)) {
+      return fail(error, "--fr-period needs a positive number of seconds");
+    }
+    req->fr_period = p;
+    return true;
+  }
+  if (key == "fr-cap") {
+    int n = 0;
+    if (!need("samples") || !parse_int(value, &n) || n < 2) {
+      return fail(error, "--fr-cap needs an integer sample budget >= 2");
+    }
+    req->fr_cap = n;
+    return true;
+  }
+  if (key == "profile") {
+    req->profile = true;
+    return true;
+  }
   return fail(error, "unknown option --" + key);
 }
 
@@ -247,11 +272,20 @@ std::string cli_usage() {
       "  --red-min=X --red-max=X --red-maxp=X   RED parameters\n"
       "  --lp=N                 logical processes for the conservative\n"
       "                         parallel engine (default 1 = sequential;\n"
-      "                         traced runs clamp back to 1)\n"
+      "                         --trace still clamps back to 1)\n"
       "  --trace=i,j,...        record cwnd of these clients\n"
       "  --csv=PATH             write traced cwnds as CSV\n"
       "  --trace-out=PATH       structured event trace: writes PATH.jsonl\n"
-      "                         and PATH.perfetto.json (open in Perfetto)\n"
+      "                         and PATH.perfetto.json (open in Perfetto);\n"
+      "                         with --lp>1 each LP records its own ring,\n"
+      "                         merged byte-identically to the lp=1 files,\n"
+      "                         plus PATH.runtime.perfetto.json (per-LP\n"
+      "                         barrier/run timeline)\n"
+      "  --fr-out=PATH          flight recorder (huge-N sampler): writes\n"
+      "                         PATH.csv and PATH.jsonl\n"
+      "  --fr-period=S          flight-recorder cadence   (default 0.1)\n"
+      "  --fr-cap=N             flight-recorder sample budget (default 4096)\n"
+      "  --profile              per-LP phase table (windows=0 when lp=1)\n"
       "  --help                 this text\n";
 }
 

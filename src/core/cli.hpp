@@ -17,7 +17,13 @@ struct CliRequest {
   ExperimentOptions options;
   std::string csv_path;    // if non-empty, write cwnd traces as CSV here
   std::string trace_path;  // if non-empty, attach a TraceSink and write
-                           // <path>.jsonl + <path>.perfetto.json
+                           // <path>.jsonl + <path>.perfetto.json (and, for
+                           // parallel runs, <path>.runtime.perfetto.json)
+  std::string fr_path;     // if non-empty, attach a FlightRecorder and
+                           // write <path>.csv + <path>.jsonl
+  double fr_period = 0.1;  // flight-recorder cadence (simulated seconds)
+  int fr_cap = 4096;       // flight-recorder sample budget
+  bool profile = false;    // print the per-LP phase table even when lp=1
   bool show_help = false;
 };
 

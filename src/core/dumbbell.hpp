@@ -86,6 +86,8 @@ class Dumbbell {
   }
   /// One-way data-path delay pooled across all sinks.
   RunningStats pooled_delay() const { return net_.pooled_delay(); }
+  /// The per-flow SoA state block (flight-recorder cwnd histograms).
+  const FlowArena& flow_arena() const { return net_.flow_arena(); }
   /// Sum of routing errors across all nodes (must stay 0; tests assert).
   std::uint64_t routing_errors() const { return net_.routing_errors(); }
 

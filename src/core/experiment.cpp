@@ -5,6 +5,7 @@
 #include <string>
 
 #include "src/core/dumbbell.hpp"
+#include "src/obs/flight_recorder.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/stats/binned_counter.hpp"
 #include "src/stats/fairness.hpp"
@@ -16,10 +17,11 @@ namespace burst {
 ExperimentResult run_experiment(const Scenario& scenario,
                                 const ExperimentOptions& options) {
   // Parallel runs go through the generic TopoNet pipeline, which knows how
-  // to shard a spec across LPs. Runs with single-thread observers attached
-  // stay on this sequential path (the request clamps to one LP).
-  if (options.lp_shards > 1 && options.trace == nullptr &&
-      options.trace_clients.empty()) {
+  // to shard a spec across LPs — including traced runs, whose per-LP rings
+  // merge deterministically at export. Only the periodic cwnd sampler
+  // (trace_clients) still pins the run to this sequential path: it
+  // schedules its own events on the build Simulator.
+  if (options.lp_shards > 1 && options.trace_clients.empty()) {
     return run_topo_experiment(make_dumbbell_spec(scenario), options,
                                /*force_generic=*/true);
   }
@@ -27,6 +29,11 @@ ExperimentResult run_experiment(const Scenario& scenario,
   Simulator sim(scenario.seed);
   Dumbbell net(sim, scenario);
   if (options.trace != nullptr) net.attach_trace(*options.trace);
+  if (options.flight != nullptr) {
+    options.flight->observe_queue(&net.bottleneck_queue());
+    options.flight->observe_arena(&net.flow_arena());
+    options.flight->arm(sim, scenario.duration);
+  }
 
   // Tap data-packet arrivals at the bottleneck queue into RTT-wide bins,
   // and the pre-enqueue occupancy each one sees into a metrics histogram

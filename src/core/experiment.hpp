@@ -15,6 +15,8 @@
 
 namespace burst {
 
+class FlightRecorder;
+
 struct ExperimentOptions {
   /// Client indices whose congestion windows should be traced.
   std::vector<int> trace_clients;
@@ -34,10 +36,18 @@ struct ExperimentOptions {
   /// per-shard-count but may order exact same-instant ties differently
   /// than lp=1, so the scenario key is salted with this field whenever it
   /// exceeds 1 (the result cache must never mix shard counts). Requests
-  /// the topology cannot honor (no cut, zero lookahead) and runs with
-  /// single-thread observers attached (trace, cwnd sampling) clamp back
-  /// to 1.
+  /// the topology cannot honor (no cut, zero lookahead) and runs with the
+  /// periodic cwnd sampler attached (trace_clients) clamp back to 1;
+  /// event tracing shards fine — each LP records into a private ring and
+  /// the rings merge deterministically at export (DESIGN.md §14).
   int lp_shards = 1;
+  /// Optional fixed-budget streaming sampler for huge-N runs (DESIGN.md
+  /// §14.3). When non-null it is wired to the measured queue, the flow
+  /// arena (sequential engine only) and the driving Simulator, and armed
+  /// for the scenario duration. Unlike `trace` it schedules its own
+  /// periodic sampling events, so a flight-recorded run is NOT
+  /// event-count-identical to a bare one (wall overhead is gated ≤5%).
+  FlightRecorder* flight = nullptr;
 };
 
 /// Per-logical-process accounting from a parallel run (DESIGN.md §13's
@@ -49,8 +59,32 @@ struct LpPhase {
   std::uint64_t windows = 0;   // conservative windows it participated in
   std::uint64_t msgs_in = 0;   // cross-LP packets received
   std::uint64_t msgs_out = 0;  // cross-LP packets sent
+  /// Inbound merge high-water mark (most messages staged in one window).
+  std::uint64_t merge_high_water = 0;
+  /// Posts that spilled past a channel ring, and the outbound ring
+  /// high-water mark (timing-dependent, profile display only).
+  std::uint64_t chan_overflows = 0;
+  std::uint64_t chan_high_water = 0;
+  /// Mean safe-horizon advance per busy window (simulated seconds).
+  Time horizon_advance_mean = 0.0;
   double run_s = 0.0;          // wall seconds processing events / merging
   double wait_s = 0.0;         // wall seconds blocked at window barriers
+};
+
+/// One conservative window as one LP saw it (flattened copy of the
+/// runtime's LpWindowSample, kept core-local so this header does not pull
+/// in the thread runtime). Only filled for traced parallel runs; wall
+/// offsets are machine-dependent and never persisted.
+struct LpWindowPhase {
+  int lp = 0;
+  Time gmin = 0.0;            // the window's global lower bound
+  double t0_s = 0.0;          // wall offset of the window start
+  double pub_wait_s = 0.0;    // blocked at the publish barrier
+  double run_s = 0.0;         // executing events below the safe horizon
+  double flush_wait_s = 0.0;  // blocked at the flush barrier
+  double merge_s = 0.0;       // draining + inserting inbound messages
+  std::uint64_t events = 0;   // cumulative events after this window
+  std::uint32_t staged = 0;   // messages merged in this window
 };
 
 struct ExperimentResult {
@@ -115,6 +149,10 @@ struct ExperimentResult {
   int lp_shards = 1;
   /// One row per LP when lp_shards > 1 (empty otherwise). Not persisted.
   std::vector<LpPhase> lp_phases;
+  /// Per-window runtime timeline, filled only for traced parallel runs
+  /// (the runtime's window log is opt-in); feeds the `.runtime.perfetto`
+  /// export with one thread track per LP. Not persisted.
+  std::vector<LpWindowPhase> lp_windows;
 };
 
 /// Builds the dumbbell, runs for scenario.duration and collects metrics.

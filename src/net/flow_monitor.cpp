@@ -66,7 +66,9 @@ void FlowMonitor::close_event() const {
       r.value = static_cast<double>(open_event_flows_.size());
       r.aux = last_drop_ - open_event_start_;  // cluster duration
       r.seq = static_cast<std::int64_t>(open_event_drops_);
-      trace_->emit(r);
+      // Emitted after the fact (at cluster close), so it must carry the
+      // aggregate stamp for the multi-LP merge to place it correctly.
+      trace_->emit_aggregate(r);
     }
     open_event_flows_.clear();
   }

@@ -78,7 +78,7 @@ std::uint16_t TraceSink::intern_state(std::string_view name) {
   return static_cast<std::uint16_t>(states_.size() - 1);
 }
 
-std::vector<TraceRecord> TraceSink::ordered() const {
+std::vector<TraceRecord> TraceSink::unrolled() const {
   std::vector<TraceRecord> out;
   out.reserve(size());
   if (emitted_ >= ring_.size()) {
@@ -91,6 +91,11 @@ std::vector<TraceRecord> TraceSink::ordered() const {
     out.insert(out.end(), ring_.begin(),
                ring_.begin() + static_cast<std::ptrdiff_t>(head_));
   }
+  return out;
+}
+
+std::vector<TraceRecord> TraceSink::ordered() const {
+  std::vector<TraceRecord> out = unrolled();
   // Emission order is execution order, which is time order except for
   // lazily-closed aggregate records; stable sort preserves same-instant
   // emission order (the scheduler's deterministic tie-break).
@@ -99,6 +104,53 @@ std::vector<TraceRecord> TraceSink::ordered() const {
                      return a.time < b.time;
                    });
   return out;
+}
+
+void TraceSink::merge_from(const std::vector<const TraceSink*>& parts) {
+  std::vector<TraceRecord> all;
+  {
+    std::size_t total = 0;
+    for (const TraceSink* p : parts) total += p->size();
+    all.reserve(total);
+  }
+  // Remap every part's site/state ids by name. Processing parts in LP
+  // order keeps this sink's registries equal to the sequential run's when
+  // LP 0 interns everything (the dumbbell split), and deterministic
+  // regardless.
+  for (const TraceSink* p : parts) {
+    std::vector<std::uint8_t> site_map(p->sites_.size(), 0);
+    for (std::size_t i = 0; i < p->sites_.size(); ++i) {
+      site_map[i] = register_site(p->sites_[i]);
+    }
+    std::vector<std::uint16_t> state_map(p->states_.size(), 0);
+    for (std::size_t i = 0; i < p->states_.size(); ++i) {
+      state_map[i] = intern_state(p->states_[i]);
+    }
+    for (const TraceRecord& r : p->unrolled()) {
+      TraceRecord m = r;
+      m.site = r.site < site_map.size() ? site_map[r.site] : 0;
+      if (m.type == TraceEventType::kCcStateChange &&
+          r.detail < state_map.size()) {
+        m.detail = state_map[r.detail];
+      }
+      all.push_back(m);
+    }
+  }
+  // The scheduler key: execution time, then the executing event's
+  // tie-break instant (replayed across LPs by schedule_at_as_of). Stable
+  // over the LP-concatenated input, so within-LP emission order breaks
+  // any residual tie exactly as the per-LP schedulers did.
+  std::stable_sort(all.begin(), all.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.tie < b.tie;
+                   });
+  for (const TraceRecord& r : all) {
+    // Already stamped by the originating sink; bypass the stamping emit.
+    ring_[head_] = r;
+    if (++head_ == ring_.size()) head_ = 0;
+    ++emitted_;
+  }
 }
 
 bool TraceSink::write_jsonl(std::ostream& os) const {

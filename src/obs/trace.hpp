@@ -52,19 +52,24 @@ enum class TraceEventType : std::uint8_t {
 /// Stable lowercase token for exports ("queue_drop", "cwnd_change", ...).
 std::string_view to_string(TraceEventType t);
 
-/// One trace record: a compact POD (40 bytes) so a multi-million-event
+/// One trace record: a compact POD (56 bytes) so a multi-million-event
 /// run rings through cheaply. Field meaning depends on `type` (see the
 /// enum); `site` indexes TraceSink's site registry, `detail` is a small
 /// type-specific discriminant (packet kind, drop reason, state id).
+/// `tie` and `lp` are stamped by the sink itself (see TraceSink::emit):
+/// they never appear in exports, they exist so per-LP rings merge back
+/// into the sequential emission order (DESIGN.md §14).
 struct TraceRecord {
   Time time = 0.0;
   double value = 0.0;
   double aux = 0.0;
+  Time tie = 0.0;  // executing event's scheduler tie-break instant
   std::int64_t seq = -1;
   std::int32_t flow = -1;
   TraceEventType type = TraceEventType::kSourceEmit;
   std::uint8_t site = 0;
   std::uint16_t detail = 0;
+  std::uint8_t lp = 0;  // logical process that emitted the record
 };
 
 /// `detail` bit layout for packet-lifecycle records (queue/link/source):
@@ -89,9 +94,38 @@ class TraceSink {
   /// and returns its id for TraceRecord::detail on kCcStateChange.
   std::uint16_t intern_state(std::string_view name);
 
+  /// Binds the stamp every emitted record carries: @p tie_clock is the
+  /// owning Simulator's executing-event tie-break instant (stable address,
+  /// see Simulator::tie_clock) and @p lp the logical process this sink
+  /// records for. Unset, records are stamped tie = their own time and
+  /// lp = 0, which is exact for a single-LP run.
+  void set_stamp(const Time* tie_clock, std::uint8_t lp) {
+    tie_clock_ = tie_clock;
+    lp_ = lp;
+  }
+
+  std::uint8_t lp() const { return lp_; }
+
   /// Appends a record; overwrites the oldest when the ring is full.
   void emit(const TraceRecord& r) {
-    ring_[head_] = r;
+    TraceRecord& slot = ring_[head_];
+    slot = r;
+    slot.tie = tie_clock_ != nullptr ? *tie_clock_ : r.time;
+    slot.lp = lp_;
+    if (++head_ == ring_.size()) head_ = 0;
+    ++emitted_;
+  }
+
+  /// Appends a lazily-closed aggregate (a record emitted AFTER its logical
+  /// timestamp, like FlowMonitor's congestion events). Stamped with
+  /// tie = kTimeNever so merge_from() sorts it after every same-instant
+  /// live record — exactly where the sequential engine's late emission
+  /// plus stable time sort lands it.
+  void emit_aggregate(const TraceRecord& r) {
+    TraceRecord& slot = ring_[head_];
+    slot = r;
+    slot.tie = kTimeNever;
+    slot.lp = lp_;
     if (++head_ == ring_.size()) head_ = 0;
     ++emitted_;
   }
@@ -107,6 +141,8 @@ class TraceSink {
     return emitted_ < ring_.size() ? static_cast<std::size_t>(emitted_)
                                    : ring_.size();
   }
+  /// Ring capacity in records (what the constructor reserved).
+  std::size_t capacity() const { return ring_.size(); }
 
   const std::vector<std::string>& sites() const { return sites_; }
   const std::vector<std::string>& states() const { return states_; }
@@ -117,6 +153,18 @@ class TraceSink {
   /// this is a near-no-op stable sort.
   std::vector<TraceRecord> ordered() const;
 
+  /// Deterministic multi-LP merge: appends every part's held records into
+  /// this sink in (time, tie) order — the same scheduler-key discipline
+  /// the parallel runtime's merge_inbound uses — remapping site and
+  /// CC-state ids by NAME into this sink's registries (each part interns
+  /// independently). Within an LP, same-instant emissions already pop in
+  /// nondecreasing tie order, and cross-LP deliveries replay the
+  /// producer's tie (Simulator::schedule_at_as_of), so the merged order
+  /// reproduces the sequential engine's emission order and the exports
+  /// are byte-identical to a 1-LP run (tests/trace_merge_test.cpp).
+  /// Call once, on a sink that has not recorded; parts stay untouched.
+  void merge_from(const std::vector<const TraceSink*>& parts);
+
   /// One JSON object per line; schema in scripts/trace_event.schema.json.
   bool write_jsonl(std::ostream& os) const;
 
@@ -125,9 +173,14 @@ class TraceSink {
   bool write_chrome_trace(std::ostream& os) const;
 
  private:
+  /// The held records in emission order (ring unrolled, no sort).
+  std::vector<TraceRecord> unrolled() const;
+
   std::vector<TraceRecord> ring_;
   std::size_t head_ = 0;
   std::uint64_t emitted_ = 0;
+  const Time* tie_clock_ = nullptr;
+  std::uint8_t lp_ = 0;
   std::vector<std::string> sites_;
   std::vector<std::string> states_;
 };

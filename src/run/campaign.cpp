@@ -134,6 +134,7 @@ CampaignOutput run_campaign(const std::vector<CampaignSweep>& sweeps,
     std::mutex profile_mu;
     Profiler profile_total;
     std::vector<LpPhase> lp_totals;
+    std::vector<std::uint64_t> lp_scenarios;  // contributing runs per LP
     // Log at most ~20 progress lines regardless of batch size, and flush
     // each one: on a pipe or CI log nothing shows up otherwise.
     const std::size_t stride = std::max<std::size_t>(1, misses.size() / 20);
@@ -167,6 +168,7 @@ CampaignOutput run_campaign(const std::vector<CampaignSweep>& sweeps,
         std::lock_guard<std::mutex> lk(profile_mu);
         if (lp_totals.size() < results[ui].lp_phases.size()) {
           lp_totals.resize(results[ui].lp_phases.size());
+          lp_scenarios.resize(results[ui].lp_phases.size(), 0);
         }
         for (std::size_t lp = 0; lp < results[ui].lp_phases.size(); ++lp) {
           const LpPhase& p = results[ui].lp_phases[lp];
@@ -175,8 +177,18 @@ CampaignOutput run_campaign(const std::vector<CampaignSweep>& sweeps,
           lp_totals[lp].windows += p.windows;
           lp_totals[lp].msgs_in += p.msgs_in;
           lp_totals[lp].msgs_out += p.msgs_out;
+          // High-water marks take the campaign-wide max; overflows sum;
+          // the mean horizon advance accumulates here and is divided by
+          // lp_scenarios once the batch completes.
+          lp_totals[lp].merge_high_water =
+              std::max(lp_totals[lp].merge_high_water, p.merge_high_water);
+          lp_totals[lp].chan_high_water =
+              std::max(lp_totals[lp].chan_high_water, p.chan_high_water);
+          lp_totals[lp].chan_overflows += p.chan_overflows;
+          lp_totals[lp].horizon_advance_mean += p.horizon_advance_mean;
           lp_totals[lp].run_s += p.run_s;
           lp_totals[lp].wait_s += p.wait_s;
+          ++lp_scenarios[lp];
         }
       }
       simulated.fetch_add(1, std::memory_order_relaxed);
@@ -224,6 +236,12 @@ CampaignOutput run_campaign(const std::vector<CampaignSweep>& sweeps,
     for (std::size_t ph = 0; ph < kProfilePhases; ++ph) {
       out.stats.phase_seconds[ph] =
           profile_total.seconds(static_cast<ProfilePhase>(ph));
+    }
+    for (std::size_t lp = 0; lp < lp_totals.size(); ++lp) {
+      if (lp_scenarios[lp] > 0) {
+        lp_totals[lp].horizon_advance_mean /=
+            static_cast<double>(lp_scenarios[lp]);
+      }
     }
     out.stats.lp_phases = std::move(lp_totals);
     out.stats.simulated = simulated.load();
@@ -328,7 +346,12 @@ CampaignOutput run_campaign(const std::vector<CampaignSweep>& sweeps,
         }
         const std::string path = opts.artifact_dir + "/metrics.csv";
         std::ofstream mcsv(path, std::ios::trunc);
-        mcsv << "key,num_clients,seed";
+        // hw_threads/lp_shards describe the execution environment, not
+        // the scenario: constant per invocation, but recorded per row so
+        // concatenated CSVs from different machines stay self-describing.
+        const unsigned hw_threads =
+            std::max(1u, std::thread::hardware_concurrency());
+        mcsv << "key,num_clients,seed,hw_threads,lp_shards";
         for (const auto& [name, kind] : columns) {
           if (kind == MetricKind::kHistogram) {
             mcsv << ',' << name << ".count," << name << ".sum";
@@ -341,7 +364,8 @@ CampaignOutput run_campaign(const std::vector<CampaignSweep>& sweeps,
         for (std::size_t i = 0; i < results.size(); ++i) {
           const ExperimentResult& r = results[i];
           mcsv << unique_keys[i].hex() << ',' << r.scenario.num_clients << ','
-               << r.scenario.seed;
+               << r.scenario.seed << ',' << hw_threads << ','
+               << opts.lp_shards;
           for (const auto& [name, kind] : columns) {
             const MetricPoint* m = r.metrics.find(name);
             if (kind == MetricKind::kHistogram) {
@@ -396,14 +420,22 @@ CampaignOutput run_campaign(const std::vector<CampaignSweep>& sweeps,
       }
       mf << "}";
       // Parallel-engine accounting: one row per logical process, summed
-      // over the scenarios simulated by this invocation.
-      mf << ", \"lp_shards\": " << opts.lp_shards << ", \"lp_phases\": [";
+      // over the scenarios simulated by this invocation (high-water marks
+      // are maxima, horizon_advance_mean averages over scenarios).
+      mf << ", \"hw_threads\": "
+         << std::max(1u, std::thread::hardware_concurrency())
+         << ", \"lp_shards\": " << opts.lp_shards << ", \"lp_phases\": [";
       for (std::size_t lp = 0; lp < out.stats.lp_phases.size(); ++lp) {
         const LpPhase& p = out.stats.lp_phases[lp];
         mf << (lp ? ", " : "") << "{\"lp\": " << p.lp
            << ", \"events\": " << p.events << ", \"windows\": " << p.windows
            << ", \"msgs_in\": " << p.msgs_in
-           << ", \"msgs_out\": " << p.msgs_out << ", \"run_s\": " << p.run_s
+           << ", \"msgs_out\": " << p.msgs_out
+           << ", \"merge_high_water\": " << p.merge_high_water
+           << ", \"chan_high_water\": " << p.chan_high_water
+           << ", \"chan_overflows\": " << p.chan_overflows
+           << ", \"horizon_advance_mean\": " << p.horizon_advance_mean
+           << ", \"run_s\": " << p.run_s
            << ", \"wait_s\": " << p.wait_s << "}";
       }
       mf << "]},\n";

@@ -54,7 +54,7 @@ void ParallelRuntime::register_cut_link(SimplexLink* link, int from_lp,
   link->set_remote_egress(chan);
 }
 
-void ParallelRuntime::merge_inbound(int id) {
+std::size_t ParallelRuntime::merge_inbound(int id) {
   Lp& lp = *lps_[static_cast<std::size_t>(id)];
   std::vector<Staged>& staged = staged_[static_cast<std::size_t>(id)];
   staged.clear();
@@ -64,7 +64,7 @@ void ParallelRuntime::merge_inbound(int id) {
       staged.push_back(Staged{e, cid});
     });
   }
-  if (staged.empty()) return;
+  if (staged.empty()) return 0;
   // Canonical merge order: the scheduler key, then the producer-side
   // causality stamps that reproduce the sequential engine's same-instant
   // FIFO order across producer LPs (see RemoteKey in link.hpp), then the
@@ -111,7 +111,10 @@ void ParallelRuntime::merge_inbound(int id) {
               if (a.chan != b.chan) return a.chan < b.chan;
               return a.e.seq < b.e.seq;
             });
-  stats_[static_cast<std::size_t>(id)].msgs_in += staged.size();
+  LpStats& st = stats_[static_cast<std::size_t>(id)];
+  st.msgs_in += staged.size();
+  st.merge_high_water = std::max(st.merge_high_water,
+                                 static_cast<std::uint64_t>(staged.size()));
   Simulator* sim = &lp.sim;
   PacketSlab* slab = &lp.slab;
   for (const Staged& s : staged) {
@@ -125,38 +128,68 @@ void ParallelRuntime::merge_inbound(int id) {
                   "buffer (park the packet in the LP's slab, not captures)");
     sim->schedule_at_as_of(s.e.key.at, s.e.key.tie_time, std::move(deliver));
   }
+  return staged.size();
 }
 
 void ParallelRuntime::lp_main(int id, Time until) {
   Lp& lp = *lps_[static_cast<std::size_t>(id)];
   LpStats& st = stats_[static_cast<std::size_t>(id)];
+  std::vector<LpWindowSample>* log =
+      log_windows_ ? &window_log_[static_cast<std::size_t>(id)] : nullptr;
+  Time prev_gmin = kTimeNever;
   for (;;) {
+    const double w0 = now_s();
     lower_bounds_[static_cast<std::size_t>(id)] = lp.sim.next_event_time();
-    st.wait_s += barrier_.arrive_and_wait();  // publish barrier
+    const double pub_wait = barrier_.arrive_and_wait();  // publish barrier
+    st.wait_s += pub_wait;
     Time gmin = kTimeNever;
     for (const Time lb : lower_bounds_) gmin = std::min(gmin, lb);
     // Horizon reached (or every LP drained): exit together — every LP
     // computes the same gmin, so nobody is left behind at a barrier.
     if (gmin > until) break;
+    if (prev_gmin != kTimeNever) st.horizon_advance += gmin - prev_gmin;
+    prev_gmin = gmin;
     const Time safe = gmin + lookahead_;
     const double t0 = now_s();
     lp.sim.run_window(safe, until);
-    st.run_s += now_s() - t0;
-    st.wait_s += barrier_.arrive_and_wait();  // flush barrier
+    const double run_dur = now_s() - t0;
+    st.run_s += run_dur;
+    const double flush_wait = barrier_.arrive_and_wait();  // flush barrier
+    st.wait_s += flush_wait;
     const double t1 = now_s();
-    merge_inbound(id);
-    st.run_s += now_s() - t1;
+    const std::size_t staged = merge_inbound(id);
+    const double merge_dur = now_s() - t1;
+    st.run_s += merge_dur;
     ++st.windows;
+    if (log != nullptr) {
+      LpWindowSample s;
+      s.gmin = gmin;
+      s.t0_s = w0 - run_epoch_s_;
+      s.pub_wait_s = pub_wait;
+      s.run_s = run_dur;
+      s.flush_wait_s = flush_wait;
+      s.merge_s = merge_dur;
+      s.events = lp.sim.events_run();
+      s.staged = static_cast<std::uint32_t>(staged);
+      log->push_back(s);
+    }
   }
   lp.sim.finish_at(until);
   st.events = lp.sim.events_run();
   st.peak_pending = lp.sim.scheduler().peak_pending();
   st.scheduled = lp.sim.scheduler().scheduled_count();
-  for (const SpscChannel* chan : lp.out) st.msgs_out += chan->posted();
+  for (const SpscChannel* chan : lp.out) {
+    st.msgs_out += chan->posted();
+    st.chan_overflows += chan->overflowed();
+    st.chan_high_water = std::max(st.chan_high_water,
+                                  chan->ring_high_water());
+  }
 }
 
 void ParallelRuntime::run(Time until) {
   assert(until != kTimeNever && "parallel runs need a finite horizon");
+  run_epoch_s_ = now_s();
+  if (log_windows_) window_log_.resize(lps_.size());
   std::vector<std::thread> workers;
   workers.reserve(lps_.size() - 1);
   for (int i = 1; i < shards(); ++i) {

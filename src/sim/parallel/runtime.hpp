@@ -60,8 +60,34 @@ struct LpStats {
   std::uint64_t msgs_out = 0;      // cross-LP packets posted
   std::uint64_t peak_pending = 0;  // local scheduler high-water mark
   std::uint64_t scheduled = 0;     // local events ever scheduled
+  /// Most messages staged in one merge phase (inbound high-water mark).
+  /// Deterministic: the window edges and message counts are pure
+  /// functions of event timestamps.
+  std::uint64_t merge_high_water = 0;
+  /// Cross-LP posts that spilled to a channel's overflow lane, and the
+  /// outbound ring high-water mark. Timing-dependent (they depend on how
+  /// fast the consumer drains), so profile-table only — never metrics.
+  std::uint64_t chan_overflows = 0;
+  std::uint64_t chan_high_water = 0;
+  /// Sum of gmin increments over busy windows: horizon_advance / windows
+  /// is the mean safe-horizon advance per window (deterministic).
+  Time horizon_advance = 0.0;
   double run_s = 0.0;              // wall seconds processing events
   double wait_s = 0.0;             // wall seconds blocked at barriers
+};
+
+/// One synchronization window as one LP saw it, for the runtime timeline
+/// export (--trace-out writes these as a Perfetto track per LP). Wall
+/// offsets are relative to ParallelRuntime::run() entry.
+struct LpWindowSample {
+  Time gmin = 0.0;          // the window's global lower bound
+  double t0_s = 0.0;        // wall offset when the publish wait began
+  double pub_wait_s = 0.0;  // blocked at the publish barrier
+  double run_s = 0.0;       // executing events below the safe horizon
+  double flush_wait_s = 0.0;  // blocked at the flush barrier
+  double merge_s = 0.0;       // draining + inserting inbound messages
+  std::uint64_t events = 0;   // cumulative events after this window
+  std::uint32_t staged = 0;   // messages merged in this window
 };
 
 class ParallelRuntime {
@@ -99,6 +125,14 @@ class ParallelRuntime {
   std::uint64_t total_scheduled() const;
   std::uint64_t max_peak_pending() const;
 
+  /// Opt-in per-window timeline (one LpWindowSample per window per LP).
+  /// Costs a few stores per window, so it is off unless a run wants the
+  /// runtime Perfetto track. Call before run().
+  void enable_window_log() { log_windows_ = true; }
+  const std::vector<std::vector<LpWindowSample>>& window_log() const {
+    return window_log_;
+  }
+
  private:
   struct Lp {
     explicit Lp(std::uint64_t seed) : sim(seed) {}
@@ -114,7 +148,8 @@ class ParallelRuntime {
   };
 
   void lp_main(int id, Time until);
-  void merge_inbound(int id);
+  /// Returns the number of messages staged (merged in) this window.
+  std::size_t merge_inbound(int id);
 
   const Time lookahead_;
   std::vector<std::unique_ptr<Lp>> lps_;
@@ -126,6 +161,9 @@ class ParallelRuntime {
   std::vector<Time> lower_bounds_;
   PhaseBarrier barrier_;
   std::vector<std::vector<Staged>> staged_;  // per-LP merge scratch
+  bool log_windows_ = false;
+  double run_epoch_s_ = 0.0;  // wall clock at run() entry (window offsets)
+  std::vector<std::vector<LpWindowSample>> window_log_;  // per LP
 };
 
 }  // namespace burst

@@ -29,6 +29,7 @@
 // messages simply spill to the overflow vector until the merge phase.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <vector>
@@ -67,6 +68,15 @@ class SpscChannel final : public LinkRemoteEgress {
   /// and after the run for the per-LP profile table).
   std::uint64_t posted() const { return posted_; }
 
+  /// Messages that took the overflow lane because the ring was full
+  /// (producer-side). Timing-dependent — the count varies with how fast
+  /// the consumer drains — so it feeds the profile table only, never the
+  /// deterministic MetricsRegistry.
+  std::uint64_t overflowed() const { return overflowed_; }
+
+  /// Producer-side high-water mark of ring occupancy observed at post().
+  std::uint64_t ring_high_water() const { return ring_high_water_; }
+
   /// Producer-side: true when the next post() would take the overflow
   /// lane. The LP runtime never needs this (it must not block); tests of
   /// the lock-free path use it to stay within the ring.
@@ -85,11 +95,14 @@ class SpscChannel final : public LinkRemoteEgress {
     e.link = &link;
     e.pkt = p;
     const std::uint64_t t = tail_.load(std::memory_order_relaxed);
-    if (t - head_.load(std::memory_order_acquire) < kCapacity) {
+    const std::uint64_t occupied = t - head_.load(std::memory_order_acquire);
+    if (occupied < kCapacity) {
       ring_[t & kMask] = e;
       tail_.store(t + 1, std::memory_order_release);
+      ring_high_water_ = std::max(ring_high_water_, occupied + 1);
     } else {
       overflow_.push_back(e);
+      ++overflowed_;
     }
     ++posted_;
   }
@@ -124,8 +137,10 @@ class SpscChannel final : public LinkRemoteEgress {
   // Producer-written, consumer-cleared; never touched concurrently (the
   // window barriers separate the phases).
   std::vector<RemoteEvent> overflow_;
-  std::uint64_t next_seq_ = 0;   // producer-only
-  std::uint64_t posted_ = 0;     // producer-only
+  std::uint64_t next_seq_ = 0;         // producer-only
+  std::uint64_t posted_ = 0;           // producer-only
+  std::uint64_t overflowed_ = 0;       // producer-only
+  std::uint64_t ring_high_water_ = 0;  // producer-only
 };
 
 }  // namespace burst

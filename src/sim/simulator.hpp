@@ -105,6 +105,11 @@ class Simulator {
   /// insertion counter (DESIGN.md §13.3).
   Time current_tie() const { return current_tie_; }
 
+  /// Stable address of current_tie(), for observers (TraceSink) that must
+  /// stamp each record with the executing event's full scheduler key
+  /// without a per-record virtual call. Valid for this Simulator's life.
+  const Time* tie_clock() const { return &current_tie_; }
+
   Random& rng() { return rng_; }
   Scheduler& scheduler() { return scheduler_; }
 

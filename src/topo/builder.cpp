@@ -338,38 +338,87 @@ SimplexLink& TopoNet::link(int statement, int member) {
 }
 
 void TopoNet::attach_trace(TraceSink& sink, const TopoTraceNames& names) {
-  // TraceSink is a single-writer ring; the runner clamps lp to 1 whenever
-  // tracing is requested, so a sharded net never reaches this.
-  assert(rt_ == nullptr && "event tracing requires the sequential engine");
-  const std::uint8_t queue_site = sink.register_site(names.queue_site);
-  const std::uint8_t link_site = sink.register_site(names.link_site);
-  const std::uint8_t sink_site = sink.register_site(names.sink_site);
+  // Per-flow src/dst node ids in flow construction order (== senders_
+  // order), so every component's tap lands on the ring of the LP whose
+  // thread executes it.
+  std::vector<std::pair<int, int>> flow_nodes;
+  flow_nodes.reserve(senders_.size());
+  for (const TopoFlowSpec& f : spec_.flows) {
+    const int dst = spec_.node_id(f.dst, 0);
+    for (int j = 0; j < spec_.node_count(f.src); ++j) {
+      flow_nodes.emplace_back(spec_.node_id(f.src, j), dst);
+    }
+  }
 
-  measured_->queue().set_trace(&sink, queue_site);
-  measured_->set_trace(&sink, link_site);
+  // A TraceSink is a single-writer ring, so a sharded build gives every
+  // LP a private ring (same capacity; sites registered in the same order
+  // so ids match the sequential run's) and finalize_trace() merges them
+  // back into @p sink after the run. A sequential build writes straight
+  // into @p sink, stamped from the build Simulator's tie clock.
+  std::vector<TraceSink*> per_lp;
+  if (rt_ != nullptr) {
+    trace_merge_target_ = &sink;
+    lp_trace_sinks_.reserve(static_cast<std::size_t>(part_.shards));
+    for (int k = 0; k < part_.shards; ++k) {
+      lp_trace_sinks_.push_back(std::make_unique<TraceSink>(sink.capacity()));
+      lp_trace_sinks_.back()->set_stamp(rt_->sim(k).tie_clock(),
+                                        static_cast<std::uint8_t>(k));
+      per_lp.push_back(lp_trace_sinks_.back().get());
+    }
+  } else {
+    sink.set_stamp(sim_->tie_clock(), 0);
+    per_lp.push_back(&sink);
+  }
+  std::uint8_t queue_site = 0;
+  std::uint8_t link_site = 0;
+  std::uint8_t sink_site = 0;
+  for (TraceSink* s : per_lp) {
+    queue_site = s->register_site(names.queue_site);
+    link_site = s->register_site(names.link_site);
+    sink_site = s->register_site(names.sink_site);
+  }
+  const auto sink_of_node = [&](int node) -> TraceSink& {
+    return *per_lp[static_cast<std::size_t>(
+        rt_ != nullptr ? part_.lp_of(node) : 0)];
+  };
+  TraceSink& measured_sink = sink_of_node(measured_from_node_);
 
-  for (auto& s : sinks_) {
-    if (auto* tcp = dynamic_cast<TcpSink*>(s.get())) {
-      tcp->set_trace(&sink, sink_site);
+  measured_->queue().set_trace(&measured_sink, queue_site);
+  measured_->set_trace(&measured_sink, link_site);
+
+  for (std::size_t i = 0; i < sinks_.size(); ++i) {
+    if (auto* tcp = dynamic_cast<TcpSink*>(sinks_[i].get())) {
+      tcp->set_trace(&sink_of_node(flow_nodes[i].second), sink_site);
     }
   }
   for (std::size_t i = 0; i < sources_.size(); ++i) {
-    sources_[i]->set_trace(&sink, static_cast<std::int32_t>(i));
+    sources_[i]->set_trace(&sink_of_node(flow_nodes[i].first),
+                           static_cast<std::int32_t>(i));
   }
-  for (auto& a : senders_) {
-    auto* tcp = dynamic_cast<TcpSender*>(a.get());
+  for (std::size_t i = 0; i < senders_.size(); ++i) {
+    auto* tcp = dynamic_cast<TcpSender*>(senders_[i].get());
     if (!tcp) continue;
-    tracers_.push_back(std::make_unique<TransportTracer>(sink, *tcp));
+    TraceSink& ssink = sink_of_node(flow_nodes[i].first);
+    tracers_.push_back(std::make_unique<TransportTracer>(ssink, *tcp));
     tcp->set_observer(tracers_.back().get());
     if (auto* vegas = dynamic_cast<TcpVegas*>(tcp)) {
-      vegas->set_vegas_trace(&sink);
+      vegas->set_vegas_trace(&ssink);
     }
   }
 
   monitor_ = std::make_unique<FlowMonitor>();
   monitor_->reserve_flows(senders_.size());
   monitor_->attach(measured_->queue());
-  monitor_->set_trace(&sink, queue_site);
+  monitor_->set_trace(&measured_sink, queue_site);
+}
+
+void TopoNet::finalize_trace() {
+  if (trace_merge_target_ == nullptr) return;
+  std::vector<const TraceSink*> parts;
+  parts.reserve(lp_trace_sinks_.size());
+  for (const auto& s : lp_trace_sinks_) parts.push_back(s.get());
+  trace_merge_target_->merge_from(parts);
+  trace_merge_target_ = nullptr;
 }
 
 void TopoNet::register_metrics(MetricsRegistry& registry,

@@ -78,8 +78,22 @@ class TopoNet {
   /// Wires the measured queue/link, every TCP sink, every source, a
   /// TransportTracer per TCP sender, a Vegas Diff tap where applicable,
   /// and a drop-clustering FlowMonitor into @p sink. Call at most once;
-  /// @p sink must outlive the run.
+  /// @p sink must outlive the run. In a sharded build each component taps
+  /// a private per-LP ring instead; call finalize_trace() after the run
+  /// to merge them into @p sink deterministically.
   void attach_trace(TraceSink& sink, const TopoTraceNames& names = {});
+
+  /// Merges the per-LP trace rings of a sharded build into the sink given
+  /// to attach_trace() (TraceSink::merge_from). Sequential builds wrote
+  /// straight into the caller's sink, so this is a no-op for them. Call
+  /// at most once, after the run completes.
+  void finalize_trace();
+
+  /// The per-LP trace rings of a sharded traced build (empty otherwise);
+  /// exposed for the runner's telemetry counters.
+  const std::vector<std::unique_ptr<TraceSink>>& lp_trace_sinks() const {
+    return lp_trace_sinks_;
+  }
 
   /// Registers measured-queue/link counters (under @p names) plus the
   /// aggregate tcp.* / sink.* counters. Values are captured at the call.
@@ -119,6 +133,9 @@ class TopoNet {
   /// return the build Simulator.
   Simulator& measured_sim() { return nsim(measured_from_node_); }
 
+  /// LP hosting the measured link (0 for sequential builds).
+  int measured_lp() const { return part_.lp_of(measured_from_node_); }
+
  private:
   TopoNet(Simulator* sim, ParallelRuntime* rt, const LpPartition* part,
           const TopoSpec& spec);
@@ -154,6 +171,10 @@ class TopoNet {
 
   std::vector<std::unique_ptr<TransportTracer>> tracers_;
   std::unique_ptr<FlowMonitor> monitor_;
+  /// Sharded traced builds only: one ring per LP, merged by
+  /// finalize_trace() into trace_merge_target_ (the attach_trace sink).
+  std::vector<std::unique_ptr<TraceSink>> lp_trace_sinks_;
+  TraceSink* trace_merge_target_ = nullptr;
 };
 
 }  // namespace burst

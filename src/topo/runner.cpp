@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 
+#include "src/obs/flight_recorder.hpp"
 #include "src/sim/parallel/runtime.hpp"
 #include "src/stats/binned_counter.hpp"
 #include "src/stats/fairness.hpp"
@@ -22,12 +23,14 @@ ExperimentResult run_topo_experiment(const TopoSpec& spec,
 
   const Scenario& sc = spec.scenario;
 
-  // Single-writer observers (the trace sink, the periodic cwnd sampler)
-  // read one clock and one buffer; they pin the run to the sequential
-  // engine. Beyond that the partitioner itself may decline (no cut, zero
-  // lookahead) — either way part.shards is what the run actually uses.
+  // The periodic cwnd sampler schedules its own events on the build
+  // Simulator, so it pins the run to the sequential engine. Event tracing
+  // does not: each LP records into a private ring, merged at export
+  // (TraceSink::merge_from). Beyond that the partitioner itself may
+  // decline (no cut, zero lookahead) — either way part.shards is what the
+  // run actually uses.
   int requested = options.lp_shards;
-  if (options.trace != nullptr || !options.trace_clients.empty()) {
+  if (!options.trace_clients.empty()) {
     requested = 1;
   }
   const LpPartition part = make_lp_partition(spec, requested);
@@ -43,7 +46,28 @@ ExperimentResult run_topo_experiment(const TopoSpec& spec,
     seq = std::make_unique<Simulator>(sc.seed);
     net = std::make_unique<TopoNet>(*seq, spec);
   }
-  if (options.trace != nullptr) net->attach_trace(*options.trace);
+  if (options.trace != nullptr) {
+    // Traced parallel runs also log the per-window runtime timeline for
+    // the `.runtime.perfetto` export (cheap: a few stores per window).
+    if (rt != nullptr) rt->enable_window_log();
+    // A canonical dumbbell keeps its historical site names so the merged
+    // lp>1 trace is byte-identical to the sequential Dumbbell run's.
+    if (is_canonical_dumbbell(spec)) {
+      net->attach_trace(*options.trace, {"queue:gateway", "link:bottleneck",
+                                         "sink:server"});
+    } else {
+      net->attach_trace(*options.trace);
+    }
+  }
+  if (options.flight != nullptr) {
+    options.flight->observe_queue(&net->measured_queue());
+    // The cwnd histogram needs the arena of the measured link's LP; a
+    // sequential build has exactly one. Parallel runs skip it — scanning
+    // per-flow state owned by other LP threads would race.
+    if (rt == nullptr) options.flight->observe_arena(&net->flow_arena());
+    options.flight->set_lp(net->measured_lp());
+    options.flight->arm(net->measured_sim(), sc.duration);
+  }
 
   MetricsRegistry registry;
   Histogram& qlen_hist = registry.histogram(
@@ -108,9 +132,31 @@ ExperimentResult run_topo_experiment(const TopoSpec& spec,
       ph.windows = s.windows;
       ph.msgs_in = s.msgs_in;
       ph.msgs_out = s.msgs_out;
+      ph.merge_high_water = s.merge_high_water;
+      ph.chan_overflows = s.chan_overflows;
+      ph.chan_high_water = s.chan_high_water;
+      ph.horizon_advance_mean =
+          s.windows > 0 ? s.horizon_advance / static_cast<double>(s.windows)
+                        : 0.0;
       ph.run_s = s.run_s;
       ph.wait_s = s.wait_s;
       result.lp_phases.push_back(ph);
+    }
+    const auto& wlog = rt->window_log();
+    for (std::size_t k = 0; k < wlog.size(); ++k) {
+      for (const LpWindowSample& w : wlog[k]) {
+        LpWindowPhase wp;
+        wp.lp = static_cast<int>(k);
+        wp.gmin = w.gmin;
+        wp.t0_s = w.t0_s;
+        wp.pub_wait_s = w.pub_wait_s;
+        wp.run_s = w.run_s;
+        wp.flush_wait_s = w.flush_wait_s;
+        wp.merge_s = w.merge_s;
+        wp.events = w.events;
+        wp.staged = w.staged;
+        result.lp_windows.push_back(wp);
+      }
     }
   } else {
     seq->run(sc.duration);
@@ -175,7 +221,33 @@ ExperimentResult run_topo_experiment(const TopoSpec& spec,
   registry.add_counter("sched.events", result.sim_events);
   registry.add_counter("sched.peak_pending", result.peak_pending);
   registry.add_counter("sched.scheduled", scheduled);
+  if (rt != nullptr) {
+    // Parallel-runtime telemetry — deterministic subset only. Window
+    // count, horizon advance, per-LP event/message splits and the merge
+    // high-water mark are pure functions of event timestamps; wall-clock
+    // splits (run_s/wait_s) and ring-overflow placement depend on thread
+    // timing and stay in lp_phases / the profile table, never here (the
+    // registry's determinism contract backs the result cache).
+    registry.add_counter("parallel.shards",
+                         static_cast<std::uint64_t>(part.shards));
+    registry.add_gauge("parallel.lookahead", part.lookahead);
+    registry.add_counter("parallel.windows", rt->stats().front().windows);
+    for (const LpPhase& ph : result.lp_phases) {
+      const std::string prefix = "parallel.lp" + std::to_string(ph.lp);
+      registry.add_counter(prefix + ".events", ph.events);
+      registry.add_counter(prefix + ".msgs_in", ph.msgs_in);
+      registry.add_counter(prefix + ".msgs_out", ph.msgs_out);
+      registry.add_counter(prefix + ".merge_high_water",
+                           ph.merge_high_water);
+      registry.add_gauge(prefix + ".horizon_advance_mean",
+                         ph.horizon_advance_mean);
+    }
+  }
   result.metrics = registry.snapshot();
+  // Merge the per-LP trace rings into the caller's sink last, after every
+  // reader above: the sequential engine's final ring state includes only
+  // what ran, and the merged view must mirror it exactly.
+  net->finalize_trace();
   return result;
 }
 

@@ -8,6 +8,8 @@
 
 #include "src/core/cli.hpp"
 #include "src/core/report.hpp"
+#include "src/obs/flight_recorder.hpp"
+#include "src/obs/runtime_trace.hpp"
 #include "src/obs/trace.hpp"
 #include "src/topo/parser.hpp"
 #include "src/topo/runner.hpp"
@@ -24,23 +26,42 @@ constexpr const char* kTopoUsage =
                     any error (no simulation)
 )";
 
-// Per-LP phase breakdown from a parallel run: where each logical process
-// spent its wall clock (processing events vs blocked at window barriers).
-void print_lp_phases(std::ostream& os, const burst::ExperimentResult& r) {
-  if (r.lp_phases.empty()) return;
+// Per-LP phase breakdown: where each logical process spent its wall clock
+// (processing events vs blocked at window barriers) plus the channel and
+// merge high-water marks. Sequential runs carry no lp_phases; with
+// --profile we synthesize the degenerate one-LP row (windows=0) so
+// scripts can parse the same table shape at any --lp.
+void print_lp_phases(std::ostream& os, const burst::ExperimentResult& r,
+                     bool force) {
+  std::vector<burst::LpPhase> phases = r.lp_phases;
+  if (phases.empty()) {
+    if (!force) return;
+    burst::LpPhase p;
+    p.lp = 0;
+    p.events = r.sim_events;
+    p.run_s = r.sim_wall_s;
+    phases.push_back(p);
+  }
   std::vector<std::vector<std::string>> rows;
-  for (const burst::LpPhase& p : r.lp_phases) {
+  for (const burst::LpPhase& p : phases) {
     rows.push_back({"LP " + std::to_string(p.lp), std::to_string(p.events),
                     std::to_string(p.windows),
                     std::to_string(p.msgs_in) + " / " +
                         std::to_string(p.msgs_out),
+                    std::to_string(p.merge_high_water),
+                    std::to_string(p.chan_high_water) + " / " +
+                        std::to_string(p.chan_overflows),
+                    burst::fmt(p.horizon_advance_mean, 4) + " s",
                     burst::fmt(p.run_s, 3) + " s",
                     burst::fmt(p.wait_s, 3) + " s"});
   }
-  os << '\n' << "parallel engine: " << r.lp_shards << " LPs\n";
-  burst::print_table(
-      os, {"process", "events", "windows", "msgs in/out", "run", "barrier"},
-      rows);
+  os << '\n' << "parallel engine: " << r.lp_shards << " LP"
+     << (r.lp_shards == 1 ? "" : "s") << "\n";
+  burst::print_table(os,
+                     {"process", "events", "windows", "msgs in/out",
+                      "merge hw", "chan hw/ovf", "horizon adv", "run",
+                      "barrier"},
+                     rows);
 }
 
 // Writes one export of the structured trace; returns success.
@@ -109,6 +130,7 @@ int main(int argc, char** argv) {
   }
   if (!topo_file.empty()) {
     ExperimentOptions topt;
+    bool topo_profile = false;
     for (const std::string& arg : args) {
       if (arg.rfind("--lp=", 0) == 0) {
         const int n = std::atoi(arg.c_str() + 5);
@@ -119,8 +141,12 @@ int main(int argc, char** argv) {
         topt.lp_shards = n;
         continue;
       }
-      std::cerr << "burstsim: --scenario only combines with --set=... and "
-                   "--lp=N, got '"
+      if (arg == "--profile") {
+        topo_profile = true;
+        continue;
+      }
+      std::cerr << "burstsim: --scenario only combines with --set=..., "
+                   "--lp=N and --profile, got '"
                 << arg << "'\n";
       return 2;
     }
@@ -152,7 +178,7 @@ int main(int argc, char** argv) {
             {"Jain fairness", fmt(r.fairness, 4)},
             {"routing errors", std::to_string(r.routing_errors)},
         });
-    print_lp_phases(std::cout, r);
+    print_lp_phases(std::cout, r, topo_profile);
     return 0;
   }
 
@@ -172,6 +198,14 @@ int main(int argc, char** argv) {
   if (!request->trace_path.empty()) {
     trace = std::make_unique<TraceSink>();
     request->options.trace = trace.get();
+  }
+  std::unique_ptr<FlightRecorder> flight;
+  if (!request->fr_path.empty()) {
+    FlightRecorderOptions fopts;
+    fopts.period = request->fr_period;
+    fopts.max_samples = static_cast<std::size_t>(request->fr_cap);
+    flight = std::make_unique<FlightRecorder>(fopts);
+    request->options.flight = flight.get();
   }
 
   const Scenario& sc = request->scenario;
@@ -195,7 +229,7 @@ int main(int argc, char** argv) {
           {"duplicate ACKs received", std::to_string(r.dupacks)},
           {"Jain fairness", fmt(r.fairness, 4)},
       });
-  print_lp_phases(std::cout, r);
+  print_lp_phases(std::cout, r, request->profile);
 
   if (!request->options.trace_clients.empty()) {
     std::cout << '\n';
@@ -223,6 +257,40 @@ int main(int argc, char** argv) {
                           true)) {
       return 1;
     }
+    // Parallel traced runs additionally get the (machine-dependent)
+    // per-LP runtime timeline — a separate file so the two above stay
+    // byte-comparable against the sequential run.
+    if (r.lp_shards > 1 && !r.lp_windows.empty()) {
+      const std::string path = request->trace_path + ".runtime.perfetto.json";
+      std::ofstream out(path, std::ios::trunc);
+      if (!out || !write_runtime_trace(out, r.lp_phases, r.lp_windows) ||
+          !out.flush()) {
+        std::cerr << "burstsim: could not write " << path << "\n";
+        return 1;
+      }
+      std::cout << "wrote " << path << "\n";
+    }
+  }
+  if (flight) {
+    std::cout << "flight recorder: " << flight->samples().size()
+              << " samples held (" << flight->taken() << " taken, "
+              << flight->decimations() << " decimations), period "
+              << fmt(flight->period(), 4) << " s, budget "
+              << flight->bytes_reserved() << " B\n";
+    const std::string csv_path = request->fr_path + ".csv";
+    const std::string jsonl_path = request->fr_path + ".jsonl";
+    std::ofstream csv(csv_path, std::ios::trunc);
+    if (!csv || !flight->write_csv(csv) || !csv.flush()) {
+      std::cerr << "burstsim: could not write " << csv_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << csv_path << "\n";
+    std::ofstream jsonl(jsonl_path, std::ios::trunc);
+    if (!jsonl || !flight->write_jsonl(jsonl) || !jsonl.flush()) {
+      std::cerr << "burstsim: could not write " << jsonl_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << jsonl_path << "\n";
   }
   return 0;
 }
